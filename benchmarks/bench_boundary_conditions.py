@@ -1,0 +1,111 @@
+"""Section I: periodic vs open boundary conditions.
+
+"With open boundary, only the structures near the center of the sphere
+are reliable.  Structures near the boundary are affected by the
+presence of the boundary to the vacuum.  Thus, only a small fraction of
+the total computational volume is useful ... with the periodic
+boundary, everywhere is equally reliable."
+
+This harness evolves the *same* statistically uniform initial state two
+ways — a periodic cube with the TreePM solver, and an open-boundary
+sphere with the pure tree (the 1990s Gordon Bell setup) — and measures
+how the usable volume differs: the open sphere develops a radial
+density gradient (global collapse toward the center, evacuation at the
+edge) while the periodic box stays statistically homogeneous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+from repro.integrate.leapfrog import LeapfrogIntegrator
+from repro.integrate.stepper import StaticStepper
+from repro.sim.serial import SerialSimulation
+from repro.tree.traversal import TreeSolver
+
+N = 1500
+T_END = 0.35
+N_STEPS = 14
+
+
+def _uniform_sphere(n, rng):
+    """Uniform density sphere of radius 0.5 centered at 0.5."""
+    u = rng.standard_normal((n, 3))
+    u /= np.linalg.norm(u, axis=1, keepdims=True)
+    r = 0.5 * rng.random(n) ** (1.0 / 3.0)
+    return 0.5 + u * r[:, None]
+
+
+def _radial_density_ratio(pos, center=0.5):
+    """Density in the outer radial third over the inner third
+    (volume-weighted, within the initial sphere radius 0.5)."""
+    r = np.linalg.norm(pos - center, axis=1)
+    r_in, r_out = 0.5 * (1 / 3) ** (1 / 3), 0.5 * (2 / 3) ** (1 / 3)
+    inner = (r < r_in).sum()
+    outer = ((r >= r_out) & (r < 0.5)).sum()
+    # equal-volume shells by construction
+    return outer / max(inner, 1)
+
+
+class TestBoundaryConditions:
+    def test_open_sphere_develops_edge_artifacts(self, benchmark, save_result):
+        rng = np.random.default_rng(6)
+        pos0 = _uniform_sphere(N, rng)
+        mass = np.full(N, 1.0 / N)
+
+        # open boundary: pure tree (the 1990s Gordon-Bell configuration)
+        tree = TreeSolver(theta=0.5, eps=5e-3, periodic=False, group_size=64)
+
+        def open_force(p):
+            acc, _ = tree.forces(p, mass)
+            return acc
+
+        def run_open():
+            integ = LeapfrogIntegrator(open_force, StaticStepper(), box=1e9)
+            p, m = pos0.copy(), np.zeros_like(pos0)
+            for i in range(N_STEPS):
+                p, m = integ.step(
+                    p, m, i * T_END / N_STEPS, (i + 1) * T_END / N_STEPS
+                )
+            return p
+
+        pos_open = benchmark.pedantic(run_open, rounds=1, iterations=1)
+
+        # periodic: the TreePM driver on a uniform cube of the same
+        # mean density (cold start, same duration)
+        cfg = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(opening_angle=0.5, group_size=64),
+                pm=PMConfig(mesh_size=16),
+                softening=5e-3,
+            ),
+        )
+        pos_box = rng.random((N, 3))
+        sim = SerialSimulation(cfg, pos_box, np.zeros((N, 3)), mass)
+        sim.run(0.0, T_END, n_steps=N_STEPS)
+
+        ratio0 = _radial_density_ratio(pos0)
+        ratio_open = _radial_density_ratio(pos_open)
+        # periodic homogeneity: compare octant counts of the cube
+        oct_counts = np.histogramdd(
+            sim.pos, bins=(2, 2, 2), range=[(0, 1)] * 3
+        )[0].ravel()
+        periodic_imbalance = oct_counts.max() / oct_counts.mean()
+
+        lines = [
+            "Open vs periodic boundary (same duration, cold uniform start)",
+            f"  open sphere outer/inner density ratio: {ratio0:.2f} initial "
+            f"-> {ratio_open:.2f} evolved (global collapse: edge evacuates)",
+            f"  periodic box octant imbalance after evolution: "
+            f"{periodic_imbalance:.2f}x mean (statistically homogeneous)",
+            "  paper: 'only a small fraction of the total computational "
+            "volume is useful' with open boundaries",
+        ]
+        save_result("boundary_conditions", "\n".join(lines))
+
+        # the sphere's edge empties toward the center...
+        assert ratio_open < 0.6 * ratio0
+        # ...while no octant of the periodic box runs away
+        assert periodic_imbalance < 1.5

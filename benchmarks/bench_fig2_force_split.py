@@ -1,0 +1,110 @@
+"""Figures 1-2: the tree interaction structure and the force split.
+
+Figure 2 is a schematic of the P3M/TreePM decomposition: a short-range
+part that "decreases rapidly at large distance, and drops [to] zero at
+a finite distance", and a long-range part carried by the PM mesh.
+This harness renders the quantitative content of the schematic —
+``g_P3M(xi)``, the complementary PM fraction, and the cutoff radius —
+and Figure 1's particle-particle / particle-multipole interaction mix
+measured from a real traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forces.cutoff import S2ForceSplit, gp3m_cutoff
+from repro.forces.ewald import EwaldSummation
+from repro.tree.traversal import TreeSolver
+
+
+class TestForceSplitCurves:
+    def test_gp3m_profile(self, benchmark, save_result):
+        """The short/long-range force shares as a function of xi."""
+        xi = np.linspace(0.0, 2.2, 12)
+
+        def work():
+            return gp3m_cutoff(xi)
+
+        g = benchmark(work)
+        lines = [
+            "Force split (eq. 3): short-range share g(xi), xi = 2r/rcut",
+            f"{'xi':>6} {'g (PP share)':>13} {'PM share':>9}",
+        ]
+        for x, v in zip(xi, g):
+            lines.append(f"{x:>6.2f} {v:>13.5f} {1.0 - v:>9.5f}")
+        save_result("fig2_force_split", "\n".join(lines))
+        assert g[0] == pytest.approx(1.0)
+        assert np.all(g[xi >= 2.0] == 0.0)
+
+    def test_split_sum_is_total_force(self, benchmark, save_result):
+        """PP + PM reconstructs the exact periodic pair force across
+        the cutoff transition (Fig. 2's central claim)."""
+        from repro.mesh.poisson import PMSolver
+
+        n = 32
+        split = S2ForceSplit(4.0 / n)
+        solver = PMSolver(n, split=split)
+        ewald = EwaldSummation()
+        src = np.array([[0.5, 0.5, 0.5]])
+        mass = np.array([1.0])
+        radii = np.array([0.03, 0.06, 0.0625, 0.1, 0.125, 0.2, 0.3])
+
+        def work():
+            rows = []
+            for r in radii:
+                tgt = np.array([[0.5 + r, 0.5, 0.5]])
+                pp = -split.short_range_factor(np.array([r]))[0] / r**2
+                pm = solver.forces(src, mass, targets=tgt)[0, 0]
+                exact = ewald.pair_acceleration(tgt[0] - src[0])[0]
+                rows.append((r, pp, pm, exact))
+            return rows
+
+        rows = benchmark.pedantic(work, rounds=1, iterations=1)
+        lines = [
+            f"Pair force decomposition (rcut = {split.rcut:.4f})",
+            f"{'r':>7} {'PP':>12} {'PM':>12} {'PP+PM':>12} {'Ewald':>12}",
+        ]
+        for r, pp, pm, exact in rows:
+            lines.append(
+                f"{r:>7.4f} {pp:>12.4f} {pm:>12.4f} {pp+pm:>12.4f} {exact:>12.4f}"
+            )
+        save_result("fig2_pair_decomposition", "\n".join(lines))
+        for r, pp, pm, exact in rows:
+            assert pp + pm == pytest.approx(exact, rel=0.08, abs=0.3)
+        # beyond the cutoff PP vanishes and PM carries everything
+        assert rows[-1][1] == 0.0
+
+
+class TestFig1InteractionMix:
+    def test_particle_vs_multipole_interactions(
+        self, benchmark, clustered_box, save_result
+    ):
+        """Figure 1's red (particle-particle) vs blue (particle-
+        multipole) arrows: count both list populations per theta."""
+        pos, mass = clustered_box
+        split = S2ForceSplit(3.0 / 16)
+
+        def mix(theta):
+            solver = TreeSolver(
+                theta=theta, split=split, periodic=True, group_size=64
+            )
+            _, stats = solver.forces(pos, mass)
+            return stats.pp_from_particles, stats.pp_from_nodes
+
+        def work():
+            return {th: mix(th) for th in (0.3, 0.5, 0.8)}
+
+        out = benchmark.pedantic(work, rounds=1, iterations=1)
+        lines = [
+            "Interaction mix (particles vs multipoles in the lists)",
+            f"{'theta':>6} {'p-p':>12} {'p-multipole':>12} {'multipole %':>12}",
+        ]
+        for th, (pp, pn) in out.items():
+            lines.append(
+                f"{th:>6.2f} {pp:>12} {pn:>12} {100*pn/(pp+pn):>12.1f}"
+            )
+        save_result("fig1_interaction_mix", "\n".join(lines))
+        # opening the tree less (larger theta) shifts work to multipoles
+        assert out[0.8][1] / max(out[0.8][0], 1) > out[0.3][1] / max(out[0.3][0], 1)

@@ -1,0 +1,184 @@
+"""Figure 6: snapshots of the early-universe microhalo simulation.
+
+The paper's figure shows the dark matter distribution at z = 400
+(initial), 70, 40 and 31 in a 600-comoving-parsec box whose power
+spectrum carries the free-streaming cutoff of a 100 GeV neutralino,
+plus two zoom-ins; the smallest structures condense out of the smooth
+initial state by z ~ 31.
+
+This harness runs the same physical setup scaled to laptop size: the
+box is chosen so the free-streaming cutoff stays *resolved* (the
+paper's design constraint), the particles start from Zel'dovich initial
+conditions at z = 400 and integrate to z = 31 through the serial TreePM
+driver.  It writes the four projection arrays and checks the figure's
+qualitative content: structure grows monotonically and microhalos exist
+by the final epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fof import halo_catalog
+from repro.analysis.power import particle_power_spectrum
+from repro.analysis.profiles import clumping_factor
+from repro.analysis.projection import density_projection, zoom_projection
+from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+from repro.cosmology.params import WMAP7
+from repro.cosmology.power_spectrum import PowerSpectrum
+from repro.ic.zeldovich import ZeldovichIC
+from repro.integrate.stepper import CosmoStepper
+from repro.sim.serial import SerialSimulation
+
+#: neutralino free-streaming cutoff (Green et al. 2004 scale)
+K_FS_PHYS = 1.0e6  # h/Mpc
+#: box chosen so the cutoff sits at ~6 box modes: resolved by the mesh
+BOX_MPC_H = 40.0 / K_FS_PHYS
+#: amplitude boost compensating the missing rare-peak statistics of a
+#: 16^3 box (the paper's trillion-particle volume collapses its >4-sigma
+#: peaks by z=31; our box holds ~32^3 modes and none reach that, so we
+#: simulate an overdense patch instead: sigma(z=31) ~ 1)
+AMPLITUDE_BOOST = 3.0
+
+SNAPSHOT_REDSHIFTS = [400.0, 70.0, 40.0, 31.0]
+N_PER_DIM = 16
+MESH = 32
+
+
+def _setup():
+    ps = PowerSpectrum(WMAP7, k_fs=K_FS_PHYS)
+    base = ps.in_box_units(BOX_MPC_H)
+
+    def pk_box(k, z=0.0):
+        return AMPLITUDE_BOOST**2 * base(k, z)
+    ic = ZeldovichIC(WMAP7, pk_box, n_per_dim=N_PER_DIM, mesh_n=MESH, seed=2012)
+    a0 = 1.0 / (1.0 + SNAPSHOT_REDSHIFTS[0])
+    pos, mom, mass = ic.generate(a_start=a0)
+    cfg = SimulationConfig(
+        treepm=TreePMConfig(
+            tree=TreeConfig(opening_angle=0.5, group_size=64),
+            pm=PMConfig(mesh_size=MESH),
+            rcut_mesh_units=3.0,
+            softening=0.02 / N_PER_DIM,
+        ),
+        pp_subcycles=2,
+    )
+    sim = SerialSimulation(cfg, pos, mom, mass, stepper=CosmoStepper(WMAP7))
+    return sim, ic
+
+
+def _run_to_snapshots(sim):
+    """Integrate with log-spaced steps, stopping at each snapshot a."""
+    snaps = {}
+    a_values = [1.0 / (1.0 + z) for z in SNAPSHOT_REDSHIFTS]
+    snaps[SNAPSHOT_REDSHIFTS[0]] = (sim.pos.copy(), sim.mom.copy())
+    for z_from, z_to in zip(SNAPSHOT_REDSHIFTS[:-1], SNAPSHOT_REDSHIFTS[1:]):
+        a1, a2 = 1.0 / (1.0 + z_from), 1.0 / (1.0 + z_to)
+        n = max(4, int(np.ceil(12 * np.log(a2 / a1) / np.log(12.9))))
+        edges = np.geomspace(a1, a2, n + 1)
+        for e1, e2 in zip(edges[:-1], edges[1:]):
+            sim.step(float(e1), float(e2))
+        snaps[z_to] = (sim.pos.copy(), sim.mom.copy())
+    return snaps
+
+
+class TestFig6Snapshots:
+    def test_microhalo_formation_run(self, benchmark, save_result, results_dir):
+        sim, ic = _setup()
+        rms0 = ic.rms_displacement(1.0 / 401.0)
+        assert rms0 < 0.5 / N_PER_DIM  # ICs well within linear regime
+
+        snaps = benchmark.pedantic(
+            lambda: _run_to_snapshots(sim), rounds=1, iterations=1
+        )
+
+        mass = sim.mass
+        lines = [
+            "Fig. 6 reproduction: microhalo formation from z=400 to z=31",
+            f"(box = {BOX_MPC_H*1e6:.0f} pc/h, {N_PER_DIM}^3 particles, "
+            f"k_fs x box = 40)",
+            f"{'z':>6} {'clumping':>9} {'max/mean Sigma':>15} {'halos':>6}",
+        ]
+        clump = {}
+        for z in SNAPSHOT_REDSHIFTS:
+            pos, _ = snaps[z]
+            img = density_projection(pos, mass, n_pixels=64)
+            np.save(results_dir / f"fig6_projection_z{int(z)}.npy", img)
+            clump[z] = clumping_factor(pos, mass, n_mesh=16)
+            halos = halo_catalog(
+                pos, mass, linking_length=0.2 / N_PER_DIM, min_members=20
+            )
+            lines.append(
+                f"{z:>6.0f} {clump[z]:>9.3f} {img.max()/img.mean():>15.1f} "
+                f"{len(halos):>6}"
+            )
+
+        # the paper's zoom panels at the final epoch
+        pos31, _ = snaps[31.0]
+        halos = halo_catalog(pos31, mass, 0.2 / N_PER_DIM, min_members=20)
+        if halos:
+            c = halos[0].center
+            for frac, tag in ((1.0 / 16.0, "37.5pc"), (1.0 / 4.0, "150pc")):
+                img = zoom_projection(
+                    pos31, mass, (c[0], c[1]), width=frac, n_pixels=64
+                )
+                np.save(results_dir / f"fig6_zoom_{tag}.npy", img)
+            lines.append(
+                f"largest microhalo: {halos[0].n_particles} particles at "
+                f"({c[0]:.2f}, {c[1]:.2f}, {c[2]:.2f})"
+            )
+        save_result("fig6_snapshots", "\n".join(lines))
+
+        # Figure 6's content: monotone structure growth, halos by z=31
+        cs = [clump[z] for z in SNAPSHOT_REDSHIFTS]
+        assert cs[0] == pytest.approx(1.0, abs=0.05)  # smooth ICs
+        assert cs[0] < cs[1] < cs[2] < cs[3]
+        assert cs[3] > 1.5  # visible structure by z=31
+        assert len(halos) >= 1  # microhalos have condensed
+
+    def test_linear_growth_of_large_modes(self, benchmark, save_result):
+        """Cross-check: with the unboosted (fully linear) spectrum, the
+        power grows by the squared growth-factor ratio from z=400 to
+        z=200."""
+        ps = PowerSpectrum(WMAP7, k_fs=K_FS_PHYS)
+        pk_box = ps.in_box_units(BOX_MPC_H)
+        ic = ZeldovichIC(
+            WMAP7, pk_box, n_per_dim=N_PER_DIM, mesh_n=MESH, seed=2012
+        )
+        a0, a1 = 1.0 / 401.0, 1.0 / 201.0
+        pos0, mom0, mass = ic.generate(a_start=a0)
+        cfg = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(opening_angle=0.5, group_size=64),
+                pm=PMConfig(mesh_size=MESH),
+                rcut_mesh_units=3.0,
+                softening=0.02 / N_PER_DIM,
+            ),
+            pp_subcycles=2,
+        )
+        sim = SerialSimulation(cfg, pos0, mom0, mass, stepper=CosmoStepper(WMAP7))
+
+        def work():
+            edges = np.geomspace(a0, a1, 9)
+            for e1, e2 in zip(edges[:-1], edges[1:]):
+                sim.step(float(e1), float(e2))
+            return sim.pos.copy()
+
+        pos1 = benchmark.pedantic(work, rounds=1, iterations=1)
+        # displaced lattices carry no Poisson shot noise: don't subtract
+        k0, p0, c0 = particle_power_spectrum(
+            pos0, mass, n_mesh=16, n_bins=6, subtract_shot_noise=False
+        )
+        k1, p1, c1 = particle_power_spectrum(
+            pos1, mass, n_mesh=16, n_bins=6, subtract_shot_noise=False
+        )
+        growth = ic.growth.D_ratio(a0, a1) ** 2
+        good = (c0 > 5) & (p0 > 0)
+        measured = (p1[good] / p0[good])[0]  # largest-scale usable bin
+        save_result(
+            "fig6_linear_growth",
+            f"P(k) growth z=400 -> z=200 at the largest resolved scale: "
+            f"measured x{measured:.2f}, linear theory x{growth:.2f}",
+        )
+        assert measured == pytest.approx(growth, rel=0.25)

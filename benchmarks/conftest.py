@@ -1,0 +1,51 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes its rendered output to ``benchmarks/results/<name>.txt`` so the
+reproduction artifacts survive the run (pytest-benchmark captures only
+timings).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """``save_result(name, text)`` -> writes and echoes an artifact."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def clustered_box():
+    """A moderately clustered particle set reused across benchmarks:
+    three halos of different sizes plus a uniform background."""
+    rng = np.random.default_rng(20121110)
+    halos = [
+        (np.array([0.3, 0.3, 0.3]), 0.015, 2500),
+        (np.array([0.7, 0.6, 0.4]), 0.03, 1500),
+        (np.array([0.2, 0.8, 0.7]), 0.01, 1000),
+    ]
+    parts = [c + s * rng.standard_normal((n, 3)) for c, s, n in halos]
+    parts.append(rng.random((3000, 3)))
+    pos = np.mod(np.vstack(parts), 1.0)
+    mass = np.full(len(pos), 1.0 / len(pos))
+    return pos, mass

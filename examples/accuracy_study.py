@@ -1,0 +1,85 @@
+"""Force-accuracy study: TreePM against exact Ewald summation.
+
+Quantifies the error budget of the method for a clustered box — the
+error distribution over particles, the split between short- and
+long-range contributions, and the effect of the paper's main accuracy
+knobs (opening angle, cutoff radius, fast reciprocal square root).
+
+Run:  python examples/accuracy_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PMConfig, TreeConfig, TreePMConfig
+from repro.forces.ewald import EwaldSummation
+from repro.treepm.solver import TreePMSolver
+
+
+def make_config(theta=0.5, rcut_cells=3.0, mesh=16, eps=1e-4):
+    return TreePMConfig(
+        tree=TreeConfig(opening_angle=theta, group_size=32),
+        pm=PMConfig(mesh_size=mesh),
+        rcut_mesh_units=rcut_cells,
+        softening=eps,
+    )
+
+
+def error_stats(acc, ref):
+    err = np.linalg.norm(acc - ref, axis=1) / np.linalg.norm(ref, axis=1)
+    return {
+        "rms": float(np.sqrt((err**2).mean())),
+        "median": float(np.median(err)),
+        "p95": float(np.percentile(err, 95)),
+        "max": float(err.max()),
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    n = 1500
+    pos = np.mod(
+        np.vstack(
+            [0.5 + 0.06 * rng.standard_normal((n // 2, 3)), rng.random((n // 2, 3))]
+        ),
+        1.0,
+    )
+    mass = np.full(n, 1.0 / n)
+    eps = 1e-4
+    probe = rng.choice(n, 128, replace=False)
+
+    print(f"computing the Ewald reference at 128 probes of {n} particles ...")
+    ref = EwaldSummation().forces(pos, mass, eps=eps, targets=probe)
+
+    print("\nopening-angle sweep (mesh 16, rcut = 3 cells):")
+    print(f"{'theta':>6} {'rms':>9} {'median':>9} {'95%':>9} {'max':>9} "
+          f"{'interactions':>13}")
+    for theta in (0.2, 0.4, 0.6, 0.8, 1.0):
+        res = TreePMSolver(make_config(theta=theta)).forces(pos, mass)
+        s = error_stats(res.total[probe], ref)
+        print(
+            f"{theta:>6.1f} {s['rms']:>9.4f} {s['median']:>9.4f} "
+            f"{s['p95']:>9.4f} {s['max']:>9.4f} {res.stats.interactions:>13}"
+        )
+
+    print("\ncutoff-radius sweep (theta 0.5):")
+    print(f"{'cells':>6} {'rms':>9} {'interactions':>13}")
+    for cells in (2.0, 3.0, 4.0, 5.0):
+        res = TreePMSolver(make_config(rcut_cells=cells)).forces(pos, mass)
+        s = error_stats(res.total[probe], ref)
+        print(f"{cells:>6.1f} {s['rms']:>9.4f} {res.stats.interactions:>13}")
+
+    print("\nfast reciprocal square root (the paper's 24-bit path):")
+    exact = TreePMSolver(make_config()).forces(pos, mass).total
+    fast = TreePMSolver(make_config(), use_fast_rsqrt=True).forces(pos, mass).total
+    print(
+        f"  method rms error      : {error_stats(exact[probe], ref)['rms']:.2e}\n"
+        f"  rsqrt-induced change  : "
+        f"{np.abs(fast - exact).max() / np.abs(exact).max():.2e} "
+        "(invisible below the method error, as the paper argues)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+``pip install -e .`` path on machines lacking the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Analysis tools for simulation outputs.
+
+Everything needed to regenerate the paper's science-side artifacts:
+density projections (Figure 6's snapshot images and zoom-ins), the
+matter power spectrum measured from particles, a friends-of-friends
+halo finder for the "smallest dark matter structures", radial profiles
+and the annihilation-relevant clumping statistics.
+"""
+
+from repro.analysis.projection import density_projection, zoom_projection
+from repro.analysis.power import particle_power_spectrum
+from repro.analysis.fof import friends_of_friends, halo_catalog
+from repro.analysis.profiles import (
+    clumping_factor,
+    fit_nfw,
+    nfw_density,
+    radial_profile,
+)
+from repro.analysis.statistics import halo_mass_function, two_point_correlation
+from repro.analysis.energy import LayzerIrvineTracker
+from repro.analysis.halo_properties import HaloProperties, halo_properties
+
+__all__ = [
+    "LayzerIrvineTracker",
+    "HaloProperties",
+    "halo_properties",
+    "density_projection",
+    "zoom_projection",
+    "particle_power_spectrum",
+    "friends_of_friends",
+    "halo_catalog",
+    "radial_profile",
+    "clumping_factor",
+    "fit_nfw",
+    "nfw_density",
+    "halo_mass_function",
+    "two_point_correlation",
+]

@@ -1,0 +1,113 @@
+"""Friends-of-friends halo finder.
+
+Links particles within ``b`` times the mean interparticle separation
+(periodic metric) and returns connected components — the standard
+definition of the paper's "dark matter structures", which it resolves
+with >~ 1e5 particles each at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["friends_of_friends", "halo_catalog", "Halo"]
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n)
+
+    def find(self, i: int) -> int:
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def friends_of_friends(
+    pos: np.ndarray,
+    linking_length: float,
+    box: float = 1.0,
+) -> np.ndarray:
+    """Group labels (0..n_groups-1) for every particle.
+
+    ``linking_length`` is the absolute linking distance; for the
+    conventional ``b = 0.2`` convention pass
+    ``0.2 * box / n_per_dim``.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if linking_length <= 0:
+        raise ValueError("linking_length must be positive")
+    if linking_length >= box / 2:
+        raise ValueError("linking_length must be < box/2")
+    tree = cKDTree(np.mod(pos, box), boxsize=box)
+    pairs = tree.query_pairs(linking_length, output_type="ndarray")
+    uf = _UnionFind(len(pos))
+    for a, b in pairs:
+        uf.union(int(a), int(b))
+    roots = np.array([uf.find(i) for i in range(len(pos))])
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+@dataclass(frozen=True)
+class Halo:
+    """A friends-of-friends group."""
+
+    members: np.ndarray  # particle indices
+    mass: float
+    center: np.ndarray  # periodic center of mass
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.members)
+
+
+def _periodic_com(pos: np.ndarray, mass: np.ndarray, box: float) -> np.ndarray:
+    """Center of mass on a torus (circular-mean trick per dimension)."""
+    theta = 2.0 * np.pi * pos / box
+    w = mass / mass.sum()
+    x = (w[:, None] * np.cos(theta)).sum(axis=0)
+    y = (w[:, None] * np.sin(theta)).sum(axis=0)
+    ang = np.arctan2(y, x)
+    return np.mod(ang / (2.0 * np.pi) * box, box)
+
+
+def halo_catalog(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    linking_length: float,
+    box: float = 1.0,
+    min_members: int = 20,
+) -> List[Halo]:
+    """FoF halos with at least ``min_members`` particles, sorted by
+    decreasing mass."""
+    pos = np.asarray(pos, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    labels = friends_of_friends(pos, linking_length, box)
+    halos: List[Halo] = []
+    for lbl in range(labels.max() + 1):
+        members = np.flatnonzero(labels == lbl)
+        if len(members) < min_members:
+            continue
+        m = mass[members]
+        halos.append(
+            Halo(
+                members=members,
+                mass=float(m.sum()),
+                center=_periodic_com(pos[members], m, box),
+            )
+        )
+    halos.sort(key=lambda h: -h.mass)
+    return halos

@@ -1,0 +1,56 @@
+"""Matter power spectrum measured from particles.
+
+Assigns particles to a mesh, corrects the assignment window, subtracts
+Poisson shot noise and bins spherically — the standard estimator used
+to verify that simulated structure growth follows linear theory.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ic.grf import measure_power_spectrum
+from repro.mesh.assignment import assign_mass, window_ft
+from repro.mesh.greens import kvectors
+
+__all__ = ["particle_power_spectrum"]
+
+
+def particle_power_spectrum(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    n_mesh: int = 64,
+    box: float = 1.0,
+    scheme: str = "cic",
+    n_bins: int = 16,
+    subtract_shot_noise: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Measure P(k) of the particle distribution.
+
+    Returns ``(k, P(k), mode_counts)`` with k in radians per length
+    unit of ``box``.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    mesh = assign_mass(pos, mass, n_mesh, box, scheme=scheme)
+    mean = mesh.mean()
+    if mean <= 0:
+        raise ValueError("empty particle set")
+    delta = mesh / mean - 1.0
+
+    # deconvolve the assignment window in k space before binning
+    dk = np.fft.rfftn(delta)
+    kx, ky, kz = kvectors(n_mesh, box)
+    h = box / n_mesh
+    w = window_ft(scheme, kx, h) * window_ft(scheme, ky, h) * window_ft(scheme, kz, h)
+    dk = dk / w
+    delta = np.fft.irfftn(dk, s=delta.shape, axes=(0, 1, 2))
+
+    k, pk, counts = measure_power_spectrum(delta, box=box, n_bins=n_bins)
+    if subtract_shot_noise:
+        # Poisson noise of N_eff = (sum m)^2 / sum m^2 tracers
+        n_eff = mass.sum() ** 2 / np.sum(mass**2)
+        pk = pk - box**3 / n_eff
+    return k, pk, counts

@@ -1,0 +1,113 @@
+"""Radial density profiles and clumping statistics.
+
+The paper's science target is the inner structure of the smallest
+dark-matter halos (their central density sets the annihilation signal,
+which scales with the square of the density).  :func:`radial_profile`
+measures rho(r) around a center; :func:`clumping_factor` measures
+``<rho^2> / <rho>^2``, the boost factor of the annihilation rate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.mesh.assignment import assign_mass
+from repro.utils.periodic import minimum_image
+
+__all__ = ["radial_profile", "clumping_factor", "fit_nfw", "nfw_density"]
+
+
+def nfw_density(r: np.ndarray, rho_s: float, r_s: float) -> np.ndarray:
+    """Navarro-Frenk-White profile ``rho_s / [(r/r_s)(1 + r/r_s)^2]``."""
+    x = np.asarray(r, dtype=np.float64) / r_s
+    return rho_s / (x * (1.0 + x) ** 2)
+
+
+def fit_nfw(
+    r: np.ndarray,
+    rho: np.ndarray,
+    weights: np.ndarray | None = None,
+):
+    """Least-squares NFW fit in log density.
+
+    Returns ``(rho_s, r_s, rms_log_residual)``.  Bins with
+    non-positive density are ignored; raises if fewer than three usable
+    bins remain (an NFW fit needs to see the slope change).
+    """
+    from scipy.optimize import least_squares
+
+    r = np.asarray(r, dtype=np.float64)
+    rho = np.asarray(rho, dtype=np.float64)
+    good = rho > 0
+    if weights is not None:
+        good &= np.asarray(weights) > 0
+    if good.sum() < 3:
+        raise ValueError("need at least three usable profile bins")
+    rg, dg = r[good], rho[good]
+    w = np.ones(good.sum()) if weights is None else np.sqrt(
+        np.asarray(weights, dtype=np.float64)[good]
+    )
+
+    def residual(p):
+        log_rho_s, log_r_s = p
+        model = nfw_density(rg, np.exp(log_rho_s), np.exp(log_r_s))
+        return w * (np.log(model) - np.log(dg))
+
+    # initial guess: r_s at the geometric mid-radius
+    r_s0 = np.sqrt(rg[0] * rg[-1])
+    rho_s0 = np.interp(r_s0, rg, dg) * 4.0  # rho(r_s) = rho_s / 4
+    sol = least_squares(residual, [np.log(rho_s0), np.log(r_s0)])
+    rho_s, r_s = np.exp(sol.x)
+    rms = float(np.sqrt(np.mean((residual(sol.x) / np.maximum(w, 1e-30)) ** 2)))
+    return float(rho_s), float(r_s), rms
+
+
+def radial_profile(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    center: np.ndarray,
+    r_min: float,
+    r_max: float,
+    n_bins: int = 16,
+    box: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Spherically averaged density profile about ``center``.
+
+    Returns ``(r_mid, rho, counts)`` with logarithmic bins between
+    ``r_min`` and ``r_max`` (periodic distances).
+    """
+    if not 0 < r_min < r_max <= box / 2:
+        raise ValueError("need 0 < r_min < r_max <= box/2")
+    pos = np.asarray(pos, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    d = minimum_image(pos - np.asarray(center), box)
+    r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    edges = np.geomspace(r_min, r_max, n_bins + 1)
+    idx = np.digitize(r, edges) - 1
+    good = (idx >= 0) & (idx < n_bins)
+    msum = np.bincount(idx[good], weights=mass[good], minlength=n_bins)
+    counts = np.bincount(idx[good], minlength=n_bins)
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    r_mid = np.sqrt(edges[:-1] * edges[1:])
+    return r_mid, msum / shell_vol, counts
+
+
+def clumping_factor(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    n_mesh: int = 32,
+    box: float = 1.0,
+    scheme: str = "cic",
+) -> float:
+    """Annihilation boost ``<rho^2> / <rho>^2`` on a mesh.
+
+    Grows from ~1 (near-uniform initial conditions) as structure forms
+    — the quantity behind the paper's gamma-ray motivation.
+    """
+    mesh = assign_mass(pos, mass, n_mesh, box, scheme=scheme)
+    mean = mesh.mean()
+    if mean <= 0:
+        raise ValueError("empty particle set")
+    return float((mesh**2).mean() / mean**2)

@@ -1,0 +1,79 @@
+"""Clustering statistics: halo mass function and correlation function.
+
+The science-side quantities large cosmological runs exist to measure:
+the abundance of collapsed structures (the paper's smallest dark matter
+halos) and the two-point clustering of the particle field.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.analysis.fof import Halo
+
+__all__ = ["halo_mass_function", "two_point_correlation"]
+
+
+def halo_mass_function(
+    halos: List[Halo],
+    n_bins: int = 8,
+    box: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative mass function n(>M): comoving number density of halos
+    above each mass threshold.
+
+    Returns ``(mass_thresholds, n_cumulative)``; thresholds are
+    log-spaced over the catalog's mass range.
+    """
+    if not halos:
+        raise ValueError("empty halo catalog")
+    masses = np.array([h.mass for h in halos])
+    lo, hi = masses.min(), masses.max()
+    if lo == hi:
+        thresholds = np.array([lo])
+    else:
+        thresholds = np.geomspace(lo, hi, n_bins)
+    volume = box**3
+    n_cum = np.array([(masses >= t).sum() / volume for t in thresholds])
+    return thresholds, n_cum
+
+
+def two_point_correlation(
+    pos: np.ndarray,
+    r_edges: np.ndarray,
+    box: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two-point correlation function xi(r) by periodic pair counting.
+
+    Uses the analytic random-pair expectation of a periodic box (no
+    random catalog needed): ``xi = DD / RR - 1`` with
+    ``RR = N(N-1)/2 * V_shell / V_box``.
+
+    Returns ``(r_mid, xi)``.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    r_edges = np.asarray(r_edges, dtype=np.float64)
+    if np.any(np.diff(r_edges) <= 0) or r_edges[0] < 0:
+        raise ValueError("r_edges must be increasing and non-negative")
+    if r_edges[-1] >= box / 2:
+        raise ValueError("largest r must be < box/2 (periodic counting)")
+    n = len(pos)
+    if n < 2:
+        raise ValueError("need at least two particles")
+    tree = cKDTree(np.mod(pos, box), boxsize=box)
+    # cumulative pair counts within each edge
+    cum = np.array(
+        [tree.count_neighbors(tree, r) for r in r_edges], dtype=np.float64
+    )
+    # count_neighbors includes self pairs (distance 0) and both
+    # orderings: convert to unique pair counts
+    dd = (np.diff(cum)) / 2.0
+    shell_vol = 4.0 / 3.0 * np.pi * np.diff(r_edges**3)
+    rr = n * (n - 1) / 2.0 * shell_vol / box**3
+    with np.errstate(divide="ignore", invalid="ignore"):
+        xi = np.where(rr > 0, dd / rr - 1.0, 0.0)
+    r_mid = np.sqrt(r_edges[:-1] * r_edges[1:])
+    return r_mid, xi

@@ -1,0 +1,253 @@
+"""Command-line runner: simulations from a JSON description.
+
+``python -m repro run config.json`` generates (or loads) initial
+conditions, integrates, and writes snapshots — the adoption surface for
+users who want the simulator without writing Python.
+
+Config schema (JSON object; every key optional unless noted):
+
+```json
+{
+  "kind": "cosmological" | "static",
+  "n_per_dim": 12,                    // cosmological: particles^(1/3)
+  "n_particles": 1000,                // static: random uniform cold start
+  "mesh_size": 24,
+  "rcut_mesh_units": 3.0,
+  "opening_angle": 0.5,
+  "group_size": 64,
+  "softening": 0.002,
+  "pp_subcycles": 2,
+  "seed": 1,
+  "start": 0.0025,                    // a (cosmological) or t (static)
+  "end": 0.03125,
+  "n_steps": 24,
+  "log_spaced": true,                 // step spacing in the time variable
+  "k_fs": 1e6,                        // neutralino cutoff (h/Mpc) or null
+  "box_mpc_h": 4e-5,
+  "amplitude_boost": 1.0,
+  "lpt_order": 1,                     // 1 = Zel'dovich, 2 = 2LPT
+  "snapshots": [0.01, 0.03125],       // epochs to write
+  "output_dir": "out"                 // required when snapshots given
+}
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+
+__all__ = ["main", "run_from_config"]
+
+_DEFAULTS: Dict[str, Any] = {
+    "kind": "cosmological",
+    "n_per_dim": 8,
+    "n_particles": 512,
+    "mesh_size": 16,
+    "rcut_mesh_units": 3.0,
+    "opening_angle": 0.5,
+    "group_size": 64,
+    "softening": None,
+    "pp_subcycles": 2,
+    "seed": 1,
+    "start": None,
+    "end": None,
+    "n_steps": 8,
+    "log_spaced": None,
+    "k_fs": 1.0e6,
+    "box_mpc_h": 4.0e-5,
+    "amplitude_boost": 1.0,
+    "lpt_order": 1,
+    "snapshots": [],
+    "output_dir": None,
+}
+
+
+def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
+    softening = cfg["softening"]
+    if softening is None:
+        n_dim = (
+            cfg["n_per_dim"]
+            if cfg["kind"] == "cosmological"
+            else max(2, round(cfg["n_particles"] ** (1 / 3)))
+        )
+        softening = 0.02 / n_dim
+    return SimulationConfig(
+        treepm=TreePMConfig(
+            tree=TreeConfig(
+                opening_angle=cfg["opening_angle"], group_size=cfg["group_size"]
+            ),
+            pm=PMConfig(mesh_size=cfg["mesh_size"]),
+            rcut_mesh_units=cfg["rcut_mesh_units"],
+            softening=softening,
+        ),
+        pp_subcycles=cfg["pp_subcycles"],
+        seed=cfg["seed"],
+    )
+
+
+def run_from_config(config: Dict[str, Any], log=print) -> Dict[str, Any]:
+    """Run a simulation described by a config dict.
+
+    Returns a summary dict (final epoch, snapshot paths, statistics).
+    """
+    cfg = dict(_DEFAULTS)
+    unknown = set(config) - set(cfg)
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    cfg.update(config)
+    if cfg["kind"] not in ("cosmological", "static"):
+        raise ValueError("kind must be 'cosmological' or 'static'")
+    if cfg["snapshots"] and not cfg["output_dir"]:
+        raise ValueError("snapshots require output_dir")
+
+    sim_config = _build_config(cfg)
+
+    if cfg["kind"] == "cosmological":
+        from repro.cosmology.params import WMAP7
+        from repro.cosmology.power_spectrum import PowerSpectrum
+        from repro.ic.lpt2 import Lpt2IC
+        from repro.ic.zeldovich import ZeldovichIC
+        from repro.integrate.stepper import CosmoStepper
+        from repro.sim.serial import SerialSimulation
+
+        start = cfg["start"] if cfg["start"] is not None else 1.0 / 401.0
+        end = cfg["end"] if cfg["end"] is not None else 1.0 / 32.0
+        log_spaced = cfg["log_spaced"] if cfg["log_spaced"] is not None else True
+        ps = PowerSpectrum(WMAP7, k_fs=cfg["k_fs"])
+        base = ps.in_box_units(cfg["box_mpc_h"])
+        boost = float(cfg["amplitude_boost"])
+        if cfg["lpt_order"] not in (1, 2):
+            raise ValueError("lpt_order must be 1 or 2")
+        ic_cls = ZeldovichIC if cfg["lpt_order"] == 1 else Lpt2IC
+        ic = ic_cls(
+            WMAP7,
+            lambda k, z=0.0: boost**2 * base(k, z),
+            n_per_dim=cfg["n_per_dim"],
+            mesh_n=max(cfg["mesh_size"], cfg["n_per_dim"]),
+            seed=cfg["seed"],
+        )
+        pos, mom, mass = ic.generate(a_start=start)
+        sim = SerialSimulation(
+            sim_config, pos, mom, mass, stepper=CosmoStepper(WMAP7)
+        )
+        log(
+            f"cosmological run: {cfg['n_per_dim']}^3 particles, "
+            f"a = {start:.5f} -> {end:.5f}"
+        )
+    else:
+        from repro.sim.serial import SerialSimulation
+
+        start = cfg["start"] if cfg["start"] is not None else 0.0
+        end = cfg["end"] if cfg["end"] is not None else 0.5
+        log_spaced = cfg["log_spaced"] if cfg["log_spaced"] is not None else False
+        rng = np.random.default_rng(cfg["seed"])
+        n = cfg["n_particles"]
+        pos = rng.random((n, 3))
+        sim = SerialSimulation(
+            sim_config, pos, np.zeros((n, 3)), np.full(n, 1.0 / n)
+        )
+        log(f"static run: {n} particles, t = {start} -> {end}")
+
+    if log_spaced and start <= 0:
+        raise ValueError("log-spaced steps need a positive start")
+    edges = (
+        np.geomspace(start, end, cfg["n_steps"] + 1)
+        if log_spaced
+        else np.linspace(start, end, cfg["n_steps"] + 1)
+    )
+
+    pending = sorted(float(s) for s in cfg["snapshots"])
+    for s in pending:
+        if not start <= s <= end:
+            raise ValueError(f"snapshot epoch {s} outside [{start}, {end}]")
+    written: List[str] = []
+
+    def maybe_snapshot(t: float) -> None:
+        from repro.sim.io import SnapshotHeader, save_snapshot
+
+        while pending and pending[0] <= t * (1 + 1e-12):
+            epoch = pending.pop(0)
+            out = Path(cfg["output_dir"])
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"snapshot_{epoch:.6f}.npz"
+            save_snapshot(
+                path,
+                sim.pos,
+                sim.mom,
+                sim.mass,
+                SnapshotHeader(
+                    time=t,
+                    n_particles=len(sim.pos),
+                    cosmological=cfg["kind"] == "cosmological",
+                    step=sim.steps_taken,
+                    extra={"config": {k: config.get(k) for k in config}},
+                ),
+            )
+            written.append(str(path))
+            log(f"  wrote {path}")
+
+    maybe_snapshot(start)
+    for t1, t2 in zip(edges[:-1], edges[1:]):
+        sim.step(float(t1), float(t2))
+        maybe_snapshot(float(t2))
+
+    stats = sim.last_stats
+    summary = {
+        "kind": cfg["kind"],
+        "final_time": float(edges[-1]),
+        "steps": sim.steps_taken,
+        "snapshots": written,
+        "interactions_last_pp": int(stats.interactions) if stats else 0,
+        "mean_group_size": float(stats.mean_group_size) if stats else 0.0,
+        "mean_list_length": float(stats.mean_list_length) if stats else 0.0,
+    }
+    log(
+        f"done: {sim.steps_taken} steps, <Ni> = "
+        f"{summary['mean_group_size']:.1f}, <Nj> = "
+        f"{summary['mean_list_length']:.1f}"
+    )
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GreeM-style TreePM N-body simulations (SC12 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_p = sub.add_parser("run", help="run a simulation from a JSON config")
+    run_p.add_argument("config", type=Path, help="path to the JSON config")
+    run_p.add_argument(
+        "--summary", type=Path, default=None,
+        help="also write the run summary as JSON",
+    )
+    info_p = sub.add_parser("info", help="print version and paper reference")
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        print(
+            "Reproduction of Ishiyama, Nitadori & Makino (SC12): "
+            "'4.45 Pflops Astrophysical N-Body Simulation on K computer'"
+        )
+        return 0
+
+    config = json.loads(args.config.read_text())
+    summary = run_from_config(config)
+    if args.summary:
+        args.summary.write_text(json.dumps(summary, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

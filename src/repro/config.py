@@ -1,0 +1,334 @@
+"""Run-configuration dataclasses.
+
+Every top-level component of the framework is configured through one of
+the frozen dataclasses defined here.  They validate their fields eagerly
+so that a mis-configured simulation fails at construction time rather
+than deep inside a force loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+def _check_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def _check_power_of_two(name: str, value: int) -> None:
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value!r}")
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Parameters of the Barnes-Hut tree used for the short-range part.
+
+    Attributes
+    ----------
+    opening_angle:
+        Multipole acceptance criterion theta.  A node of size ``s`` at
+        distance ``d`` is accepted when ``s < opening_angle * d``.
+    leaf_size:
+        Maximum number of particles in a leaf cell.
+    group_size:
+        Target number of particles per traversal group ``<Ni>`` for
+        Barnes' modified algorithm (the paper finds ~100 optimal on K).
+    use_quadrupole:
+        Whether node moments include the quadrupole term.
+    """
+
+    opening_angle: float = 0.5
+    leaf_size: int = 8
+    group_size: int = 64
+    use_quadrupole: bool = False
+
+    def __post_init__(self) -> None:
+        _check_positive("opening_angle", self.opening_angle)
+        if self.opening_angle >= 2.0:
+            raise ValueError("opening_angle >= 2 gives divergent force errors")
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class PMConfig:
+    """Parameters of the particle-mesh (long-range) solver.
+
+    Attributes
+    ----------
+    mesh_size:
+        Number of PM grid points per dimension (``N_PM^(1/3)``).
+    assignment:
+        Mass-assignment scheme: ``"ngp"``, ``"cic"`` or ``"tsc"``
+        (the paper uses TSC, a 27-point kernel).
+    deconvolve:
+        Whether to deconvolve the assignment window (applied twice:
+        once for assignment, once for interpolation).
+    differencing:
+        Gradient scheme on the mesh: ``"four_point"`` (the paper) or
+        ``"two_point"`` or ``"spectral"``.
+    fft_backend:
+        Distributed FFT layout: ``"slab"`` (the paper's 1-D FFTW-style
+        decomposition, limited to ``mesh_size`` processes) or
+        ``"pencil"`` (the 2-D decomposition of the paper's future-work
+        section, scaling to ``mesh_size^2``).
+    """
+
+    mesh_size: int = 64
+    assignment: str = "tsc"
+    deconvolve: bool = True
+    differencing: str = "four_point"
+    fft_backend: str = "slab"
+
+    _ASSIGNMENTS = ("ngp", "cic", "tsc")
+    _DIFFERENCING = ("two_point", "four_point", "spectral")
+    _FFT_BACKENDS = ("slab", "pencil")
+
+    def __post_init__(self) -> None:
+        if self.mesh_size < 4:
+            raise ValueError("mesh_size must be >= 4")
+        if self.assignment not in self._ASSIGNMENTS:
+            raise ValueError(
+                f"assignment must be one of {self._ASSIGNMENTS}, got {self.assignment!r}"
+            )
+        if self.differencing not in self._DIFFERENCING:
+            raise ValueError(
+                f"differencing must be one of {self._DIFFERENCING}, "
+                f"got {self.differencing!r}"
+            )
+        if self.fft_backend not in self._FFT_BACKENDS:
+            raise ValueError(
+                f"fft_backend must be one of {self._FFT_BACKENDS}, "
+                f"got {self.fft_backend!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TreePMConfig:
+    """Parameters of the combined TreePM force solver.
+
+    Attributes
+    ----------
+    tree:
+        Short-range tree configuration.
+    pm:
+        Long-range PM configuration.
+    rcut_mesh_units:
+        Cutoff radius of the short-range force in units of the PM mesh
+        spacing.  The paper uses ``rcut = 3 / N_PM^(1/3)``, i.e. 3.
+    softening:
+        Plummer softening length epsilon in box units (must be << rcut).
+    split:
+        Force-splitting shape: ``"s2"`` (P3M / the paper) or
+        ``"gaussian"`` (GADGET-style baseline).
+    """
+
+    tree: TreeConfig = field(default_factory=TreeConfig)
+    pm: PMConfig = field(default_factory=PMConfig)
+    rcut_mesh_units: float = 3.0
+    softening: float = 1.0e-4
+    split: str = "s2"
+
+    _SPLITS = ("s2", "gaussian")
+
+    def __post_init__(self) -> None:
+        _check_positive("rcut_mesh_units", self.rcut_mesh_units)
+        _check_positive("softening", self.softening)
+        if self.split not in self._SPLITS:
+            raise ValueError(f"split must be one of {self._SPLITS}, got {self.split!r}")
+        if self.softening >= self.rcut:
+            raise ValueError(
+                f"softening ({self.softening}) must be much smaller than "
+                f"rcut ({self.rcut})"
+            )
+
+    @property
+    def rcut(self) -> float:
+        """Cutoff radius in box units."""
+        return self.rcut_mesh_units / self.pm.mesh_size
+
+
+@dataclass(frozen=True)
+class DomainConfig:
+    """Parameters of the dynamic 3-D multisection domain decomposition.
+
+    Attributes
+    ----------
+    divisions:
+        Number of domains along each axis; ``prod(divisions)`` must
+        equal the number of MPI processes.
+    sample_rate:
+        Baseline fraction of particles sampled by the sampling method.
+    smoothing_window:
+        Number of past steps entering the linear weighted moving
+        average of domain boundaries (the paper uses 5).
+    cost_balance:
+        If true, the per-domain sampling rate is scaled by the measured
+        force-calculation cost (the paper's load balancing); if false
+        the decomposition balances raw particle counts.
+    """
+
+    divisions: Tuple[int, int, int] = (2, 2, 2)
+    sample_rate: float = 0.05
+    smoothing_window: int = 5
+    cost_balance: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.divisions) != 3 or any(d < 1 for d in self.divisions):
+            raise ValueError(f"divisions must be three integers >= 1, got {self.divisions!r}")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be >= 1")
+
+    @property
+    def n_domains(self) -> int:
+        return self.divisions[0] * self.divisions[1] * self.divisions[2]
+
+
+@dataclass(frozen=True)
+class RelayMeshConfig:
+    """Parameters of the relay mesh communication algorithm.
+
+    Attributes
+    ----------
+    n_groups:
+        Number of relay groups the processes are divided into.  One
+        group (the *root group*) contains the FFT processes.  With
+        ``n_groups = 1`` the method degenerates to the straightforward
+        global all-to-all conversion.
+    """
+
+    n_groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Analytic machine model for performance projection.
+
+    Default values describe one node of the K computer as reported in
+    the paper (SPARC64 VIIIfx: 8 cores at 2 GHz with 4 FMA units).
+
+    Attributes
+    ----------
+    nodes:
+        Number of nodes.
+    cores_per_node:
+        Cores per node.
+    clock_hz:
+        Core clock in Hz.
+    fma_units:
+        FMA pipelines per core.
+    link_bandwidth:
+        Point-to-point link bandwidth of the interconnect in bytes/s
+        (Tofu: 5 GB/s per link per direction).
+    link_latency:
+        Per-message latency in seconds.
+    torus_shape:
+        Logical 3-D torus shape used by the network congestion model;
+        ``prod(torus_shape)`` must equal ``nodes``.
+    """
+
+    nodes: int = 82944
+    cores_per_node: int = 8
+    clock_hz: float = 2.0e9
+    fma_units: int = 4
+    link_bandwidth: float = 5.0e9
+    link_latency: float = 1.0e-6
+    torus_shape: Tuple[int, int, int] = (32, 54, 48)
+
+    def __post_init__(self) -> None:
+        _check_positive("nodes", self.nodes)
+        _check_positive("cores_per_node", self.cores_per_node)
+        _check_positive("clock_hz", self.clock_hz)
+        _check_positive("fma_units", self.fma_units)
+        _check_positive("link_bandwidth", self.link_bandwidth)
+        _check_positive("link_latency", self.link_latency)
+        if math.prod(self.torus_shape) != self.nodes:
+            raise ValueError(
+                f"prod(torus_shape)={math.prod(self.torus_shape)} must equal "
+                f"nodes={self.nodes}"
+            )
+
+    @property
+    def peak_per_core(self) -> float:
+        """LINPACK peak flop/s per core (FMA units x 2 flops x clock)."""
+        return self.fma_units * 2.0 * self.clock_hz
+
+    @property
+    def peak_per_node(self) -> float:
+        return self.peak_per_core * self.cores_per_node
+
+    @property
+    def peak_total(self) -> float:
+        return self.peak_per_node * self.nodes
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level configuration of a parallel TreePM simulation."""
+
+    n_particles: int = 4096
+    treepm: TreePMConfig = field(default_factory=TreePMConfig)
+    domain: DomainConfig = field(default_factory=DomainConfig)
+    relay: RelayMeshConfig = field(default_factory=RelayMeshConfig)
+    #: Number of PP + domain-decomposition sub-cycles per PM step
+    #: (the paper: "one simulation step was composed by a cycle of the
+    #: PM and two cycles of the PP and the domain decomposition").
+    pp_subcycles: int = 2
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.n_particles < 1:
+            raise ValueError("n_particles must be >= 1")
+        if self.pp_subcycles < 1:
+            raise ValueError("pp_subcycles must be >= 1")
+
+    def with_(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (checkpoints, CLI)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`; validates on construction."""
+        d = dict(data)
+        tp = dict(d.pop("treepm", {}))
+        tree = TreeConfig(**tp.pop("tree", {}))
+        pm = PMConfig(**tp.pop("pm", {}))
+        treepm = TreePMConfig(tree=tree, pm=pm, **tp)
+        domain = d.pop("domain", {})
+        if isinstance(domain, dict):
+            if "divisions" in domain:
+                domain = {**domain, "divisions": tuple(domain["divisions"])}
+            domain = DomainConfig(**domain)
+        relay = d.pop("relay", {})
+        if isinstance(relay, dict):
+            relay = RelayMeshConfig(**relay)
+        return SimulationConfig(treepm=treepm, domain=domain, relay=relay, **d)
+
+
+__all__ = [
+    "TreeConfig",
+    "PMConfig",
+    "TreePMConfig",
+    "DomainConfig",
+    "RelayMeshConfig",
+    "MachineConfig",
+    "SimulationConfig",
+]

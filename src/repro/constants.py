@@ -1,0 +1,66 @@
+"""Physical and numerical constants used throughout the framework.
+
+The simulation works in dimensionless "box units" internally (the side
+length of the periodic box is 1, the total mass of the box is 1 and
+``G = 1`` unless stated otherwise); this module provides the conversion
+constants used when translating to/from physical units in the cosmology
+and analysis layers.
+"""
+
+from __future__ import annotations
+
+import math
+
+# -- fundamental constants (SI) ------------------------------------------
+GRAVITATIONAL_CONSTANT_SI = 6.674_30e-11  # m^3 kg^-1 s^-2
+SPEED_OF_LIGHT_SI = 2.997_924_58e8  # m s^-1
+PARSEC_SI = 3.085_677_581_49e16  # m
+SOLAR_MASS_SI = 1.988_92e30  # kg
+YEAR_SI = 3.155_76e7  # s (Julian year)
+
+# -- astrophysical composites ---------------------------------------------
+MEGAPARSEC_SI = PARSEC_SI * 1.0e6
+KILOMETER_SI = 1.0e3
+
+#: Gravitational constant in (Mpc, M_sun, km/s) units:
+#: G [Mpc (km/s)^2 / M_sun]
+G_MPC_MSUN_KMS = (
+    GRAVITATIONAL_CONSTANT_SI * SOLAR_MASS_SI / MEGAPARSEC_SI / KILOMETER_SI**2
+)
+
+#: Hubble constant of 100 km/s/Mpc expressed in 1/s.
+H100_SI = 100.0 * KILOMETER_SI / MEGAPARSEC_SI
+
+#: Critical density of the universe for H0 = 100 h km/s/Mpc, in
+#: M_sun / Mpc^3 (multiply by h^2 for a given h).
+RHO_CRIT_H2_MSUN_MPC3 = 3.0 * H100_SI**2 / (8.0 * math.pi * GRAVITATIONAL_CONSTANT_SI) * (
+    MEGAPARSEC_SI**3 / SOLAR_MASS_SI
+)
+
+# -- paper-specific machine constants (K computer, SPARC64 VIIIfx) --------
+#: Clock speed of a K computer core (Hz).
+K_CLOCK_HZ = 2.0e9
+#: FMA units per core.
+K_FMA_UNITS = 4
+#: Cores per node.
+K_CORES_PER_NODE = 8
+#: LINPACK peak per core in flop/s (4 FMA units x 2 flops x 2 GHz).
+K_PEAK_PER_CORE = K_FMA_UNITS * 2 * K_CLOCK_HZ
+#: Peak per node in flop/s.
+K_PEAK_PER_NODE = K_PEAK_PER_CORE * K_CORES_PER_NODE
+#: Number of nodes in the full K computer system.
+K_FULL_SYSTEM_NODES = 82944
+#: Number of nodes in the partial (~30%) configuration used by the paper.
+K_PARTIAL_SYSTEM_NODES = 24576
+
+#: Operation count per particle-particle interaction adopted by the paper
+#: ("we use the operation count of 51 per interaction").
+FLOPS_PER_INTERACTION = 51
+
+#: The paper's force loop issues 17 FMA + 17 non-FMA operations per SIMD
+#: iteration (two interactions), so its per-core ceiling is
+#: 51 * 2 / 34 cycles * 2 GHz = 12 Gflops; see :mod:`repro.perf.kcomputer`.
+KERNEL_FMA_OPS = 17
+KERNEL_NON_FMA_OPS = 17
+
+__all__ = [name for name in dir() if name.isupper()]

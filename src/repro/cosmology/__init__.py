@@ -1,0 +1,27 @@
+"""Cosmology: expansion history, growth, linear power spectra.
+
+Provides the background the paper's simulation needs: a WMAP7-like
+concordance cosmology [38], the linear growth factor used by the
+Zel'dovich initial conditions, and a CDM power spectrum with the sharp
+free-streaming cutoff of a 100 GeV neutralino [37] that makes the
+smallest dark-matter structures of Figure 6 resolvable.
+"""
+
+from repro.cosmology.params import CosmologyParams, WMAP7
+from repro.cosmology.expansion import Expansion
+from repro.cosmology.growth import GrowthFactor
+from repro.cosmology.power_spectrum import (
+    PowerSpectrum,
+    bbks_transfer,
+    free_streaming_cutoff,
+)
+
+__all__ = [
+    "CosmologyParams",
+    "WMAP7",
+    "Expansion",
+    "GrowthFactor",
+    "PowerSpectrum",
+    "bbks_transfer",
+    "free_streaming_cutoff",
+]

@@ -1,0 +1,69 @@
+"""Cosmological parameter sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CosmologyParams", "WMAP7", "EINSTEIN_DE_SITTER"]
+
+
+@dataclass(frozen=True)
+class CosmologyParams:
+    """Flat(-ish) FLRW background parameters.
+
+    Attributes
+    ----------
+    omega_m:
+        Total matter density parameter at z = 0.
+    omega_l:
+        Cosmological-constant density parameter at z = 0.
+    omega_b:
+        Baryon density (enters the transfer-function shape).
+    h:
+        Dimensionless Hubble parameter (H0 = 100 h km/s/Mpc).
+    sigma8:
+        Linear density fluctuation amplitude in 8 Mpc/h spheres.
+    n_s:
+        Primordial spectral index.
+    """
+
+    omega_m: float = 0.272
+    omega_l: float = 0.728
+    omega_b: float = 0.0455
+    h: float = 0.704
+    sigma8: float = 0.81
+    n_s: float = 0.967
+
+    def __post_init__(self) -> None:
+        if self.omega_m <= 0:
+            raise ValueError("omega_m must be positive")
+        if self.omega_b < 0 or self.omega_b > self.omega_m:
+            raise ValueError("need 0 <= omega_b <= omega_m")
+        if self.h <= 0 or self.sigma8 <= 0:
+            raise ValueError("h and sigma8 must be positive")
+
+    @property
+    def omega_k(self) -> float:
+        """Curvature density parameter (0 for a flat universe)."""
+        return 1.0 - self.omega_m - self.omega_l
+
+    @property
+    def gamma_shape(self) -> float:
+        """Sugiyama (1995) shape parameter for the BBKS transfer
+        function, including the baryon correction."""
+        import math
+
+        return (
+            self.omega_m
+            * self.h
+            * math.exp(-self.omega_b * (1.0 + math.sqrt(2 * self.h) / self.omega_m))
+        )
+
+
+#: The concordance cosmology the paper adopts (Komatsu et al. 2011).
+WMAP7 = CosmologyParams()
+
+#: Matter-only universe: D(a) = a exactly; useful in tests.
+EINSTEIN_DE_SITTER = CosmologyParams(
+    omega_m=1.0, omega_l=0.0, omega_b=0.0, h=0.7, sigma8=0.8, n_s=1.0
+)

@@ -1,0 +1,22 @@
+"""Dynamic domain decomposition (paper section II, Fig. 3).
+
+GreeM assigns each MPI process a rectangular domain from a 3-D
+multisection of the box.  Domain geometries adapt every step via the
+*sampling method*: each process contributes a random sample of its
+particles, with the per-process sampling rate proportional to its
+measured force-calculation time, and the new boundaries are placed so
+all domains hold the same number of samples — i.e. the same expected
+cost.  Boundaries are smoothed with a linear weighted moving average
+over the last five steps to suppress sampling-noise jumps.
+"""
+
+from repro.decomp.multisection import MultisectionDecomposition
+from repro.decomp.sampling import BoundaryHistory, SamplingDecomposer
+from repro.decomp.exchange import exchange_particles
+
+__all__ = [
+    "MultisectionDecomposition",
+    "SamplingDecomposer",
+    "BoundaryHistory",
+    "exchange_particles",
+]

@@ -1,0 +1,244 @@
+"""3-D multisection decomposition of a periodic box into rectangles.
+
+The box is cut into ``dx`` slabs along x, each slab independently into
+``dy`` columns along y, each column independently into ``dz`` domains
+along z [Makino 2004].  Domain ranks are row-major: ``rank = (i * dy
++ j) * dz + k``, matching the physical node layout of the torus model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["MultisectionDecomposition", "weighted_split"]
+
+
+def weighted_split(
+    values: np.ndarray,
+    weights: np.ndarray,
+    m: int,
+    lo: float,
+    hi: float,
+) -> np.ndarray:
+    """Boundaries splitting ``[lo, hi)`` into ``m`` weight-equal parts.
+
+    Returns ``m + 1`` strictly increasing boundaries with ``lo`` and
+    ``hi`` fixed; interior boundaries are weighted quantiles of
+    ``values``.  With no (or too few) samples, the split degrades
+    gracefully toward uniform.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if not hi > lo:
+        raise ValueError("need hi > lo")
+    bounds = np.empty(m + 1)
+    bounds[0], bounds[m] = lo, hi
+    if m == 1:
+        return bounds
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(values) == 0:
+        return np.linspace(lo, hi, m + 1)
+    order = np.argsort(values)
+    v = values[order]
+    cw = np.cumsum(weights[order])
+    total = cw[-1]
+    if total <= 0:
+        return np.linspace(lo, hi, m + 1)
+    targets = total * np.arange(1, m) / m
+    idx = np.searchsorted(cw, targets)
+    idx = np.clip(idx, 0, len(v) - 1)
+    # boundary halfway between the straddling samples (or at the sample
+    # if it is the last one)
+    nxt = np.clip(idx + 1, 0, len(v) - 1)
+    bounds[1:m] = 0.5 * (v[idx] + v[nxt])
+    # enforce strict monotonicity inside (lo, hi): degenerate sample
+    # sets (few samples, duplicates) fall back to even spacing locally
+    eps = (hi - lo) * 1e-9
+    for i in range(1, m + 1):
+        if bounds[i] <= bounds[i - 1] + eps and i < m:
+            bounds[i] = bounds[i - 1] + (hi - bounds[i - 1]) / (m + 1 - i)
+    bounds[1:m] = np.clip(bounds[1:m], lo + eps, hi - eps)
+    bounds.sort()
+    return bounds
+
+
+class MultisectionDecomposition:
+    """Rectangular domains from per-level boundary arrays.
+
+    Parameters
+    ----------
+    x_bounds:
+        ``(dx + 1,)`` increasing x boundaries covering ``[0, box]``.
+    y_bounds:
+        ``(dx, dy + 1)`` y boundaries per x slab.
+    z_bounds:
+        ``(dx, dy, dz + 1)`` z boundaries per (x, y) column.
+    """
+
+    def __init__(
+        self,
+        x_bounds: np.ndarray,
+        y_bounds: np.ndarray,
+        z_bounds: np.ndarray,
+        box: float = 1.0,
+    ) -> None:
+        self.x_bounds = np.asarray(x_bounds, dtype=np.float64)
+        self.y_bounds = np.asarray(y_bounds, dtype=np.float64)
+        self.z_bounds = np.asarray(z_bounds, dtype=np.float64)
+        self.box = float(box)
+        dx = len(self.x_bounds) - 1
+        if self.y_bounds.shape != (dx, self.y_bounds.shape[1]):
+            raise ValueError("y_bounds must be (dx, dy + 1)")
+        dy = self.y_bounds.shape[1] - 1
+        if self.z_bounds.shape[:2] != (dx, dy):
+            raise ValueError("z_bounds must be (dx, dy, dz + 1)")
+        dz = self.z_bounds.shape[2] - 1
+        self.divisions = (dx, dy, dz)
+        for arr, name in (
+            (self.x_bounds[None, None, :], "x_bounds"),
+            (self.y_bounds[None, :, :], "y_bounds"),
+            (self.z_bounds, "z_bounds"),
+        ):
+            if np.any(np.diff(arr, axis=-1) <= 0):
+                raise ValueError(f"{name} must be strictly increasing")
+        if (
+            self.x_bounds[0] != 0.0
+            or self.x_bounds[-1] != self.box
+            or np.any(self.y_bounds[:, 0] != 0.0)
+            or np.any(self.y_bounds[:, -1] != self.box)
+            or np.any(self.z_bounds[..., 0] != 0.0)
+            or np.any(self.z_bounds[..., -1] != self.box)
+        ):
+            raise ValueError("boundaries must span [0, box] on every level")
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def uniform(
+        divisions: Tuple[int, int, int], box: float = 1.0
+    ) -> "MultisectionDecomposition":
+        """Static equal-volume decomposition (the paper's baseline)."""
+        dx, dy, dz = divisions
+        xb = np.linspace(0, box, dx + 1)
+        yb = np.tile(np.linspace(0, box, dy + 1), (dx, 1))
+        zb = np.tile(np.linspace(0, box, dz + 1), (dx, dy, 1))
+        return MultisectionDecomposition(xb, yb, zb, box)
+
+    @staticmethod
+    def from_samples(
+        samples: np.ndarray,
+        divisions: Tuple[int, int, int],
+        box: float = 1.0,
+        weights: np.ndarray | None = None,
+    ) -> "MultisectionDecomposition":
+        """Build boundaries so every domain holds equal sample weight.
+
+        This is the root-process step of the sampling method: the
+        samples already encode cost (cost-proportional sampling rates),
+        so equal sample counts mean equal expected cost.
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        dx, dy, dz = divisions
+        if weights is None:
+            weights = np.ones(len(samples))
+        xb = weighted_split(samples[:, 0], weights, dx, 0.0, box)
+        yb = np.empty((dx, dy + 1))
+        zb = np.empty((dx, dy, dz + 1))
+        for i in range(dx):
+            in_slab = (samples[:, 0] >= xb[i]) & (samples[:, 0] < xb[i + 1])
+            s_slab = samples[in_slab]
+            w_slab = weights[in_slab]
+            yb[i] = weighted_split(s_slab[:, 1], w_slab, dy, 0.0, box)
+            for j in range(dy):
+                in_col = (s_slab[:, 1] >= yb[i, j]) & (s_slab[:, 1] < yb[i, j + 1])
+                zb[i, j] = weighted_split(
+                    s_slab[in_col][:, 2], w_slab[in_col], dz, 0.0, box
+                )
+        return MultisectionDecomposition(xb, yb, zb, box)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def n_domains(self) -> int:
+        dx, dy, dz = self.divisions
+        return dx * dy * dz
+
+    def rank_of_cell(self, i: int, j: int, k: int) -> int:
+        dx, dy, dz = self.divisions
+        return (i * dy + j) * dz + k
+
+    def cell_of_rank(self, rank: int) -> Tuple[int, int, int]:
+        dx, dy, dz = self.divisions
+        if not 0 <= rank < self.n_domains:
+            raise ValueError(f"rank {rank} out of range")
+        return (rank // (dy * dz), (rank // dz) % dy, rank % dz)
+
+    def domain_bounds(self, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(lo, hi) corners of the rank's rectangular domain."""
+        i, j, k = self.cell_of_rank(rank)
+        lo = np.array(
+            [self.x_bounds[i], self.y_bounds[i, j], self.z_bounds[i, j, k]]
+        )
+        hi = np.array(
+            [self.x_bounds[i + 1], self.y_bounds[i, j + 1], self.z_bounds[i, j, k + 1]]
+        )
+        return lo, hi
+
+    def owner_of(self, pos: np.ndarray) -> np.ndarray:
+        """Owning rank of each position (positions must lie in the box)."""
+        pos = np.asarray(pos, dtype=np.float64)
+        dx, dy, dz = self.divisions
+        i = np.clip(
+            np.searchsorted(self.x_bounds, pos[:, 0], side="right") - 1, 0, dx - 1
+        )
+        j = np.empty(len(pos), dtype=np.int64)
+        k = np.empty(len(pos), dtype=np.int64)
+        for ii in range(dx):
+            sel = i == ii
+            if not sel.any():
+                continue
+            j[sel] = np.clip(
+                np.searchsorted(self.y_bounds[ii], pos[sel, 1], side="right") - 1,
+                0,
+                dy - 1,
+            )
+            for jj in range(dy):
+                sel2 = sel & (j == jj)
+                if not sel2.any():
+                    continue
+                k[sel2] = np.clip(
+                    np.searchsorted(self.z_bounds[ii, jj], pos[sel2, 2], side="right")
+                    - 1,
+                    0,
+                    dz - 1,
+                )
+        return (i * dy + j) * dz + k
+
+    def domain_volumes(self) -> np.ndarray:
+        """Volume of every domain (ordered by rank)."""
+        out = np.empty(self.n_domains)
+        for r in range(self.n_domains):
+            lo, hi = self.domain_bounds(r)
+            out[r] = np.prod(hi - lo)
+        return out
+
+    def flatten(self) -> np.ndarray:
+        """All boundary values as one vector (for smoothing/broadcast)."""
+        return np.concatenate(
+            [self.x_bounds.ravel(), self.y_bounds.ravel(), self.z_bounds.ravel()]
+        )
+
+    @staticmethod
+    def unflatten(
+        vec: np.ndarray, divisions: Tuple[int, int, int], box: float = 1.0
+    ) -> "MultisectionDecomposition":
+        dx, dy, dz = divisions
+        nx = dx + 1
+        ny = dx * (dy + 1)
+        xb = vec[:nx]
+        yb = vec[nx : nx + ny].reshape(dx, dy + 1)
+        zb = vec[nx + ny :].reshape(dx, dy, dz + 1)
+        return MultisectionDecomposition(xb, yb, zb, box)

@@ -1,0 +1,150 @@
+"""The sampling method with cost-proportional rates (paper section II).
+
+Each step: every process draws a random sample of its particles, sized
+proportionally to its measured force-calculation time; the root gathers
+all samples, places multisection boundaries so every domain holds the
+same number of samples, and broadcasts the new geometry.  A process
+that was slower than average thus contributes more samples and receives
+a smaller domain — its next step gets cheaper, which is the paper's
+load-balancing feedback loop.
+
+Boundary jitter from the random sampling is damped with a linear
+weighted moving average over the last ``window`` (five in the paper)
+boundary sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.decomp.multisection import MultisectionDecomposition
+
+__all__ = ["BoundaryHistory", "SamplingDecomposer"]
+
+
+class BoundaryHistory:
+    """Linear weighted moving average of flattened boundary vectors.
+
+    The most recent set gets weight ``window``, the oldest retained set
+    weight 1 (the "linear weighted moving average technique for
+    boundaries of last five steps").
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._history: list[np.ndarray] = []
+
+    def push(self, boundaries: np.ndarray) -> np.ndarray:
+        """Add a new boundary vector; returns the smoothed vector."""
+        self._history.append(np.asarray(boundaries, dtype=np.float64).copy())
+        if len(self._history) > self.window:
+            self._history.pop(0)
+        k = len(self._history)
+        weights = np.arange(1, k + 1, dtype=np.float64)
+        stacked = np.stack(self._history)
+        return (weights[:, None] * stacked).sum(axis=0) / weights.sum()
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+class SamplingDecomposer:
+    """Per-rank driver of the sampling method (SPMD object).
+
+    Parameters
+    ----------
+    divisions:
+        Multisection divisions; their product must equal the
+        communicator size when :meth:`update` is called.
+    sample_rate:
+        Baseline fraction of all particles sampled per step.
+    window:
+        Boundary moving-average window (5 in the paper).
+    cost_balance:
+        Scale per-rank sampling rates with measured cost (the paper's
+        scheme); if false, rates are uniform (particle-count balance).
+    seed:
+        Base RNG seed; the per-step, per-rank stream is derived from it
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        divisions: Tuple[int, int, int],
+        sample_rate: float = 0.05,
+        window: int = 5,
+        cost_balance: bool = True,
+        box: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < sample_rate <= 1:
+            raise ValueError("sample_rate must be in (0, 1]")
+        self.divisions = tuple(int(d) for d in divisions)
+        self.sample_rate = float(sample_rate)
+        self.window = int(window)
+        self.cost_balance = bool(cost_balance)
+        self.box = float(box)
+        self.seed = int(seed)
+        self._step = 0
+        self._history = BoundaryHistory(window)
+
+    def update(
+        self,
+        comm,
+        pos_local: np.ndarray,
+        cost_seconds: float = 1.0,
+    ) -> MultisectionDecomposition:
+        """One decomposition update (collective over ``comm``).
+
+        ``pos_local``: particles currently owned by this rank;
+        ``cost_seconds``: this rank's measured force-calculation time
+        for the last step.  Returns the new (smoothed) decomposition,
+        identical on every rank.
+        """
+        dx, dy, dz = self.divisions
+        if dx * dy * dz != comm.size:
+            raise ValueError(
+                f"divisions {self.divisions} do not match {comm.size} ranks"
+            )
+        pos_local = np.asarray(pos_local, dtype=np.float64)
+
+        n_local = len(pos_local)
+        counts = comm.allgather(n_local)
+        costs = comm.allgather(float(cost_seconds))
+        n_total = sum(counts)
+        total_cost = sum(costs)
+        target_samples = max(comm.size, int(round(self.sample_rate * n_total)))
+        if self.cost_balance and total_cost > 0:
+            # the paper's scheme: sample share ~ measured force time
+            share = costs[comm.rank] / total_cost
+        else:
+            # uniform sampling rate: share ~ particle count
+            share = n_local / max(n_total, 1)
+        n_samp = min(n_local, max(1 if n_local else 0, int(round(target_samples * share))))
+
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + self._step) * 131_071 + comm.rank
+        )
+        if n_samp and n_local:
+            pick = rng.choice(n_local, size=n_samp, replace=False)
+            my_samples = pos_local[pick]
+        else:
+            my_samples = np.zeros((0, 3))
+
+        gathered = comm.gather(my_samples, root=0)
+        if comm.rank == 0:
+            samples = np.vstack(gathered)
+            decomp = MultisectionDecomposition.from_samples(
+                samples, self.divisions, self.box
+            )
+            flat = decomp.flatten()
+        else:
+            flat = None
+        flat = comm.bcast(flat, root=0)
+        smoothed = self._history.push(flat)
+        self._step += 1
+        return MultisectionDecomposition.unflatten(smoothed, self.divisions, self.box)

@@ -1,0 +1,45 @@
+"""Force laws: cutoff functions, direct summation and the Ewald reference.
+
+This package implements the mathematical content of the paper's
+equations (1)-(3): the S2 force-splitting used by the P3M/TreePM method,
+the short-range cutoff function ``g_P3M``, a Gaussian (GADGET-style)
+split as a baseline, Plummer softening, direct-summation force
+calculators (the O(N^2) baseline), and Ewald summation as the exact
+reference for periodic gravity.
+"""
+
+from repro.forces.cutoff import (
+    S2ForceSplit,
+    GaussianForceSplit,
+    gp3m_cutoff,
+    gp3m_potential_cutoff,
+    s2_shape_factor,
+    get_split,
+)
+from repro.forces.softening import plummer_force_factor, plummer_potential
+from repro.forces.direct import (
+    direct_forces_open,
+    direct_forces_periodic_mi,
+    direct_forces_cutoff,
+    direct_potential_open,
+)
+from repro.forces.ewald import EwaldSummation
+from repro.forces.ewald_table import EwaldCorrectionTable, get_correction_table
+
+__all__ = [
+    "S2ForceSplit",
+    "GaussianForceSplit",
+    "gp3m_cutoff",
+    "gp3m_potential_cutoff",
+    "s2_shape_factor",
+    "get_split",
+    "plummer_force_factor",
+    "plummer_potential",
+    "direct_forces_open",
+    "direct_forces_periodic_mi",
+    "direct_forces_cutoff",
+    "direct_potential_open",
+    "EwaldSummation",
+    "EwaldCorrectionTable",
+    "get_correction_table",
+]

@@ -1,0 +1,35 @@
+"""Plummer gravitational softening.
+
+The paper uses "a small softening with length eps << rcut" on the
+short-range interaction, equivalent to replacing the delta function with
+a small kernel.  We use the standard Plummer form: the pair force becomes
+
+    f = G m r / (r^2 + eps^2)^(3/2)
+
+and the pair potential ``-G m / sqrt(r^2 + eps^2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["plummer_force_factor", "plummer_potential"]
+
+
+def plummer_force_factor(r2: np.ndarray, eps: float) -> np.ndarray:
+    """Return ``1 / (r^2 + eps^2)^(3/2)``.
+
+    Multiplying by ``G m (r_j - r_i)`` gives the softened pair force.
+    ``r2`` is the *squared* separation.  The result is finite at r = 0
+    when ``eps > 0``.
+    """
+    r2 = np.asarray(r2, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        return (r2 + eps * eps) ** -1.5
+
+
+def plummer_potential(r2: np.ndarray, eps: float) -> np.ndarray:
+    """Return the softened potential factor ``-1 / sqrt(r^2 + eps^2)``."""
+    r2 = np.asarray(r2, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        return -((r2 + eps * eps) ** -0.5)

@@ -1,0 +1,20 @@
+"""Initial conditions: Gaussian random fields + Zel'dovich displacements.
+
+Generates the paper's starting state: particles on a uniform lattice,
+displaced (and given velocities) according to a Gaussian random
+realization of the linear power spectrum at the starting redshift
+(z = 400 in the paper's run).
+"""
+
+from repro.ic.grf import gaussian_random_field, measure_power_spectrum
+from repro.ic.zeldovich import ZeldovichIC, particle_mass
+from repro.ic.lpt2 import Lpt2IC, second_order_displacement
+
+__all__ = [
+    "gaussian_random_field",
+    "measure_power_spectrum",
+    "ZeldovichIC",
+    "Lpt2IC",
+    "second_order_displacement",
+    "particle_mass",
+]

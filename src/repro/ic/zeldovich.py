@@ -1,0 +1,147 @@
+"""Zel'dovich-approximation initial conditions.
+
+Particles start on a uniform lattice and are displaced by the gradient
+of the linear density field's displacement potential:
+
+    psi_k = i k / k^2 * delta_k,   x = q + D(a) psi(q),
+
+with canonical momenta (``p = a^2 dx/dt``, H0 = 1 code units)
+
+    p = a^2 H(a) f(a) D(a) psi(q),
+
+where D is the linear growth factor normalized at z = 0 (``delta_k``
+is a z = 0 amplitude realization) and f = dlnD/dlna.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.cosmology.expansion import Expansion
+from repro.cosmology.growth import GrowthFactor
+from repro.cosmology.params import CosmologyParams
+from repro.ic.grf import gaussian_random_field
+from repro.mesh.assignment import interpolate_mesh
+from repro.mesh.greens import kvectors
+from repro.utils.periodic import wrap_positions
+
+__all__ = ["ZeldovichIC", "particle_mass"]
+
+
+def particle_mass(params: CosmologyParams, n_particles: int) -> float:
+    """Particle mass in code units (G = 1, H0 = 1, box = 1).
+
+    The comoving matter density is ``rho_m = Omega_m * 3 H0^2/(8 pi G)
+    = 3 Omega_m / (8 pi)``, so ``m = 3 Omega_m / (8 pi N)``.
+    """
+    if n_particles < 1:
+        raise ValueError("n_particles must be positive")
+    return 3.0 * params.omega_m / (8.0 * np.pi * n_particles)
+
+
+@dataclass
+class ZeldovichIC:
+    """Initial-condition generator.
+
+    Parameters
+    ----------
+    params:
+        Cosmology (growth factors, particle mass).
+    pk_box:
+        z = 0 linear power spectrum in box units
+        (see :meth:`repro.cosmology.power_spectrum.PowerSpectrum.in_box_units`).
+    n_per_dim:
+        Particles per dimension (N = n_per_dim^3, on a cubic lattice).
+    mesh_n:
+        Mesh resolution of the displacement field (default: 2x the
+        particle lattice).
+    seed:
+        RNG seed of the Gaussian realization.
+    """
+
+    params: CosmologyParams
+    pk_box: Callable[[np.ndarray], np.ndarray]
+    n_per_dim: int
+    mesh_n: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_per_dim < 2:
+            raise ValueError("n_per_dim must be >= 2")
+        if self.mesh_n is None:
+            self.mesh_n = 2 * self.n_per_dim
+        if self.mesh_n < self.n_per_dim:
+            raise ValueError("mesh_n must be >= n_per_dim")
+        self.growth = GrowthFactor(self.params)
+        self.expansion = Expansion(self.params)
+
+    # -- fields -----------------------------------------------------------------
+
+    def density_field(self) -> np.ndarray:
+        """The z = 0 linear density realization on the mesh."""
+        return gaussian_random_field(
+            self.mesh_n, self.pk_box, box=1.0, seed=self.seed
+        )
+
+    def displacement_field(self) -> np.ndarray:
+        """Zel'dovich displacement mesh ``(n, n, n, 3)`` at z = 0.
+
+        Nyquist planes are zeroed: the gradient of a real field has no
+        representable Nyquist component, and keeping them would break
+        ``delta = -div(psi)``.
+        """
+        delta = self.density_field()
+        dk = np.fft.rfftn(delta)
+        n = self.mesh_n
+        kx, ky, kz = kvectors(n, 1.0)
+        k_nyq = np.pi * n
+        dk = dk * (
+            (np.abs(kx) < k_nyq) & (np.abs(ky) < k_nyq) & (np.abs(kz) < k_nyq)
+        )
+        k2 = kx**2 + ky**2 + kz**2
+        k2[0, 0, 0] = 1.0
+        psi = np.empty(delta.shape + (3,))
+        for ax, k in enumerate((kx, ky, kz)):
+            comp = 1j * k / k2 * dk
+            comp[0, 0, 0] = 0.0
+            psi[..., ax] = np.fft.irfftn(comp, s=delta.shape, axes=(0, 1, 2))
+        return psi
+
+    def lattice(self) -> np.ndarray:
+        """Unperturbed particle lattice (cell-centered)."""
+        npd = self.n_per_dim
+        g = (np.arange(npd) + 0.5) / npd
+        return np.stack(np.meshgrid(g, g, g, indexing="ij"), axis=-1).reshape(-1, 3)
+
+    # -- particles ---------------------------------------------------------------
+
+    def generate(self, a_start: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Particles at scale factor ``a_start``.
+
+        Returns ``(pos, mom, mass)``: wrapped comoving positions,
+        canonical momenta ``p = a^2 dx/dt``, and per-particle masses.
+        """
+        if not 0 < a_start <= 1:
+            raise ValueError("a_start must be in (0, 1]")
+        q = self.lattice()
+        psi_mesh = self.displacement_field()
+        psi = interpolate_mesh(psi_mesh, q, box=1.0, scheme="cic")
+        d = float(self.growth.D(a_start))
+        f = float(self.growth.f(a_start))
+        h = float(self.expansion.H(a_start))
+        pos = wrap_positions(q + d * psi)
+        mom = (a_start**2 * h * f * d) * psi
+        n = len(q)
+        mass = np.full(n, particle_mass(self.params, n))
+        return pos, mom, mass
+
+    def rms_displacement(self, a_start: float) -> float:
+        """RMS Zel'dovich displacement at the starting epoch (a sanity
+        measure: should be well below the particle spacing)."""
+        psi = self.displacement_field()
+        return float(self.growth.D(a_start)) * float(
+            np.sqrt((psi**2).sum(axis=-1).mean())
+        )

@@ -1,0 +1,26 @@
+"""Time integration: comoving leapfrog with the paper's step structure.
+
+One simulation step is "a cycle of the PM and two cycles of the PP and
+the domain decomposition" — a two-level kick-drift-kick hierarchy in
+which the long-range (PM) force kicks on the full step and the
+short-range (PP) force on substeps (the multiple-stepsize method of
+Skeel & Biesiadecki / Duncan, Levison & Lee).
+"""
+
+from repro.integrate.stepper import CosmoStepper, StaticStepper
+from repro.integrate.leapfrog import LeapfrogIntegrator, TwoLevelKDK
+from repro.integrate.timestep import (
+    StepController,
+    acceleration_timestep,
+    suggest_scale_factor_step,
+)
+
+__all__ = [
+    "CosmoStepper",
+    "StaticStepper",
+    "LeapfrogIntegrator",
+    "TwoLevelKDK",
+    "StepController",
+    "acceleration_timestep",
+    "suggest_scale_factor_step",
+]

@@ -1,0 +1,50 @@
+"""Kick/drift coefficient providers.
+
+The leapfrog operators are
+
+    drift: x += p * drift_coeff(t1, t2)
+    kick:  p += g * kick_coeff(t1, t2)
+
+where "time" is the scale factor for cosmological runs (momenta are
+``p = a^2 dx/dt``) and plain time for static Newtonian runs (momenta
+are velocities).  This abstraction lets the same integrator drive both.
+"""
+
+from __future__ import annotations
+
+from repro.cosmology.expansion import Expansion
+from repro.cosmology.params import CosmologyParams
+
+__all__ = ["CosmoStepper", "StaticStepper"]
+
+
+class StaticStepper:
+    """Plain Newtonian dynamics: time is time, momenta are velocities."""
+
+    cosmological = False
+
+    def drift_coeff(self, t1: float, t2: float) -> float:
+        return t2 - t1
+
+    def kick_coeff(self, t1: float, t2: float) -> float:
+        return t2 - t1
+
+
+class CosmoStepper:
+    """Comoving coordinates; the independent variable is the scale
+    factor ``a`` and coefficients are the Friedmann integrals
+
+        drift = int da / (a^3 H),   kick = int da / (a^2 H).
+    """
+
+    cosmological = True
+
+    def __init__(self, params: CosmologyParams) -> None:
+        self.params = params
+        self.expansion = Expansion(params)
+
+    def drift_coeff(self, a1: float, a2: float) -> float:
+        return self.expansion.drift_factor(a1, a2)
+
+    def kick_coeff(self, a1: float, a2: float) -> float:
+        return self.expansion.kick_factor(a1, a2)

@@ -1,0 +1,35 @@
+"""Particle-mesh (long-range) force machinery.
+
+The PM part of the TreePM method: mass assignment onto a regular
+periodic grid (NGP/CIC/TSC; the paper uses TSC, a 27-point kernel),
+an FFT Poisson solver whose Green's function carries the force-split
+shape factor, finite-difference force meshes (the paper's four-point
+scheme) and interpolation of mesh forces back to particle positions.
+"""
+
+from repro.mesh.assignment import (
+    assign_mass,
+    assignment_order,
+    interpolate_mesh,
+    window_ft,
+)
+from repro.mesh.greens import (
+    build_greens_function,
+    build_optimal_greens_function,
+    kvectors,
+)
+from repro.mesh.poisson import PMSolver
+from repro.mesh.differentiate import gradient_block, gradient_mesh
+
+__all__ = [
+    "assign_mass",
+    "assignment_order",
+    "interpolate_mesh",
+    "window_ft",
+    "build_greens_function",
+    "build_optimal_greens_function",
+    "kvectors",
+    "PMSolver",
+    "gradient_mesh",
+    "gradient_block",
+]

@@ -1,0 +1,265 @@
+"""Mass assignment and mesh interpolation kernels.
+
+Implements the three classic Hockney & Eastwood assignment schemes:
+
+* NGP (nearest grid point, order 1, 1 point),
+* CIC (cloud in cell, order 2, 8 points),
+* TSC (triangular shaped cloud, order 3, 27 points — used by GreeM:
+  "a particle interacts with 27 grid points").
+
+Assignment and interpolation use the *same* window so that the PM force
+has no self-force on an isolated particle (to interpolation accuracy).
+Grid points sit at ``i * h`` for ``i = 0 .. n-1`` with ``h = box / n``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "assignment_order",
+    "assign_mass",
+    "assign_mass_local",
+    "interpolate_mesh",
+    "interpolate_local",
+    "window_ft",
+]
+
+_ORDERS = {"ngp": 1, "cic": 2, "tsc": 3}
+
+
+def assignment_order(scheme: str) -> int:
+    """Order p of the scheme (the window is a p-fold top-hat convolution)."""
+    try:
+        return _ORDERS[scheme]
+    except KeyError:
+        raise ValueError(f"unknown assignment scheme {scheme!r}") from None
+
+
+def _weights_1d(scheme: str, u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-axis stencil indices and weights.
+
+    Parameters
+    ----------
+    u:
+        Particle coordinate in grid units (``x / h``), shape (N,).
+
+    Returns
+    -------
+    idx:
+        Integer grid indices, shape (N, S) where S is the stencil size.
+    w:
+        Corresponding weights, shape (N, S); each row sums to 1.
+    """
+    if scheme == "ngp":
+        base = np.floor(u + 0.5).astype(np.int64)
+        return base[:, None], np.ones((len(u), 1))
+    if scheme == "cic":
+        base = np.floor(u).astype(np.int64)
+        f = u - base
+        idx = np.stack([base, base + 1], axis=1)
+        w = np.stack([1.0 - f, f], axis=1)
+        return idx, w
+    if scheme == "tsc":
+        base = np.floor(u + 0.5).astype(np.int64)  # nearest grid point
+        d = u - base  # in [-0.5, 0.5)
+        idx = np.stack([base - 1, base, base + 1], axis=1)
+        w = np.stack(
+            [
+                0.5 * (0.5 - d) ** 2,
+                0.75 - d * d,
+                0.5 * (0.5 + d) ** 2,
+            ],
+            axis=1,
+        )
+        return idx, w
+    raise ValueError(f"unknown assignment scheme {scheme!r}")
+
+
+def assign_mass(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    n: int,
+    box: float = 1.0,
+    scheme: str = "tsc",
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Assign particle masses to a periodic ``(n, n, n)`` mesh.
+
+    Returns the *mass* mesh (sum of assigned masses per cell); divide by
+    the cell volume ``(box/n)**3`` for density.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError("pos must be (N, 3)")
+    if out is None:
+        out = np.zeros((n, n, n))
+    elif out.shape != (n, n, n):
+        raise ValueError("out has wrong shape")
+
+    h = box / n
+    u = pos / h
+    ix, wx = _weights_1d(scheme, u[:, 0])
+    iy, wy = _weights_1d(scheme, u[:, 1])
+    iz, wz = _weights_1d(scheme, u[:, 2])
+    ix %= n
+    iy %= n
+    iz %= n
+    s = ix.shape[1]
+    for a in range(s):
+        for b in range(s):
+            wab = wx[:, a] * wy[:, b]
+            ia = ix[:, a]
+            ib = iy[:, b]
+            for c in range(s):
+                np.add.at(out, (ia, ib, iz[:, c]), mass * wab * wz[:, c])
+    return out
+
+
+def interpolate_mesh(
+    mesh: np.ndarray,
+    pos: np.ndarray,
+    box: float = 1.0,
+    scheme: str = "tsc",
+) -> np.ndarray:
+    """Interpolate a periodic mesh field at particle positions.
+
+    ``mesh`` may have trailing component axes, e.g. ``(n, n, n)`` for a
+    scalar field or ``(n, n, n, 3)`` for a force mesh; the result has
+    shape ``(N,) + mesh.shape[3:]``.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = mesh.shape[0]
+    if mesh.shape[:3] != (n, n, n):
+        raise ValueError("mesh must be (n, n, n, ...)")
+    h = box / n
+    u = pos / h
+    ix, wx = _weights_1d(scheme, u[:, 0])
+    iy, wy = _weights_1d(scheme, u[:, 1])
+    iz, wz = _weights_1d(scheme, u[:, 2])
+    ix %= n
+    iy %= n
+    iz %= n
+    s = ix.shape[1]
+    out_shape = (len(pos),) + mesh.shape[3:]
+    out = np.zeros(out_shape)
+    for a in range(s):
+        for b in range(s):
+            wab = wx[:, a] * wy[:, b]
+            ia = ix[:, a]
+            ib = iy[:, b]
+            for c in range(s):
+                w = wab * wz[:, c]
+                vals = mesh[ia, ib, iz[:, c]]
+                if vals.ndim > 1:
+                    out += w[:, None] * vals
+                else:
+                    out += w * vals
+    return out
+
+
+def assign_mass_local(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    region,
+    box: float = 1.0,
+    scheme: str = "tsc",
+) -> np.ndarray:
+    """Assign masses onto a process-local (ghosted, unwrapped) mesh.
+
+    ``region`` is a :class:`repro.meshcomm.slab.LocalMeshRegion`; all
+    particles must lie inside the region's interior cells (their
+    assignment stencil then fits within the ghost layers).  No periodic
+    wrapping happens here — ghost contributions are folded in by the
+    mesh conversion step.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    out = region.allocate()
+    if len(pos) == 0:
+        return out
+    h = box / region.n
+    u = pos / h
+    origin = np.asarray(region.lo) - region.ghost
+    idx_w = [_weights_1d(scheme, u[:, d]) for d in range(3)]
+    locals_ = []
+    for d, (idx, _) in enumerate(idx_w):
+        li = idx - origin[d]
+        if li.min() < 0 or li.max() >= out.shape[d]:
+            raise ValueError(
+                f"particle assignment stencil leaves the local mesh along "
+                f"dim {d}; increase ghosts or fix the domain"
+            )
+        locals_.append(li)
+    (ix, wx), (iy, wy), (iz, wz) = idx_w
+    lx, ly, lz = locals_
+    s = ix.shape[1]
+    for a in range(s):
+        for b in range(s):
+            wab = wx[:, a] * wy[:, b]
+            for c in range(s):
+                np.add.at(
+                    out, (lx[:, a], ly[:, b], lz[:, c]), mass * wab * wz[:, c]
+                )
+    return out
+
+
+def interpolate_local(
+    mesh: np.ndarray,
+    pos: np.ndarray,
+    region,
+    box: float = 1.0,
+    scheme: str = "tsc",
+    trim: int = 0,
+) -> np.ndarray:
+    """Interpolate a process-local mesh field at local particle positions.
+
+    ``mesh`` has the region's array shape minus ``trim`` cells on every
+    face (e.g. a force mesh computed from a ghosted potential).
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    out_shape = (len(pos),) + mesh.shape[3:]
+    out = np.zeros(out_shape)
+    if len(pos) == 0:
+        return out
+    h = box / region.n
+    u = pos / h
+    origin = np.asarray(region.lo) - region.ghost + trim
+    idx_w = [_weights_1d(scheme, u[:, d]) for d in range(3)]
+    locals_ = []
+    for d, (idx, _) in enumerate(idx_w):
+        li = idx - origin[d]
+        if li.min() < 0 or li.max() >= mesh.shape[d]:
+            raise ValueError(
+                f"interpolation stencil leaves the local mesh along dim {d}"
+            )
+        locals_.append(li)
+    (_, wx), (_, wy), (_, wz) = idx_w
+    lx, ly, lz = locals_
+    s = wx.shape[1]
+    for a in range(s):
+        for b in range(s):
+            wab = wx[:, a] * wy[:, b]
+            for c in range(s):
+                w = wab * wz[:, c]
+                vals = mesh[lx[:, a], ly[:, b], lz[:, c]]
+                if vals.ndim > 1:
+                    out += w[:, None] * vals
+                else:
+                    out += w * vals
+    return out
+
+
+def window_ft(scheme: str, k: np.ndarray, h: float) -> np.ndarray:
+    """Fourier transform of the 1-D assignment window.
+
+    ``W(k) = sinc(k h / 2) ** p`` with ``p`` the assignment order; used
+    for the deconvolution correction in the PM Green's function.
+    """
+    p = assignment_order(scheme)
+    arg = np.asarray(k) * h / 2.0
+    # np.sinc(x) = sin(pi x)/(pi x)
+    return np.sinc(arg / np.pi) ** p

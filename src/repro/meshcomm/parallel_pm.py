@@ -1,0 +1,237 @@
+"""The distributed PM cycle: GreeM's five steps, both conversion methods.
+
+A :class:`ParallelPM` instance lives on every rank of an SPMD job and
+executes the paper's PM procedure:
+
+1. density assignment onto the rank's local (ghosted) mesh,
+2. conversion of the 3-D-decomposed density to 1-D FFT slabs
+   (straightforward global all-to-all, or the relay mesh method),
+3. parallel FFT + convolution with the long-range Green's function
+   (COMM_FFT only; other ranks wait, as in the paper),
+4. conversion of the slab potential back to local meshes,
+5. four-point finite differences and TSC force interpolation.
+
+With ``n_groups = 1`` the relay structure degenerates exactly to the
+straightforward method; with ``n_groups > 1`` the global exchange is
+replaced by one all-to-all inside each group (COMM_SMALLA2A), a
+reduction of partial slabs onto the root group (COMM_REDUCE), and a
+broadcast back (steps and communicator names follow the paper, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mesh.assignment import assign_mass_local, interpolate_local
+from repro.mesh.differentiate import gradient_block
+from repro.mesh.greens import build_greens_function
+from repro.meshcomm.convert import local_to_slab, slab_to_local
+from repro.meshcomm.parallel_fft import SlabFFT
+from repro.meshcomm.slab import LocalMeshRegion, SlabDecomposition
+from repro.utils.timer import TimingLedger
+
+__all__ = ["ParallelPM"]
+
+#: ghost width of the density mesh (TSC stencil reach = 1, +1 safety)
+DENSITY_GHOST = 2
+#: ghost width of the potential mesh (4-point differencing needs 2,
+#: plus 1 for the interpolation stencil of the force mesh)
+POTENTIAL_GHOST = 3
+
+
+class ParallelPM:
+    """Distributed long-range force solver on an SPMD communicator.
+
+    Parameters
+    ----------
+    comm:
+        World communicator of the SPMD job.
+    n:
+        Global PM mesh size per dimension.
+    split:
+        Force split shaping the Green's function (``None`` = pure PM).
+    n_fft:
+        Number of FFT processes (default ``min(size, n)``; the 1-D
+        slab limit caps it at ``n``).
+    n_groups:
+        Relay mesh groups; 1 = the straightforward method.  Every group
+        must contain at least ``n_fft`` ranks.
+    """
+
+    def __init__(
+        self,
+        comm,
+        n: int,
+        box: float = 1.0,
+        split=None,
+        G: float = 1.0,
+        n_fft: Optional[int] = None,
+        n_groups: int = 1,
+        assignment: str = "tsc",
+        deconvolve: Optional[int] = None,
+        differencing: str = "four_point",
+    ) -> None:
+        self.comm = comm
+        self.n = int(n)
+        self.box = float(box)
+        self.split = split
+        self.G = float(G)
+        self.assignment = assignment
+        self.differencing = differencing
+        if deconvolve is None:
+            deconvolve = 2 if split is not None else 1
+        if n_fft is None:
+            n_fft = min(comm.size, self.n)
+        if not 1 <= n_fft <= min(comm.size, self.n):
+            raise ValueError("n_fft must be in [1, min(size, n)]")
+        if n_groups < 1 or n_groups * n_fft > comm.size:
+            raise ValueError(
+                f"need n_groups * n_fft <= comm size "
+                f"({n_groups} * {n_fft} > {comm.size})"
+            )
+        self.n_fft = int(n_fft)
+        self.n_groups = int(n_groups)
+        self.slabs = SlabDecomposition(self.n, self.n_fft)
+
+        # contiguous group blocks; group 0 (the root group) holds the
+        # FFT processes
+        base, extra = divmod(comm.size, self.n_groups)
+        sizes = [base + (1 if g < extra else 0) for g in range(self.n_groups)]
+        starts = np.concatenate([[0], np.cumsum(sizes)])
+        rank = comm.rank
+        self.group = int(np.searchsorted(starts, rank, side="right") - 1)
+        self.rank_in_group = rank - int(starts[self.group])
+
+        # COMM_SMALLA2A: all ranks of one group
+        self.comm_small = comm.split(color=self.group)
+        # COMM_REDUCE: same slab-holder position across groups (root =
+        # the member from group 0, which has the smallest world rank)
+        is_holder = self.rank_in_group < self.n_fft
+        self.comm_reduce = comm.split(color=self.rank_in_group if is_holder else None)
+        # COMM_FFT: the root group's slab holders
+        self.comm_fft = comm.split(
+            color=0 if (self.group == 0 and is_holder) else None
+        )
+        self.is_fft_rank = self.comm_fft is not None
+        self.is_holder = is_holder
+
+        if self.is_fft_rank:
+            self.fft = SlabFFT(self.comm_fft, self.n)
+            greens_full = build_greens_function(
+                self.n,
+                box=self.box,
+                split=split,
+                G=G,
+                assignment=assignment,
+                deconvolve=deconvolve,
+            )
+            self.greens_slab = self.fft.greens_slice(greens_full)
+        else:
+            self.fft = None
+            self.greens_slab = None
+
+    # -- region helpers -----------------------------------------------------------
+
+    def density_region(self, dom_lo, dom_hi) -> LocalMeshRegion:
+        """Local density-mesh region for a spatial domain."""
+        return LocalMeshRegion.from_domain(
+            self.n, dom_lo, dom_hi, self.box, DENSITY_GHOST
+        )
+
+    def potential_region(self, dom_lo, dom_hi) -> LocalMeshRegion:
+        """Local potential-mesh region for a spatial domain."""
+        return LocalMeshRegion.from_domain(
+            self.n, dom_lo, dom_hi, self.box, POTENTIAL_GHOST
+        )
+
+    # -- the PM cycle ---------------------------------------------------------------
+
+    def solve_potential_slabs(
+        self, local_rho: Optional[np.ndarray], region: Optional[LocalMeshRegion]
+    ) -> Optional[np.ndarray]:
+        """Steps 2-3: density conversion + FFT; returns the potential
+        slab on FFT ranks, ``None`` elsewhere.  No timing/backwards
+        conversion — building block for tests and the relay benchmark."""
+        partial = local_to_slab(self.comm_small, local_rho, region, self.slabs)
+        complete = None
+        if self.is_holder:
+            complete = self.comm_reduce.reduce(partial, op="sum", root=0)
+        if self.is_fft_rank:
+            return self.fft.convolve(complete, self.greens_slab)
+        return None
+
+    def forces(
+        self,
+        pos: np.ndarray,
+        mass: np.ndarray,
+        dom_lo,
+        dom_hi,
+        timing: Optional[TimingLedger] = None,
+    ) -> np.ndarray:
+        """The full PM cycle for this rank's particles.
+
+        ``pos``/``mass`` are the particles owned by this rank, all
+        inside ``[dom_lo, dom_hi)``.  Returns their long-range
+        accelerations.  Phase timings use the paper's Table I row names;
+        traffic phases ``pm:*`` are recorded for the network model.
+        """
+        timing = timing if timing is not None else TimingLedger()
+        rho_region = self.density_region(dom_lo, dom_hi)
+        pot_region = self.potential_region(dom_lo, dom_hi)
+        cell_vol = (self.box / self.n) ** 3
+
+        # map each particle to its periodic image nearest the domain
+        # center: a particle that drifted across the box boundary since
+        # the last exchange would otherwise land far outside the local
+        # (unwrapped) mesh window
+        pos = np.asarray(pos, dtype=np.float64)
+        center = 0.5 * (np.asarray(dom_lo) + np.asarray(dom_hi))
+        pos = pos - self.box * np.round((pos - center) / self.box)
+
+        with timing.phase("PM/density assignment"):
+            local_rho = (
+                assign_mass_local(pos, mass, rho_region, self.box, self.assignment)
+                / cell_vol
+            )
+
+        self.comm.traffic_phase("pm:mesh_to_slab")
+        with timing.phase("PM/communication"):
+            partial = local_to_slab(self.comm_small, local_rho, rho_region, self.slabs)
+            complete = None
+            if self.is_holder:
+                complete = self.comm_reduce.reduce(partial, op="sum", root=0)
+
+        self.comm.traffic_phase("pm:fft")
+        with timing.phase("PM/FFT"):
+            phi_slab = None
+            if self.is_fft_rank:
+                phi_slab = self.fft.convolve(complete, self.greens_slab)
+            self.comm.barrier()  # non-FFT processes "wait the end of FFT"
+
+        self.comm.traffic_phase("pm:slab_to_mesh")
+        with timing.phase("PM/communication"):
+            if self.is_holder:
+                phi_slab = self.comm_reduce.bcast(phi_slab, root=0)
+            local_phi = slab_to_local(
+                self.comm_small,
+                phi_slab if self.is_holder else None,
+                pot_region,
+                self.slabs,
+            )
+        self.comm.traffic_phase("pm:done")
+
+        with timing.phase("PM/acceleration on mesh"):
+            grad = gradient_block(
+                local_phi,
+                self.box / self.n,
+                scheme=self.differencing,
+                trim=2,
+            )
+
+        with timing.phase("PM/force interpolation"):
+            acc = -interpolate_local(
+                grad, pos, pot_region, self.box, self.assignment, trim=2
+            )
+        return acc

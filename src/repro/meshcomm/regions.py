@@ -1,0 +1,117 @@
+"""Generic mesh-region redistribution.
+
+Generalizes the slab conversions: move data between *any* two sets of
+(possibly ghosted, possibly overlapping) rectangular windows onto the
+global periodic mesh, with one ``alltoall``.  Used by the pencil-FFT
+PM path, whose target layout is a 2-D grid of full-x pencils rather
+than 1-D slabs.
+
+Combine semantics:
+
+* ``"add"`` — receivers sum every incoming copy of a cell (density
+  assembly from ghosted, overlapping source windows);
+* ``"replace"`` — receivers overwrite and verify complete coverage
+  (field distribution from a disjoint source layout).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.meshcomm.slab import LocalMeshRegion
+
+__all__ = ["redistribute"]
+
+
+def _axis_overlaps(
+    src_lo: int, src_hi: int, dst_lo: int, dst_hi: int, n: int
+) -> List[Tuple[int, int, int]]:
+    """Overlaps of two unwrapped intervals under periodic images.
+
+    Yields ``(src_start, src_stop, dst_start)`` in the respective
+    unwrapped coordinates: the source cells ``[src_start, src_stop)``
+    land on destination cells starting at ``dst_start``.
+    """
+    out = []
+    for t in (-3 * n, -2 * n, -n, 0, n, 2 * n, 3 * n):
+        s = max(src_lo, dst_lo + t)
+        e = min(src_hi, dst_hi + t)
+        if s < e:
+            out.append((s, e, s - t))
+    return out
+
+
+def redistribute(
+    comm,
+    local: Optional[np.ndarray],
+    src_region: Optional[LocalMeshRegion],
+    dst_region: Optional[LocalMeshRegion],
+    combine: str = "add",
+) -> Optional[np.ndarray]:
+    """Move mesh data from the source layout to the destination layout.
+
+    Every rank passes its own (possibly ``None``) source array/region
+    and destination region; regions are allgathered so senders can
+    compute overlaps.  Returns the filled destination array (``None``
+    for ranks without a destination region).
+    """
+    if combine not in ("add", "replace"):
+        raise ValueError("combine must be 'add' or 'replace'")
+    if (local is None) != (src_region is None):
+        raise ValueError("local and src_region must be passed together")
+    if local is not None and local.shape != src_region.array_shape:
+        raise ValueError("local array does not match its region")
+
+    all_dst = comm.allgather(dst_region)
+
+    sends: List[list] = [[] for _ in range(comm.size)]
+    if src_region is not None:
+        n = src_region.n
+        src_ranges = [src_region.unwrapped_range(d) for d in range(3)]
+        for rank, dst in enumerate(all_dst):
+            if dst is None:
+                continue
+            per_dim = [
+                _axis_overlaps(*src_ranges[d], *dst.unwrapped_range(d), n)
+                for d in range(3)
+            ]
+            if not all(per_dim):
+                continue
+            for sx in per_dim[0]:
+                for sy in per_dim[1]:
+                    for sz in per_dim[2]:
+                        block = local[
+                            sx[0] - src_ranges[0][0] : sx[1] - src_ranges[0][0],
+                            sy[0] - src_ranges[1][0] : sy[1] - src_ranges[1][0],
+                            sz[0] - src_ranges[2][0] : sz[1] - src_ranges[2][0],
+                        ]
+                        dst_off = (
+                            sx[2] - dst.unwrapped_range(0)[0],
+                            sy[2] - dst.unwrapped_range(1)[0],
+                            sz[2] - dst.unwrapped_range(2)[0],
+                        )
+                        sends[rank].append((dst_off, np.ascontiguousarray(block)))
+
+    received = comm.alltoall(sends)
+
+    if dst_region is None:
+        return None
+    out = dst_region.allocate()
+    filled = np.zeros(dst_region.array_shape, dtype=bool) if combine == "replace" else None
+    for messages in received:
+        for (ox, oy, oz), block in messages:
+            sl = (
+                slice(ox, ox + block.shape[0]),
+                slice(oy, oy + block.shape[1]),
+                slice(oz, oz + block.shape[2]),
+            )
+            if combine == "add":
+                out[sl] += block
+            else:
+                out[sl] = block
+                filled[sl] = True
+    if combine == "replace" and not filled.all():
+        raise RuntimeError("redistribute: destination not fully covered")
+    return out

@@ -1,0 +1,157 @@
+"""Mesh-region bookkeeping for the two PM domain decompositions.
+
+``LocalMeshRegion`` describes the rectangular (plus ghost layers) piece
+of the global mesh a process owns under the 3-D particle decomposition;
+``SlabDecomposition`` describes the 1-D x-slab layout required by the
+parallel FFT (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["LocalMeshRegion", "SlabDecomposition"]
+
+
+@dataclass(frozen=True)
+class LocalMeshRegion:
+    """A process's local window onto the global ``n^3`` mesh.
+
+    Attributes
+    ----------
+    n:
+        Global mesh points per dimension.
+    lo:
+        Global (unwrapped) cell index of the first *interior* cell per
+        dimension.
+    shape:
+        Interior cell counts per dimension.
+    ghost:
+        Ghost-layer width on every face; the local array has shape
+        ``shape + 2 * ghost``.  Array index ``i`` along dimension d maps
+        to unwrapped global cell ``lo[d] - ghost + i`` (wrap modulo n
+        for the physical cell).
+    """
+
+    n: int
+    lo: Tuple[int, int, int]
+    shape: Tuple[int, int, int]
+    ghost: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be positive")
+        if self.ghost < 0:
+            raise ValueError("ghost must be >= 0")
+        if any(s < 1 for s in self.shape):
+            raise ValueError("region shape must be positive")
+        if any(s + 2 * self.ghost > 3 * self.n for s in self.shape):
+            raise ValueError(
+                "region extent may not exceed three box lengths (the "
+                "periodic-image bookkeeping covers shifts of +-3n only)"
+            )
+
+    @property
+    def array_shape(self) -> Tuple[int, int, int]:
+        g2 = 2 * self.ghost
+        return (self.shape[0] + g2, self.shape[1] + g2, self.shape[2] + g2)
+
+    def allocate(self) -> np.ndarray:
+        return np.zeros(self.array_shape)
+
+    def unwrapped_range(self, dim: int) -> Tuple[int, int]:
+        """[start, stop) of the local array along ``dim`` in unwrapped
+        global cell coordinates (ghosts included)."""
+        return (self.lo[dim] - self.ghost, self.lo[dim] + self.shape[dim] + self.ghost)
+
+    def wrapped_indices(self, dim: int) -> np.ndarray:
+        """Physical (wrapped) global cell index of every local array
+        plane along ``dim``."""
+        a, b = self.unwrapped_range(dim)
+        return np.arange(a, b) % self.n
+
+    def interior(self, arr: np.ndarray) -> np.ndarray:
+        """View of the interior (ghost-free) part of a local array."""
+        g = self.ghost
+        if g == 0:
+            return arr
+        return arr[g:-g, g:-g, g:-g]
+
+    @staticmethod
+    def from_domain(
+        n: int, dom_lo: np.ndarray, dom_hi: np.ndarray, box: float, ghost: int
+    ) -> "LocalMeshRegion":
+        """Region of mesh cells whose assignment window can receive mass
+        from particles in the spatial domain ``[dom_lo, dom_hi)``.
+
+        A TSC particle at position x touches grid points within 1.5
+        cells of x, i.e. cells ``round(x/h) +- 1``; the interior is the
+        cell range [floor(lo/h + 0.5) - 1, floor(hi/h + 0.5) + 1].
+        """
+        h = box / n
+        lo_cells = np.floor(np.asarray(dom_lo) / h + 0.5).astype(int) - 1
+        hi_cells = np.floor(np.asarray(dom_hi) / h + 0.5).astype(int) + 2
+        # a full-axis domain yields n + 3 cells: the region may exceed n
+        # (cells then alias periodically; the conversions sum aliases)
+        shape = hi_cells - lo_cells
+        return LocalMeshRegion(
+            n=n,
+            lo=tuple(int(v) for v in lo_cells),
+            shape=tuple(int(v) for v in shape),
+            ghost=ghost,
+        )
+
+
+class SlabDecomposition:
+    """Even 1-D split of the global mesh's x axis over FFT processes.
+
+    Parameters
+    ----------
+    n:
+        Global mesh points per dimension.
+    n_slabs:
+        Number of FFT processes; at most ``n`` (the paper's constraint:
+        "the number of processes that perform FFT is limited by the
+        number of grid points of the PM part in one dimension").
+    """
+
+    def __init__(self, n: int, n_slabs: int) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        if not 1 <= n_slabs <= n:
+            raise ValueError(
+                f"n_slabs must be in [1, {n}] (1-D slab FFT limit), got {n_slabs}"
+            )
+        self.n = int(n)
+        self.n_slabs = int(n_slabs)
+        base, extra = divmod(self.n, self.n_slabs)
+        counts = [base + (1 if i < extra else 0) for i in range(self.n_slabs)]
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        self._ranges: List[Tuple[int, int]] = [
+            (int(starts[i]), int(starts[i + 1])) for i in range(self.n_slabs)
+        ]
+
+    def range_of(self, slab: int) -> Tuple[int, int]:
+        """[start, stop) of x-planes owned by FFT process ``slab``."""
+        return self._ranges[slab]
+
+    def owner_of(self, x: int) -> int:
+        """FFT process owning (wrapped) x-plane ``x``."""
+        x = x % self.n
+        for i, (a, b) in enumerate(self._ranges):
+            if a <= x < b:
+                return i
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def shape_of(self, slab: int) -> Tuple[int, int, int]:
+        a, b = self._ranges[slab]
+        return (b - a, self.n, self.n)
+
+    def allocate(self, slab: int) -> np.ndarray:
+        return np.zeros(self.shape_of(slab))
+
+    def __len__(self) -> int:
+        return self.n_slabs

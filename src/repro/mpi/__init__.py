@@ -1,0 +1,31 @@
+"""In-process SPMD message-passing runtime (the MPI substitute).
+
+The paper runs on MPI over the K computer's Tofu interconnect; neither
+is available here, so this package provides a faithful in-process
+substitute:
+
+* :class:`MPIRuntime` executes an SPMD function on N ranks (threads),
+  each receiving a :class:`Comm` handle;
+* :class:`Comm` implements the MPI call surface GreeM uses — Send/Recv,
+  Sendrecv, Barrier, Bcast, Gather(v), Scatter, Allgather, Reduce,
+  Allreduce, Alltoall(v) and ``Comm_split`` — with numpy-buffer payloads;
+* every point-to-point message is recorded in a :class:`TrafficLog`,
+  and :class:`TorusNetwork` converts a phase's traffic into modeled
+  communication time on a 3-D torus with dimension-order routing and
+  link-level congestion, which is what makes the relay-mesh experiment
+  reproducible at paper scale.
+"""
+
+from repro.mpi.runtime import MPIRuntime, run_spmd
+from repro.mpi.comm import Comm, Request
+from repro.mpi.network import TorusNetwork, TrafficLog, PhaseTraffic
+
+__all__ = [
+    "MPIRuntime",
+    "run_spmd",
+    "Comm",
+    "Request",
+    "TorusNetwork",
+    "TrafficLog",
+    "PhaseTraffic",
+]

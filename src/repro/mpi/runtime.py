@@ -1,0 +1,98 @@
+"""SPMD thread runtime: launch one thread per rank.
+
+The runtime owns the world communicator state, the shared traffic log,
+and (optionally) a torus network model whose shape defaults to a flat
+1-D torus.  Exceptions in any rank abort the whole job: barriers are
+broken and blocked receives raise :class:`CommAborted`, so failures
+surface instead of deadlocking — the behaviour tests rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.mpi.comm import Comm, CommAborted, _CommState
+from repro.mpi.network import TorusNetwork, TrafficLog
+
+__all__ = ["MPIRuntime", "run_spmd"]
+
+
+class MPIRuntime:
+    """Executes SPMD functions on ``n_ranks`` in-process ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (threads).
+    torus_shape:
+        Shape of the modeled torus; defaults to ``(n_ranks, 1, 1)``.
+        Must multiply to ``n_ranks``.
+    link_bandwidth, link_latency:
+        Parameters of the network performance model.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        torus_shape: Optional[Sequence[int]] = None,
+        link_bandwidth: float = 5.0e9,
+        link_latency: float = 1.0e-6,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        shape = tuple(torus_shape) if torus_shape else (n_ranks, 1, 1)
+        if shape[0] * shape[1] * shape[2] != n_ranks:
+            raise ValueError("torus_shape must multiply to n_ranks")
+        self.n_ranks = int(n_ranks)
+        self.traffic = TrafficLog()
+        self.network = TorusNetwork(shape, link_bandwidth, link_latency)
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank.
+
+        Returns the per-rank return values (index = rank).  If any rank
+        raises, the job is aborted and the first exception re-raised.
+        """
+        abort = threading.Event()
+        state = _CommState(
+            self.n_ranks, list(range(self.n_ranks)), self.traffic, abort
+        )
+        results: List[Any] = [None] * self.n_ranks
+        errors: List[Tuple[int, BaseException]] = []
+        err_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = Comm(state, rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except CommAborted:
+                pass  # secondary failure caused by another rank
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with err_lock:
+                    errors.append((rank, exc))
+                state.abort()
+
+        if self.n_ranks == 1:
+            # run inline: keeps tracebacks simple and debugging easy
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(r,), name=f"rank-{r}")
+                for r in range(self.n_ranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            rank, exc = min(errors, key=lambda e: e[0])
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+
+def run_spmd(
+    n_ranks: int, fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> List[Any]:
+    """One-shot convenience: ``MPIRuntime(n_ranks).run(fn, ...)``."""
+    return MPIRuntime(n_ranks).run(fn, *args, **kwargs)

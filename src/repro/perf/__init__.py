@@ -1,0 +1,36 @@
+"""Performance models: the K computer, flop accounting, Table I.
+
+The paper's headline numbers (1.53 / 4.45 Pflops, 48.7% / 42.0%
+efficiency, 97%-of-limit kernel) are functions of the machine model and
+the algorithm's operation counts.  This package encodes those functions
+so the benchmarks can regenerate the numbers from first principles plus
+the paper's measured inputs, and project our small-scale measurements
+to the paper's scale.
+"""
+
+from repro.perf.kcomputer import KComputerModel, K_FULL, K_PARTIAL
+from repro.perf.flops import (
+    measured_performance,
+    efficiency,
+    kernel_limit_flops,
+)
+from repro.perf.memory import MemoryModel
+from repro.perf.model import PhaseRule, TableOneModel, PAPER_TABLE1
+from repro.perf.relaymodel import MeshExchangeModel, PAPER_RELAY_CASE
+from repro.perf.report import format_table1
+
+__all__ = [
+    "KComputerModel",
+    "K_FULL",
+    "K_PARTIAL",
+    "measured_performance",
+    "efficiency",
+    "kernel_limit_flops",
+    "PhaseRule",
+    "TableOneModel",
+    "PAPER_TABLE1",
+    "MemoryModel",
+    "MeshExchangeModel",
+    "PAPER_RELAY_CASE",
+    "format_table1",
+]

@@ -1,0 +1,33 @@
+"""Flop accounting using the paper's conventions."""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.constants import FLOPS_PER_INTERACTION
+
+__all__ = ["measured_performance", "efficiency", "kernel_limit_flops"]
+
+
+def measured_performance(interactions: float, seconds: float) -> float:
+    """Sustained flop/s: 51 flops per PP interaction over wall time.
+
+    This is deliberately the paper's *underestimate*: "the performance
+    is underestimated since we use only the particle-particle
+    interaction part".
+    """
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return interactions * FLOPS_PER_INTERACTION / seconds
+
+
+def efficiency(performance: float, machine: MachineConfig) -> float:
+    """Fraction of the machine's LINPACK peak."""
+    return performance / machine.peak_total
+
+
+def kernel_limit_flops(machine: MachineConfig) -> float:
+    """Per-core force-loop ceiling (see KComputerModel): the paper's
+    12 Gflops on a 16 Gflops core."""
+    from repro.perf.kcomputer import KComputerModel
+
+    return KComputerModel(machine).kernel_peak_per_core

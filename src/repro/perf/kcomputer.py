@@ -1,0 +1,89 @@
+"""The K computer machine model (SPARC64 VIIIfx, Tofu interconnect)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+from repro.constants import (
+    FLOPS_PER_INTERACTION,
+    KERNEL_FMA_OPS,
+    KERNEL_NON_FMA_OPS,
+)
+
+__all__ = ["KComputerModel", "K_FULL", "K_PARTIAL"]
+
+
+@dataclass(frozen=True)
+class KComputerModel:
+    """Performance characteristics derived from the machine config.
+
+    The force-loop ceiling follows the paper's reasoning: one SIMD
+    iteration evaluates two interactions with 17 FMA and 17 non-FMA
+    instructions (51 * 2 flops).  The four FMA pipelines retire those
+    34 instructions in 17 cycles, so the loop's peak is
+
+        (51 * 2 flops) / (17 cycles) * clock = 6 flops/cycle * 2 GHz
+        = 12 Gflops/core,
+
+    i.e. at most 75% of the 16 Gflops LINPACK peak.  The measured
+    kernel reaches ``kernel_efficiency`` of that (0.97, "11.65 Gflops
+    ... 97% of the theoretical limit").
+    """
+
+    machine: MachineConfig = MachineConfig()
+    kernel_efficiency: float = 0.97
+
+    def __post_init__(self) -> None:
+        if not 0 < self.kernel_efficiency <= 1:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+
+    # -- kernel ceilings --------------------------------------------------------
+
+    @property
+    def kernel_cycles_per_simd_iteration(self) -> int:
+        """Issue slots: 17 FMA + 17 non-FMA over 2 pipelines each -> 17."""
+        return max(KERNEL_FMA_OPS, KERNEL_NON_FMA_OPS)
+
+    @property
+    def kernel_flops_per_cycle(self) -> float:
+        return 2.0 * FLOPS_PER_INTERACTION / self.kernel_cycles_per_simd_iteration
+
+    @property
+    def kernel_peak_per_core(self) -> float:
+        """Theoretical force-loop limit in flop/s (12 G on K)."""
+        return self.kernel_flops_per_cycle * self.machine.clock_hz
+
+    @property
+    def kernel_max_efficiency(self) -> float:
+        """Force-loop limit over LINPACK peak (75% on K)."""
+        return self.kernel_peak_per_core / self.machine.peak_per_core
+
+    @property
+    def kernel_sustained_per_core(self) -> float:
+        """Measured-kernel flop/s per core (11.64 G at 97%)."""
+        return self.kernel_peak_per_core * self.kernel_efficiency
+
+    # -- projected times ------------------------------------------------------------
+
+    def pp_kernel_seconds(self, interactions: float) -> float:
+        """Force-calculation wall time for a number of PP interactions
+        spread over the whole machine at the sustained kernel rate."""
+        total_rate = self.kernel_sustained_per_core * (
+            self.machine.cores_per_node * self.machine.nodes
+        )
+        return interactions * FLOPS_PER_INTERACTION / total_rate
+
+    def sustained_pflops(self, interactions: float, seconds: float) -> float:
+        """The paper's performance metric in Pflops (51 flops per
+        interaction over the measured step time)."""
+        return interactions * FLOPS_PER_INTERACTION / seconds / 1.0e15
+
+
+#: The full system (82944 nodes) as configured in the paper's runs.
+K_FULL = KComputerModel(MachineConfig())
+
+#: The 24576-node partial system (~30%).
+K_PARTIAL = KComputerModel(
+    MachineConfig(nodes=24576, torus_shape=(32, 24, 32))
+)

@@ -1,0 +1,98 @@
+"""Memory footprint model: the paper's "~200 TB" for 10240^3 particles.
+
+"The total amount of memory required is ~200TB" — i.e. ~186 bytes per
+particle across particle arrays, tree storage, communication buffers
+and the PM meshes.  This model itemizes a GreeM-style budget and checks
+it against the paper's number and against the K computer's 16 GB/node
+limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["MemoryModel"]
+
+_DOUBLE = 8
+_FLOAT = 4
+_INT64 = 8
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Bytes-per-particle accounting for a TreePM production run.
+
+    Attributes
+    ----------
+    n_particles:
+        Total particle count.
+    n_mesh:
+        Global PM mesh points per dimension.
+    nodes:
+        Compute nodes sharing the load.
+    ghost_fraction:
+        Extra particle copies held as ghosts / exchange buffers.
+    tree_nodes_per_particle:
+        Octree cells per particle (~0.3-0.5 for leaf size ~8-16).
+    """
+
+    n_particles: float = 10240**3
+    n_mesh: int = 4096
+    nodes: int = 24576
+    ghost_fraction: float = 0.15
+    tree_nodes_per_particle: float = 0.4
+
+    def particle_bytes(self) -> float:
+        """Per-particle state: position + velocity (double), the
+        carried acceleration, and a 64-bit id."""
+        return 3 * _DOUBLE + 3 * _DOUBLE + 3 * _DOUBLE + _INT64
+
+    def tree_bytes_per_particle(self) -> float:
+        """Per-particle share of tree storage: center+half (4 floats),
+        mass+com (4 doubles), children/range bookkeeping (~4 ints)."""
+        per_node = 4 * _FLOAT + 4 * _DOUBLE + 4 * _INT64
+        return self.tree_nodes_per_particle * per_node
+
+    def buffer_bytes_per_particle(self) -> float:
+        """Ghost copies + alltoall staging (positions + masses)."""
+        return self.ghost_fraction * (3 * _DOUBLE + _DOUBLE) * 2
+
+    def exchange_bytes_per_particle(self) -> float:
+        """Double-buffered particle exchange / Morton sort: a second
+        transient copy of positions and velocities."""
+        return 2 * 3 * _DOUBLE
+
+    def mesh_bytes_total(self) -> float:
+        """PM meshes: density + potential + 3 force components, double,
+        distributed once across the machine (local windows + slabs)."""
+        return 5 * _DOUBLE * float(self.n_mesh) ** 3
+
+    def bytes_per_particle(self) -> float:
+        return (
+            self.particle_bytes()
+            + self.tree_bytes_per_particle()
+            + self.buffer_bytes_per_particle()
+            + self.exchange_bytes_per_particle()
+            + self.mesh_bytes_total() / self.n_particles
+        )
+
+    def total_bytes(self) -> float:
+        return self.bytes_per_particle() * self.n_particles
+
+    def per_node_bytes(self) -> float:
+        return self.total_bytes() / self.nodes
+
+    def breakdown(self) -> Dict[str, float]:
+        """Terabytes per component."""
+        tb = 1.0e12
+        return {
+            "particles": self.particle_bytes() * self.n_particles / tb,
+            "tree": self.tree_bytes_per_particle() * self.n_particles / tb,
+            "buffers": self.buffer_bytes_per_particle() * self.n_particles / tb,
+            "exchange": self.exchange_bytes_per_particle()
+            * self.n_particles
+            / tb,
+            "meshes": self.mesh_bytes_total() / tb,
+            "total": self.total_bytes() / tb,
+        }

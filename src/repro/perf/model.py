@@ -1,0 +1,156 @@
+"""Analytic Table I model: per-phase scaling with node count.
+
+Each row of Table I follows a mechanistic scaling law in the number of
+processes ``p`` (at fixed problem size N, i.e. strong scaling):
+
+* local compute rows (density assignment, interpolation, the whole PP
+  section, position update, particle exchange) scale like ``1/p``;
+* the FFT is parallelized over at most ``N_PM`` 1-D slabs, which both
+  runs saturate: constant;
+* "acceleration on mesh" is slab-local work on the FFT processes:
+  constant;
+* the mesh-conversion communication shrinks sublinearly (relay groups
+  grow with p but congestion near the FFT processes does not vanish);
+* the sampling method *grows* slowly with p (the root gathers samples
+  from every process).
+
+Calibrating the coefficient of every row from the paper's 24576-node
+column and predicting the 82944-node column (or vice versa) is the
+reproduction test for Table I: the model must land close to the
+measured numbers, and the derived aggregate metrics (Pflops,
+efficiency) must match the paper's headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+__all__ = ["PhaseRule", "TableOneModel", "PAPER_TABLE1", "TABLE1_RULES"]
+
+
+@dataclass(frozen=True)
+class PhaseRule:
+    """Power-law scaling of one phase: ``t(p) = c * p**exponent``."""
+
+    name: str
+    exponent: float
+
+    def coefficient(self, t: float, p: int) -> float:
+        return t / p**self.exponent
+
+    def predict(self, c: float, p: int) -> float:
+        return c * p**self.exponent
+
+
+#: Scaling exponents per Table I row (strong scaling in p).
+TABLE1_RULES = [
+    PhaseRule("PM/density assignment", -1.0),
+    PhaseRule("PM/communication", -0.25),
+    PhaseRule("PM/FFT", 0.0),
+    PhaseRule("PM/acceleration on mesh", 0.0),
+    PhaseRule("PM/force interpolation", -1.0),
+    PhaseRule("PP/local tree", -1.0),
+    PhaseRule("PP/communication", -0.5),
+    PhaseRule("PP/tree construction", -1.0),
+    PhaseRule("PP/tree traversal", -1.0),
+    PhaseRule("PP/force calculation", -1.0),
+    PhaseRule("Domain Decomposition/position update", -1.0),
+    PhaseRule("Domain Decomposition/sampling method", 0.2),
+    PhaseRule("Domain Decomposition/particle exchange", -0.5),
+]
+
+#: The paper's measured Table I (seconds per step, N = 10240^3).
+PAPER_TABLE1: Dict[int, Dict[str, float]] = {
+    24576: {
+        "PM/density assignment": 1.44,
+        "PM/communication": 2.01,
+        "PM/FFT": 4.06,
+        "PM/acceleration on mesh": 0.13,
+        "PM/force interpolation": 1.64,
+        "PP/local tree": 4.00,
+        "PP/communication": 3.70,
+        "PP/tree construction": 3.82,
+        "PP/tree traversal": 17.17,
+        "PP/force calculation": 122.18,
+        "Domain Decomposition/position update": 0.28,
+        "Domain Decomposition/sampling method": 2.94,
+        "Domain Decomposition/particle exchange": 3.06,
+    },
+    82944: {
+        "PM/density assignment": 0.44,
+        "PM/communication": 1.50,
+        "PM/FFT": 4.17,
+        "PM/acceleration on mesh": 0.13,
+        "PM/force interpolation": 0.50,
+        "PP/local tree": 1.26,
+        "PP/communication": 2.02,
+        "PP/tree construction": 1.52,
+        "PP/tree traversal": 4.60,
+        "PP/force calculation": 35.72,
+        "Domain Decomposition/position update": 0.08,
+        "Domain Decomposition/sampling method": 3.80,
+        "Domain Decomposition/particle exchange": 1.50,
+    },
+}
+
+#: Aggregate paper measurements per node count.
+PAPER_TOTALS = {
+    24576: {
+        "total_seconds": 173.84,
+        "interactions_per_step": 5.35e15,
+        "pflops": 1.53,
+        "efficiency": 0.487,
+        "ni": 115,
+        "nj": 2346,
+    },
+    82944: {
+        "total_seconds": 60.20,
+        "interactions_per_step": 5.30e15,
+        "pflops": 4.45,
+        "efficiency": 0.420,
+        "ni": 116,
+        "nj": 2328,
+    },
+}
+
+
+class TableOneModel:
+    """Calibrate Table I rows at one node count, predict another."""
+
+    def __init__(self, rules=None) -> None:
+        self.rules = list(rules) if rules is not None else list(TABLE1_RULES)
+        self._coeffs: Dict[str, float] = {}
+        self._calibrated_at: int | None = None
+
+    def calibrate(self, column: Mapping[str, float], p: int) -> None:
+        """Fit the per-row coefficients to a measured column."""
+        if p < 1:
+            raise ValueError("p must be positive")
+        missing = [r.name for r in self.rules if r.name not in column]
+        if missing:
+            raise ValueError(f"column missing rows: {missing}")
+        for rule in self.rules:
+            self._coeffs[rule.name] = rule.coefficient(column[rule.name], p)
+        self._calibrated_at = p
+
+    def predict(self, p: int) -> Dict[str, float]:
+        """Per-row predicted seconds at node count ``p``."""
+        if not self._coeffs:
+            raise RuntimeError("calibrate() first")
+        return {
+            rule.name: rule.predict(self._coeffs[rule.name], p)
+            for rule in self.rules
+        }
+
+    def predict_total(self, p: int) -> float:
+        return sum(self.predict(p).values())
+
+    @staticmethod
+    def section_totals(column: Mapping[str, float]) -> Dict[str, float]:
+        """Sum rows into the paper's PM / PP / DD sections."""
+        out: Dict[str, float] = {}
+        for key, val in column.items():
+            section = key.split("/", 1)[0]
+            out[section] = out.get(section, 0.0) + val
+        return out

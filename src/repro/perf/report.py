@@ -1,0 +1,84 @@
+"""Text rendering of Table I-style breakdowns."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+__all__ = ["format_table1"]
+
+_ROW_ORDER = [
+    "PM/density assignment",
+    "PM/communication",
+    "PM/FFT",
+    "PM/acceleration on mesh",
+    "PM/force interpolation",
+    "PP/local tree",
+    "PP/communication",
+    "PP/tree construction",
+    "PP/tree traversal",
+    "PP/force calculation",
+    "Domain Decomposition/position update",
+    "Domain Decomposition/sampling method",
+    "Domain Decomposition/particle exchange",
+]
+
+
+def format_table1(
+    columns: Mapping[str, Mapping[str, float]],
+    footer: Optional[Mapping[str, Mapping[str, float]]] = None,
+    title: str = "CALCULATION COST OF EACH PART PER STEP (seconds)",
+) -> str:
+    """Render one or more Table I columns side by side.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column label (e.g. ``"p=24576 (paper)"``) to a
+        row -> seconds mapping.
+    footer:
+        Optional extra scalar rows per column (Pflops, efficiency, ...).
+    """
+    labels = list(columns)
+    width = max(len(l) for l in labels) + 2
+    name_w = 42
+    lines = [title, "=" * (name_w + width * len(labels))]
+    header = " " * name_w + "".join(f"{l:>{width}}" for l in labels)
+    lines.append(header)
+
+    def emit(row_name: str, display: str) -> None:
+        vals = []
+        for l in labels:
+            v = columns[l].get(row_name)
+            vals.append(f"{v:>{width}.2f}" if v is not None else " " * width)
+        lines.append(f"{display:<{name_w}}" + "".join(vals))
+
+    current_section = None
+    for row in _ROW_ORDER:
+        section, sub = row.split("/", 1)
+        if section != current_section:
+            total_by_label = {
+                l: sum(v for k, v in columns[l].items() if k.startswith(section + "/"))
+                for l in labels
+            }
+            lines.append(
+                f"{section + ' (sec/step)':<{name_w}}"
+                + "".join(f"{total_by_label[l]:>{width}.2f}" for l in labels)
+            )
+            current_section = section
+        if any(row in columns[l] for l in labels):
+            emit(row, "    " + sub)
+
+    totals = {l: sum(columns[l].values()) for l in labels}
+    lines.append("-" * (name_w + width * len(labels)))
+    lines.append(
+        f"{'Total (sec/step)':<{name_w}}"
+        + "".join(f"{totals[l]:>{width}.2f}" for l in labels)
+    )
+    if footer:
+        for key in sorted({k for col in footer.values() for k in col}):
+            vals = []
+            for l in labels:
+                v = footer.get(l, {}).get(key)
+                vals.append(f"{v:>{width}.3g}" if v is not None else " " * width)
+            lines.append(f"{key:<{name_w}}" + "".join(vals))
+    return "\n".join(lines)

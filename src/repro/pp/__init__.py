@@ -1,0 +1,27 @@
+"""Particle-particle (short-range) force kernel.
+
+A numpy port of the paper's Phantom-GRAPE force loop for the HPC-ACE
+architecture: the softened Newtonian pair force multiplied by the g_P3M
+cutoff function, with an optional emulation of the fast approximate
+reciprocal-square-root path (8-bit initial estimate refined by one
+third-order iteration to 24-bit accuracy, exactly as described in
+section II-A) and exact interaction/flop counters.
+"""
+
+from repro.pp.rsqrt import fast_rsqrt, rsqrt_relative_error
+from repro.pp.kernel import (
+    PPKernel,
+    InteractionCounter,
+    pp_forces,
+)
+from repro.pp.celllist import CellList, p3m_short_range_forces
+
+__all__ = [
+    "fast_rsqrt",
+    "rsqrt_relative_error",
+    "PPKernel",
+    "InteractionCounter",
+    "pp_forces",
+    "CellList",
+    "p3m_short_range_forces",
+]

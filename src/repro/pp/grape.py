@@ -1,0 +1,133 @@
+"""GRAPE-5-style API facade over the PP kernel.
+
+The paper's force loop "was originally developed for the x86
+architecture with the SSE instruction set, and named Phantom-GRAPE
+after its API compatibility to GRAPE-5" — application code written for
+the GRAPE special-purpose pipelines (set the j-particles, stream the
+i-particles, read back forces) runs unchanged on the software kernel.
+
+This module provides that calling convention over
+:class:`repro.pp.kernel.PPKernel`, so GRAPE-style client code (like the
+1995-2003 Gordon Bell tree codes the paper cites) can drive our kernel:
+
+    g5 = PhantomGrape(eps=1e-4)
+    g5.set_n(len(sources))
+    g5.set_xmj(0, pos_j, mass_j)
+    g5.set_ip(pos_i)
+    g5.run()
+    acc = g5.get_force()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.pp.kernel import InteractionCounter, PPKernel
+
+__all__ = ["PhantomGrape"]
+
+
+class PhantomGrape:
+    """Software GRAPE pipeline (GRAPE-5 call surface).
+
+    Parameters
+    ----------
+    eps:
+        Plummer softening applied by the pipeline.
+    split:
+        Optional force split: with the g_P3M cutoff attached this is
+        the paper's ported kernel; without it, plain softened gravity
+        (the original Phantom-GRAPE).
+    use_fast_rsqrt:
+        Use the emulated approximate-rsqrt path.
+    jmemsize:
+        Capacity of the j-particle (source) memory, mirroring the
+        hardware's finite board memory; exceeding it raises.
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.0,
+        split=None,
+        G: float = 1.0,
+        use_fast_rsqrt: bool = False,
+        jmemsize: int = 2**20,
+    ) -> None:
+        self.counter = InteractionCounter()
+        self._kernel = PPKernel(
+            split=split,
+            eps=eps,
+            G=G,
+            use_fast_rsqrt=use_fast_rsqrt,
+            counter=self.counter,
+        )
+        self.jmemsize = int(jmemsize)
+        self._xj: Optional[np.ndarray] = None
+        self._mj: Optional[np.ndarray] = None
+        self._nj = 0
+        self._xi: Optional[np.ndarray] = None
+        self._acc: Optional[np.ndarray] = None
+        self._ran = False
+
+    # -- j-particle (source) memory -----------------------------------------
+
+    def set_n(self, nj: int) -> None:
+        """Declare the number of j-particles (GRAPE: g5_set_n)."""
+        if not 0 < nj <= self.jmemsize:
+            raise ValueError(f"nj must be in (0, {self.jmemsize}]")
+        self._nj = int(nj)
+        self._xj = np.zeros((nj, 3))
+        self._mj = np.zeros(nj)
+
+    def set_xmj(self, offset: int, xj: np.ndarray, mj: np.ndarray) -> None:
+        """Load source positions and masses starting at ``offset``
+        (GRAPE: g5_set_xmj); supports incremental board filling."""
+        if self._xj is None:
+            raise RuntimeError("call set_n first")
+        xj = np.asarray(xj, dtype=np.float64)
+        mj = np.asarray(mj, dtype=np.float64)
+        if xj.ndim != 2 or xj.shape[1] != 3 or len(xj) != len(mj):
+            raise ValueError("xj must be (n, 3) with matching mj")
+        if offset < 0 or offset + len(xj) > self._nj:
+            raise ValueError("j-particle range outside the declared size")
+        self._xj[offset : offset + len(xj)] = xj
+        self._mj[offset : offset + len(mj)] = mj
+
+    # -- i-particle pipeline --------------------------------------------------
+
+    def set_ip(self, xi: np.ndarray) -> None:
+        """Load the i-particles (targets) for the next run."""
+        xi = np.asarray(xi, dtype=np.float64)
+        if xi.ndim != 2 or xi.shape[1] != 3:
+            raise ValueError("xi must be (n, 3)")
+        self._xi = xi
+        self._ran = False
+
+    def run(self) -> None:
+        """Fire the pipeline (GRAPE: g5_run)."""
+        if self._xj is None or self._xi is None:
+            raise RuntimeError("set_n/set_xmj and set_ip must precede run")
+        self._acc = self._kernel.accumulate(self._xi, self._xj, self._mj)
+        self._ran = True
+
+    def get_force(self) -> np.ndarray:
+        """Read back accelerations (GRAPE: g5_get_force)."""
+        if not self._ran:
+            raise RuntimeError("run() has not completed")
+        return self._acc
+
+    def get_potential(self) -> np.ndarray:
+        """Read back potentials for the last i-particle set."""
+        if self._xi is None or self._xj is None:
+            raise RuntimeError("pipeline not loaded")
+        return self._kernel.potential(self._xi, self._xj, self._mj)
+
+    # -- convenience -------------------------------------------------------------
+
+    def calculate_forces_on(self, xi: np.ndarray) -> np.ndarray:
+        """set_ip + run + get_force in one call."""
+        self.set_ip(xi)
+        self.run()
+        return self.get_force()

@@ -1,0 +1,59 @@
+"""Emulation of the HPC-ACE fast approximate reciprocal square root.
+
+The paper computes inverse square roots "using a fast approximate
+instruction of HPC-ACE with 8-bit accuracy and a third-order convergence
+method
+
+    y0 ~ 1/sqrt(x),  h0 = 1 - x y0^2,  y1 = y0 (1 + h0/2 + 3 h0^2 / 8)
+
+to obtain 24-bit accuracy.  A full convergence to double-precision will
+increase both CPU time and the flops count, without improving the
+accuracy of scientific results."
+
+We emulate the 8-bit seed by truncating the exact reciprocal square root
+to 8 mantissa bits, then apply the identical third-order refinement.
+The result carries ~24 valid bits: relative error ~ 2^-25.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fast_rsqrt", "rsqrt_seed_8bit", "rsqrt_relative_error"]
+
+#: Number of mantissa bits retained by the emulated hardware estimate.
+SEED_BITS = 8
+
+
+def rsqrt_seed_8bit(x: np.ndarray) -> np.ndarray:
+    """8-bit-accurate initial estimate of ``1/sqrt(x)``.
+
+    Emulates the HPC-ACE ``frsqrta`` instruction by rounding the exact
+    value to ``SEED_BITS`` mantissa bits.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    exact = 1.0 / np.sqrt(x)
+    mant, expo = np.frexp(exact)
+    scale = float(1 << SEED_BITS)
+    mant = np.round(mant * scale) / scale
+    return np.ldexp(mant, expo)
+
+
+def fast_rsqrt(x: np.ndarray) -> np.ndarray:
+    """``1/sqrt(x)`` via the paper's seed + third-order refinement.
+
+    Accurate to ~24 bits (relative error below ~6e-8 for positive
+    finite inputs), matching the precision the paper deems sufficient
+    for the scientific results.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y0 = rsqrt_seed_8bit(x)
+    h0 = 1.0 - x * y0 * y0
+    return y0 * (1.0 + h0 * (0.5 + h0 * (3.0 / 8.0)))
+
+
+def rsqrt_relative_error(x: np.ndarray) -> np.ndarray:
+    """Relative error of :func:`fast_rsqrt` against the exact value."""
+    x = np.asarray(x, dtype=np.float64)
+    exact = 1.0 / np.sqrt(x)
+    return np.abs(fast_rsqrt(x) - exact) / exact

@@ -1,0 +1,24 @@
+"""Simulation drivers: the GreeM-equivalent orchestration layer.
+
+:class:`SerialSimulation` runs the TreePM step cycle in one process;
+:class:`ParallelSimulation` is the SPMD driver combining dynamic domain
+decomposition, ghost exchange, the distributed tree solver and the
+relay-mesh PM — the full per-step pipeline whose cost breakdown is the
+paper's Table I.
+"""
+
+from repro.sim.ghosts import distance_to_domain, exchange_ghosts
+from repro.sim.io import SnapshotHeader, load_snapshot, save_snapshot
+from repro.sim.serial import SerialSimulation
+from repro.sim.parallel import ParallelSimulation, run_parallel_simulation
+
+__all__ = [
+    "distance_to_domain",
+    "exchange_ghosts",
+    "SnapshotHeader",
+    "load_snapshot",
+    "save_snapshot",
+    "SerialSimulation",
+    "ParallelSimulation",
+    "run_parallel_simulation",
+]

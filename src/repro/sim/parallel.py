@@ -1,0 +1,313 @@
+"""The distributed GreeM-style simulation driver (SPMD).
+
+One :class:`ParallelSimulation` instance runs on each rank and executes
+the paper's full per-step pipeline:
+
+* **Domain decomposition** — position update bookkeeping, the sampling
+  method (cost-proportional rates, boundary smoothing), particle
+  exchange;
+* **PP** — ghost ("local tree") selection and exchange, local tree
+  construction, Barnes-modified traversal, the PP force kernel;
+* **PM** — local density assignment, the (relay) mesh conversion,
+  slab FFT, back conversion, finite differences, interpolation;
+
+with the step structure "a cycle of the PM and ``pp_subcycles`` cycles
+of the PP and the domain decomposition", and a timing ledger whose rows
+are exactly Table I's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.decomp.exchange import exchange_particles
+from repro.decomp.multisection import MultisectionDecomposition
+from repro.decomp.sampling import SamplingDecomposer
+from repro.forces.cutoff import get_split
+from repro.integrate.stepper import StaticStepper
+from repro.meshcomm.parallel_pm import ParallelPM
+from repro.mpi.runtime import MPIRuntime
+from repro.sim.ghosts import exchange_ghosts
+from repro.tree.traversal import TreeSolver
+from repro.utils.periodic import wrap_positions
+from repro.utils.timer import TimingLedger
+
+__all__ = ["ParallelSimulation", "run_parallel_simulation"]
+
+
+@dataclass
+class StepStatistics:
+    """Per-rank accumulated statistics over the run."""
+
+    interactions: int = 0
+    group_sizes: List[float] = field(default_factory=list)
+    list_lengths: List[float] = field(default_factory=list)
+
+    @property
+    def mean_group_size(self) -> float:
+        return float(np.mean(self.group_sizes)) if self.group_sizes else 0.0
+
+    @property
+    def mean_list_length(self) -> float:
+        return float(np.mean(self.list_lengths)) if self.list_lengths else 0.0
+
+
+class ParallelSimulation:
+    """Per-rank simulation state and step logic.
+
+    Parameters
+    ----------
+    comm:
+        World communicator.
+    config:
+        Simulation configuration; ``config.domain.divisions`` must
+        multiply to ``comm.size``.
+    pos, mom, mass:
+        This rank's initial particles (any spatial distribution: the
+        first decomposition update redistributes them).
+    stepper:
+        Kick/drift coefficients (static or cosmological).
+    """
+
+    def __init__(
+        self,
+        comm,
+        config: SimulationConfig,
+        pos: np.ndarray,
+        mom: np.ndarray,
+        mass: np.ndarray,
+        stepper=None,
+        ids: Optional[np.ndarray] = None,
+    ) -> None:
+        if config.domain.n_domains != comm.size:
+            raise ValueError(
+                f"domain divisions {config.domain.divisions} do not match "
+                f"{comm.size} ranks"
+            )
+        self.comm = comm
+        self.config = config
+        self.stepper = stepper if stepper is not None else StaticStepper()
+        self.pos = np.array(pos, dtype=np.float64)
+        self.mom = np.array(mom, dtype=np.float64)
+        self.mass = np.array(mass, dtype=np.float64)
+        if ids is None:
+            # globally unique default ids: offset by a rank-exclusive scan
+            starts = np.concatenate([[0], np.cumsum(comm.allgather(len(self.pos)))])
+            ids = np.arange(starts[comm.rank], starts[comm.rank] + len(self.pos))
+        self.ids = np.array(ids, dtype=np.int64)
+
+        tp = config.treepm
+        self.split = get_split(tp.split, tp.rcut)
+        self.tree = TreeSolver(
+            box=1.0,
+            theta=tp.tree.opening_angle,
+            leaf_size=tp.tree.leaf_size,
+            group_size=tp.tree.group_size,
+            split=self.split,
+            eps=tp.softening,
+            G=1.0,
+            periodic=True,
+            use_quadrupole=tp.tree.use_quadrupole,
+        )
+        if tp.pm.fft_backend == "pencil":
+            from repro.meshcomm.parallel_pencil_pm import ParallelPencilPM
+
+            self.pm = ParallelPencilPM(
+                comm,
+                tp.pm.mesh_size,
+                split=self.split,
+                assignment=tp.pm.assignment,
+                deconvolve=2 if tp.pm.deconvolve else 0,
+                differencing=tp.pm.differencing,
+            )
+        else:
+            self.pm = ParallelPM(
+                comm,
+                tp.pm.mesh_size,
+                split=self.split,
+                # the FFT processes must fit inside the relay root group
+                n_fft=min(comm.size // config.relay.n_groups, tp.pm.mesh_size),
+                n_groups=config.relay.n_groups,
+                assignment=tp.pm.assignment,
+                deconvolve=2 if tp.pm.deconvolve else 0,
+                differencing=tp.pm.differencing,
+            )
+        self.decomposer = SamplingDecomposer(
+            config.domain.divisions,
+            sample_rate=config.domain.sample_rate,
+            window=config.domain.smoothing_window,
+            cost_balance=config.domain.cost_balance,
+            seed=config.seed,
+        )
+        self.decomp: MultisectionDecomposition = MultisectionDecomposition.uniform(
+            config.domain.divisions
+        )
+        self.timing = TimingLedger()
+        self.stats = StepStatistics()
+        self.steps_taken = 0
+        self._pp_cost = 1.0e-6  # last measured PP seconds (for sampling)
+        self._pm_acc: Optional[np.ndarray] = None
+        self._pp_acc: Optional[np.ndarray] = None
+
+    # -- pipeline pieces ---------------------------------------------------------
+
+    def _domain_update(self) -> None:
+        """Sampling method + particle exchange (carrying the PP force)."""
+        with self.timing.phase("Domain Decomposition/sampling method"):
+            self.decomp = self.decomposer.update(self.comm, self.pos, self._pp_cost)
+        with self.timing.phase("Domain Decomposition/particle exchange"):
+            payload = {
+                "pos": self.pos,
+                "mom": self.mom,
+                "mass": self.mass,
+                "ids": self.ids,
+            }
+            if self._pp_acc is not None:
+                payload["pp_acc"] = self._pp_acc
+            out = exchange_particles(self.comm, self.decomp, payload)
+        self.pos = out["pos"]
+        self.mom = out["mom"]
+        self.mass = out["mass"]
+        self.ids = out["ids"]
+        self._pp_acc = out.get("pp_acc")
+
+    def _pp_force(self) -> np.ndarray:
+        """Ghost exchange + local tree + kernel; updates ``_pp_cost``."""
+        import time as _time
+
+        t_start = _time.perf_counter()
+        self.comm.traffic_phase("pp:ghosts")
+        gpos, gmass = exchange_ghosts(
+            self.comm,
+            self.decomp,
+            self.pos,
+            self.mass,
+            rcut=self.split.cutoff_radius,
+            ledger=self.timing,
+        )
+        all_pos = np.vstack([self.pos, gpos])
+        all_mass = np.concatenate([self.mass, gmass])
+        mask = np.zeros(len(all_pos), dtype=bool)
+        mask[: len(self.pos)] = True
+        if len(all_pos) == 0:
+            self._pp_cost = 1.0e-6
+            return np.zeros((0, 3))
+        with self.timing.phase("PP/tree construction"):
+            tree = self.tree.build(all_pos, all_mass)
+        acc, stats = self.tree.forces(
+            all_pos, all_mass, tree=tree, targets_mask=mask, ledger=self.timing
+        )
+        self.stats.interactions += stats.interactions
+        if stats.counter.group_sizes:
+            self.stats.group_sizes.append(stats.mean_group_size)
+            self.stats.list_lengths.append(stats.mean_list_length)
+        self._pp_cost = max(_time.perf_counter() - t_start, 1.0e-9)
+        return acc[: len(self.pos)]
+
+    def _pm_force(self) -> np.ndarray:
+        lo, hi = self.decomp.domain_bounds(self.comm.rank)
+        return self.pm.forces(self.pos, self.mass, lo, hi, timing=self.timing)
+
+    # -- the step -------------------------------------------------------------------
+
+    def initialize_forces(self) -> None:
+        """Bootstrap: first decomposition, PP and PM forces."""
+        self._domain_update()
+        self._pp_acc = self._pp_force()
+        self._pm_acc = self._pm_force()
+
+    def step(self, t1: float, t2: float) -> None:
+        """One full step: 1 PM cycle + ``pp_subcycles`` PP/DD cycles."""
+        if self._pm_acc is None:
+            self.initialize_forces()
+        st = self.stepper
+        tm = 0.5 * (t1 + t2)
+        n_sub = self.config.pp_subcycles
+
+        self.mom += self._pm_acc * st.kick_coeff(t1, tm)
+
+        edges = np.linspace(t1, t2, n_sub + 1)
+        for s in range(n_sub):
+            s1, s2 = float(edges[s]), float(edges[s + 1])
+            sm = 0.5 * (s1 + s2)
+            if self.steps_taken > 0 or s > 0:
+                # the bootstrap already decomposed and computed PP at
+                # the very first substep
+                self._domain_update()
+                if self._pp_acc is None:
+                    self._pp_acc = self._pp_force()
+            self.mom += self._pp_acc * st.kick_coeff(s1, sm)
+            with self.timing.phase("Domain Decomposition/position update"):
+                self.pos = wrap_positions(
+                    self.pos + self.mom * st.drift_coeff(s1, s2)
+                )
+            self._pp_acc = self._pp_force()
+            self.mom += self._pp_acc * st.kick_coeff(sm, s2)
+
+        self._pm_acc = self._pm_force()
+        self.mom += self._pm_acc * st.kick_coeff(tm, t2)
+        self.steps_taken += 1
+
+    def run(self, t_start: float, t_end: float, n_steps: int) -> None:
+        edges = np.linspace(t_start, t_end, n_steps + 1)
+        for t1, t2 in zip(edges[:-1], edges[1:]):
+            self.step(float(t1), float(t2))
+
+    # -- output ------------------------------------------------------------------------
+
+    def gather_state(self):
+        """Gather (pos, mom, mass) on rank 0, sorted by particle id
+        (i.e. the original global ordering); None elsewhere."""
+        parts = self.comm.gather((self.pos, self.mom, self.mass, self.ids), root=0)
+        if self.comm.rank != 0:
+            return None
+        pos = np.vstack([p for p, _, _, _ in parts])
+        mom = np.vstack([m for _, m, _, _ in parts])
+        mass = np.concatenate([w for _, _, w, _ in parts])
+        ids = np.concatenate([i for _, _, _, i in parts])
+        order = np.argsort(ids)
+        return pos[order], mom[order], mass[order]
+
+    def table1_rows(self) -> Dict[str, float]:
+        """This rank's accumulated per-phase seconds, Table I naming."""
+        return self.timing.as_dict()
+
+
+def run_parallel_simulation(
+    config: SimulationConfig,
+    pos: np.ndarray,
+    mom: np.ndarray,
+    mass: np.ndarray,
+    t_start: float,
+    t_end: float,
+    n_steps: int,
+    stepper=None,
+    torus_shape=None,
+):
+    """Convenience driver: scatter global arrays, run, gather results.
+
+    Returns ``(pos, mom, mass, sims, runtime)`` where ``sims`` is the
+    list of per-rank :class:`ParallelSimulation` objects (timings,
+    statistics) and ``runtime`` exposes the traffic log / network model.
+    """
+    n_ranks = config.domain.n_domains
+    runtime = MPIRuntime(n_ranks, torus_shape=torus_shape)
+
+    def spmd(comm):
+        n = len(pos)
+        lo = n * comm.rank // comm.size
+        hi = n * (comm.rank + 1) // comm.size
+        sim = ParallelSimulation(
+            comm, config, pos[lo:hi], mom[lo:hi], mass[lo:hi], stepper=stepper
+        )
+        sim.run(t_start, t_end, n_steps)
+        return sim, sim.gather_state()
+
+    results = runtime.run(spmd)
+    sims = [r[0] for r in results]
+    state = results[0][1]
+    return state[0], state[1], state[2], sims, runtime

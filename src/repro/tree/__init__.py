@@ -1,0 +1,27 @@
+"""Barnes-Hut octree for the short-range (PP) part of TreePM.
+
+Implements the hierarchical oct-tree of Barnes & Hut (1986) with the
+modification of Barnes (1990) used by the paper: tree traversal is done
+once per *group* of particles, producing an interaction list (tree nodes
+plus particles) shared by every particle of the group.  The force from
+the list onto the group is then evaluated by the vectorized PP kernel,
+which is exactly the work shape the paper's Phantom-GRAPE kernel
+consumes.
+"""
+
+from repro.tree.morton import morton_keys, morton_sort
+from repro.tree.octree import Octree
+from repro.tree.traversal import (
+    TraversalStats,
+    TreeSolver,
+    tree_forces,
+)
+
+__all__ = [
+    "morton_keys",
+    "morton_sort",
+    "Octree",
+    "TreeSolver",
+    "TraversalStats",
+    "tree_forces",
+]

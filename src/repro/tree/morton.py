@@ -1,0 +1,56 @@
+"""Morton (Z-order) keys: the spatial sort underlying the linear octree.
+
+Keys interleave the bits of the three integer cell coordinates so that
+sorting particles by key groups them into octree cells at every level
+simultaneously: the particles of any cell at depth d form a contiguous
+run of the sorted order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MORTON_BITS", "morton_keys", "morton_sort", "spread_bits"]
+
+#: Bits per dimension; 3 * 21 = 63 bits fit an unsigned 64-bit key.
+MORTON_BITS = 21
+
+
+def spread_bits(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each element: bit i moves to bit 3*i."""
+    x = np.asarray(x, dtype=np.uint64)
+    x &= np.uint64(0x1FFFFF)  # keep 21 bits
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def morton_keys(
+    pos: np.ndarray, origin=0.0, size: float = 1.0, bits: int = MORTON_BITS
+) -> np.ndarray:
+    """Morton keys of positions inside the cube ``[origin, origin+size)^3``.
+
+    Positions exactly on the upper boundary are clamped into the last
+    cell.  Raises if any position lies outside the cube.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if bits < 1 or bits > MORTON_BITS:
+        raise ValueError(f"bits must be in [1, {MORTON_BITS}]")
+    scaled = (pos - origin) / size
+    if np.any(scaled < 0.0) or np.any(scaled > 1.0):
+        raise ValueError("positions outside the tree root cube")
+    n_cells = 1 << bits
+    cells = np.minimum((scaled * n_cells).astype(np.uint64), n_cells - 1)
+    return (
+        (spread_bits(cells[:, 0]) << np.uint64(2))
+        | (spread_bits(cells[:, 1]) << np.uint64(1))
+        | spread_bits(cells[:, 2])
+    )
+
+
+def morton_sort(pos: np.ndarray, origin=0.0, size: float = 1.0) -> np.ndarray:
+    """Permutation sorting positions into Morton order."""
+    return np.argsort(morton_keys(pos, origin, size), kind="stable")

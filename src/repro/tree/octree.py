@@ -1,0 +1,264 @@
+"""Array-based linear octree.
+
+The tree is built over a cubic root volume by sorting particles along a
+Morton curve and recursively partitioning the sorted key array — the
+particles of every cell form a contiguous slice, so node moments
+(mass, center of mass, quadrupole) are O(1) per node via prefix sums.
+
+The structure is immutable once built; GreeM likewise rebuilds the tree
+every step ("tree construction" in Table I) rather than updating it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.tree.morton import MORTON_BITS, morton_keys
+
+__all__ = ["Octree"]
+
+
+class Octree:
+    """A static Barnes-Hut octree over ``[origin, origin+size)^3``.
+
+    Parameters
+    ----------
+    pos, mass:
+        Particle positions ``(N, 3)`` and masses ``(N,)``.
+    size, origin:
+        Root cube geometry (defaults: unit cube at the origin).
+    leaf_size:
+        Maximum particle count of a leaf cell.
+    compute_quadrupole:
+        Also compute traceless quadrupole moments per node.
+
+    Attributes
+    ----------
+    perm:
+        Permutation sorting the input particles into Morton order; all
+        per-particle arrays inside the tree (``pos_sorted`` etc.) use
+        this order.
+    node_center, node_half, node_lo, node_hi, node_depth, node_is_leaf,
+    node_children, node_mass, node_com, node_quad:
+        Per-node arrays; node 0 is the root.  ``node_children`` is
+        ``(n_nodes, 8)`` with -1 for absent children.
+    """
+
+    MAX_DEPTH = MORTON_BITS
+
+    def __init__(
+        self,
+        pos: np.ndarray,
+        mass: np.ndarray,
+        size: float = 1.0,
+        origin=0.0,
+        leaf_size: int = 8,
+        compute_quadrupole: bool = False,
+    ) -> None:
+        pos = np.asarray(pos, dtype=np.float64)
+        mass = np.asarray(mass, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError("pos must be (N, 3)")
+        if len(mass) != len(pos):
+            raise ValueError("mass and pos length mismatch")
+        if len(pos) == 0:
+            raise ValueError("cannot build a tree with zero particles")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.size = float(size)
+        self.origin = np.broadcast_to(np.asarray(origin, dtype=np.float64), (3,))
+        self.leaf_size = int(leaf_size)
+        self.has_quadrupole = bool(compute_quadrupole)
+
+        keys = morton_keys(pos, self.origin, self.size)
+        self.perm = np.argsort(keys, kind="stable")
+        self._keys = keys[self.perm]
+        self.pos_sorted = pos[self.perm]
+        self.mass_sorted = mass[self.perm]
+
+        self._build()
+        self._compute_moments()
+
+    # -- construction ---------------------------------------------------------
+    #
+    # Level-synchronous vectorized build: every level splits ALL its
+    # oversized nodes at once with a single searchsorted over the
+    # Morton keys — no per-node Python recursion ("tree construction"
+    # is a Table I row; this keeps it fast even in pure Python).
+
+    _OCTANT_OFFSETS = np.array(
+        [
+            [1.0 if c & 4 else -1.0, 1.0 if c & 2 else -1.0, 1.0 if c & 1 else -1.0]
+            for c in range(8)
+        ]
+    )
+
+    def _build(self) -> None:
+        n = len(self.pos_sorted)
+        centers = [self.origin + 0.5 * self.size]
+        halves = [self.size / 2.0]
+        los = [0]
+        his = [n]
+        depths = [0]
+        children: List[np.ndarray] = [np.full(8, -1, dtype=np.int64)]
+        is_leaf = [True]  # flipped when a node gets split
+
+        frontier = np.array([0], dtype=np.int64)  # node ids at this level
+        depth = 0
+        while frontier.size and depth < self.MAX_DEPTH:
+            lo_arr = np.array([los[i] for i in frontier], dtype=np.int64)
+            hi_arr = np.array([his[i] for i in frontier], dtype=np.int64)
+            split = (hi_arr - lo_arr) > self.leaf_size
+            if not split.any():
+                break
+            parents = frontier[split]
+            plo = lo_arr[split]
+
+            # child boundaries for every splitting parent in one call:
+            # particles sorted by key means sorted by child-level prefix
+            shift = np.uint64(3 * (self.MAX_DEPTH - depth - 1))
+            pref = self._keys >> shift
+            parent_pref = pref[plo].astype(np.uint64) >> np.uint64(3)
+            targets = (
+                parent_pref[:, None] * np.uint64(8)
+                + np.arange(9, dtype=np.uint64)[None, :]
+            )
+            bounds = np.searchsorted(pref, targets)
+
+            next_frontier: List[int] = []
+            for row, parent in enumerate(parents):
+                pc = centers[parent]
+                ph = halves[parent]
+                is_leaf[parent] = False
+                kids = children[parent]
+                for c in range(8):
+                    clo, chi = int(bounds[row, c]), int(bounds[row, c + 1])
+                    if chi == clo:
+                        continue
+                    idx = len(centers)
+                    centers.append(pc + self._OCTANT_OFFSETS[c] * ph / 2.0)
+                    halves.append(ph / 2.0)
+                    los.append(clo)
+                    his.append(chi)
+                    depths.append(depth + 1)
+                    children.append(np.full(8, -1, dtype=np.int64))
+                    is_leaf.append(True)
+                    kids[c] = idx
+                    next_frontier.append(idx)
+            frontier = np.array(next_frontier, dtype=np.int64)
+            depth += 1
+
+        self.node_center = np.array(centers)
+        self.node_half = np.array(halves)
+        self.node_lo = np.array(los, dtype=np.int64)
+        self.node_hi = np.array(his, dtype=np.int64)
+        self.node_depth = np.array(depths, dtype=np.int64)
+        self.node_is_leaf = np.array(is_leaf, dtype=bool)
+        self.node_children = np.array(children, dtype=np.int64)
+
+    def _compute_moments(self) -> None:
+        m = self.mass_sorted
+        x = self.pos_sorted
+        cm = np.concatenate([[0.0], np.cumsum(m)])
+        cmx = np.vstack([np.zeros(3), np.cumsum(m[:, None] * x, axis=0)])
+        lo, hi = self.node_lo, self.node_hi
+        self.node_mass = cm[hi] - cm[lo]
+        with np.errstate(invalid="ignore"):
+            self.node_com = (cmx[hi] - cmx[lo]) / self.node_mass[:, None]
+        # empty nodes never exist (children with zero particles are not
+        # created), but a zero-total-mass node can: park its com at the
+        # geometric center.
+        bad = ~np.isfinite(self.node_com).all(axis=1)
+        self.node_com[bad] = self.node_center[bad]
+
+        if self.has_quadrupole:
+            pairs = [(0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)]
+            second = np.stack([m * x[:, a] * x[:, b] for a, b in pairs], axis=1)
+            cs = np.vstack([np.zeros(6), np.cumsum(second, axis=0)])
+            s = cs[hi] - cs[lo]  # raw second moments per node
+            c = self.node_com
+            M = self.node_mass
+            quad = np.zeros((len(lo), 3, 3))
+            for i, (a, b) in enumerate(pairs):
+                quad[:, a, b] = s[:, i] - M * c[:, a] * c[:, b]
+                quad[:, b, a] = quad[:, a, b]
+            tr = np.trace(quad, axis1=1, axis2=2)
+            self.node_quad = 3.0 * quad - tr[:, None, None] * np.eye(3)
+        else:
+            self.node_quad = None
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_half)
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.pos_sorted)
+
+    def node_bounding_radius(self, idx) -> np.ndarray:
+        """Radius of the sphere circumscribing node cube(s)."""
+        return self.node_half[idx] * np.sqrt(3.0)
+
+    def leaves(self) -> np.ndarray:
+        """Indices of all leaf nodes."""
+        return np.flatnonzero(self.node_is_leaf)
+
+    def group_nodes(self, group_size: int) -> List[int]:
+        """Nodes used as traversal groups by Barnes' modified algorithm.
+
+        Returns the shallowest nodes holding at most ``group_size``
+        particles; every particle belongs to exactly one group.
+        """
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        out: List[int] = []
+        stack = [0]
+        while stack:
+            i = stack.pop()
+            if (
+                self.node_hi[i] - self.node_lo[i] <= group_size
+                or self.node_is_leaf[i]
+            ):
+                out.append(i)
+            else:
+                stack.extend(c for c in self.node_children[i] if c >= 0)
+        return out
+
+    def stats(self) -> dict:
+        """Structural summary (depths, occupancies, branching)."""
+        leaves = self.leaves()
+        occupancy = self.node_hi[leaves] - self.node_lo[leaves]
+        n_children = (self.node_children >= 0).sum(axis=1)
+        internal = ~self.node_is_leaf
+        return {
+            "n_nodes": self.n_nodes,
+            "n_leaves": int(len(leaves)),
+            "max_depth": int(self.node_depth.max()),
+            "mean_leaf_depth": float(self.node_depth[leaves].mean()),
+            "mean_leaf_occupancy": float(occupancy.mean()),
+            "max_leaf_occupancy": int(occupancy.max()),
+            "mean_branching": float(n_children[internal].mean())
+            if internal.any()
+            else 0.0,
+            "nodes_per_particle": self.n_nodes / self.n_particles,
+        }
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests; cheap)."""
+        assert self.node_lo[0] == 0 and self.node_hi[0] == self.n_particles
+        for i in range(self.n_nodes):
+            kids = self.node_children[i][self.node_children[i] >= 0]
+            if self.node_is_leaf[i]:
+                assert len(kids) == 0
+            else:
+                assert len(kids) > 0
+                los = sorted(self.node_lo[k] for k in kids)
+                his = sorted(self.node_hi[k] for k in kids)
+                assert los[0] == self.node_lo[i]
+                assert his[-1] == self.node_hi[i]
+                # children tile the parent range
+                assert all(h == l for h, l in zip(his[:-1], los[1:]))

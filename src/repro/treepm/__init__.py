@@ -1,0 +1,11 @@
+"""The TreePM force solver: the paper's core numerical method.
+
+Combines the short-range tree solver (with the g_P3M cutoff) and the
+long-range PM solver (with the S2-shaped Green's function) into the
+total periodic gravitational force, equivalent to Ewald summation up to
+the controlled approximation errors of each part.
+"""
+
+from repro.treepm.solver import TreePMForces, TreePMSolver
+
+__all__ = ["TreePMSolver", "TreePMForces"]

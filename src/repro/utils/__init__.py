@@ -1,0 +1,16 @@
+"""Small shared utilities: periodic geometry helpers, timers, RNG."""
+
+from repro.utils.periodic import (
+    minimum_image,
+    wrap_positions,
+    periodic_distance,
+)
+from repro.utils.timer import Timer, TimingLedger
+
+__all__ = [
+    "minimum_image",
+    "wrap_positions",
+    "periodic_distance",
+    "Timer",
+    "TimingLedger",
+]

@@ -1,0 +1,35 @@
+"""Periodic-box geometry helpers.
+
+All routines assume a cubic box ``[0, box) ** 3`` with periodic wrapping.
+Positions are ``(N, 3)`` float64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def wrap_positions(pos: np.ndarray, box: float = 1.0) -> np.ndarray:
+    """Wrap positions into the primary box ``[0, box)``.
+
+    Returns a new array; the input is not modified.
+    """
+    out = np.mod(pos, box)
+    # np.mod can return exactly `box` for tiny negative inputs due to
+    # rounding; fold those onto 0.
+    out[out >= box] = 0.0
+    return out
+
+
+def minimum_image(dx: np.ndarray, box: float = 1.0) -> np.ndarray:
+    """Apply the minimum-image convention to displacement vectors."""
+    return dx - box * np.round(dx / box)
+
+
+def periodic_distance(a: np.ndarray, b: np.ndarray, box: float = 1.0) -> np.ndarray:
+    """Pairwise minimum-image distances between matching rows of a and b."""
+    d = minimum_image(np.asarray(a) - np.asarray(b), box)
+    return np.sqrt(np.sum(d * d, axis=-1))
+
+
+__all__ = ["wrap_positions", "minimum_image", "periodic_distance"]

@@ -1,0 +1,118 @@
+"""Wall-clock timers and the per-phase timing ledger.
+
+:class:`TimingLedger` accumulates named phase timings exactly the way the
+paper's Table I reports them: hierarchical categories such as
+``"PP/force calculation"`` accumulated per step.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Timer:
+    """A simple restartable wall-clock timer."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+
+class TimingLedger:
+    """Accumulates hierarchical phase timings.
+
+    Phase names use ``"/"`` as a hierarchy separator, e.g.
+    ``"PP/force calculation"``.  Totals for parent categories are the sum
+    of their children plus any time recorded directly against the parent.
+    """
+
+    def __init__(self) -> None:
+        self._acc: "OrderedDict[str, float]" = OrderedDict()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one phase occurrence."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to phase ``name``."""
+        if seconds < 0:
+            raise ValueError("negative duration")
+        self._acc[name] = self._acc.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        """Seconds recorded directly against ``name``."""
+        return self._acc.get(name, 0.0)
+
+    def total(self, prefix: str = "") -> float:
+        """Total seconds of all phases under ``prefix`` (inclusive)."""
+        if not prefix:
+            return sum(self._acc.values())
+        total = self._acc.get(prefix, 0.0)
+        total += sum(
+            v for k, v in self._acc.items() if k.startswith(prefix + "/")
+        )
+        return total
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._acc)
+
+    def merge(self, other: "TimingLedger") -> None:
+        """Accumulate another ledger into this one."""
+        for k, v in other._acc.items():
+            self.add(k, v)
+
+    def scaled(self, factor: float) -> "TimingLedger":
+        """Return a copy with every entry multiplied by ``factor``."""
+        out = TimingLedger()
+        for k, v in self._acc.items():
+            out.add(k, v * factor)
+        return out
+
+    def report(self, title: str = "timing") -> str:
+        """Human-readable multi-line report, grouped by top category."""
+        lines = [f"== {title} =="]
+        roots = []
+        for key in self._acc:
+            root = key.split("/", 1)[0]
+            if root not in roots:
+                roots.append(root)
+        for root in roots:
+            lines.append(f"{root:<28s} {self.total(root):10.4f} s")
+            for key, val in self._acc.items():
+                if key.startswith(root + "/"):
+                    sub = key.split("/", 1)[1]
+                    lines.append(f"    {sub:<24s} {val:10.4f} s")
+        lines.append(f"{'Total':<28s} {self.total():10.4f} s")
+        return "\n".join(lines)
+
+
+__all__ = ["Timer", "TimingLedger"]

@@ -1,0 +1,238 @@
+"""Tests of the analysis tools (projection, P(k), FoF, profiles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fof import friends_of_friends, halo_catalog
+from repro.analysis.power import particle_power_spectrum
+from repro.analysis.profiles import clumping_factor, radial_profile
+from repro.analysis.projection import density_projection, zoom_projection
+
+
+class TestDensityProjection:
+    def test_mass_conserved(self, rng):
+        pos = rng.random((200, 3))
+        mass = rng.random(200)
+        img = density_projection(pos, mass, n_pixels=32)
+        pixel_area = (1.0 / 32) ** 2
+        assert img.sum() * pixel_area == pytest.approx(mass.sum())
+
+    def test_point_mass_lands_in_pixel(self):
+        pos = np.array([[0.51, 0.26, 0.9]])
+        img = density_projection(pos, np.array([2.0]), n_pixels=4, axis=2)
+        assert img[2, 1] == pytest.approx(2.0 * 16)
+        assert (img > 0).sum() == 1
+
+    def test_axis_selection(self):
+        pos = np.array([[0.1, 0.5, 0.9]])
+        img_x = density_projection(pos, np.ones(1), n_pixels=4, axis=0)
+        # projecting along x leaves (y, z) = (0.5, 0.9)
+        assert img_x[2, 3] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_projection(np.zeros((1, 3)), np.ones(1), n_pixels=0)
+        with pytest.raises(ValueError):
+            density_projection(np.zeros((1, 3)), np.ones(1), axis=3)
+
+
+class TestZoomProjection:
+    def test_selects_window(self):
+        pos = np.array([[0.5, 0.5, 0.1], [0.9, 0.9, 0.2]])
+        img = zoom_projection(
+            pos, np.ones(2), center=(0.5, 0.5), width=0.25, n_pixels=8
+        )
+        # only the centered particle is inside the window
+        assert img.sum() * (0.25 / 8) ** 2 == pytest.approx(1.0)
+
+    def test_periodic_window(self):
+        """A window straddling the box corner still collects mass."""
+        pos = np.array([[0.99, 0.99, 0.5]])
+        img = zoom_projection(
+            pos, np.ones(1), center=(0.0, 0.0), width=0.1, n_pixels=4
+        )
+        assert img.sum() > 0
+
+    def test_paper_zoom_widths(self, rng):
+        """Fig 6 zooms: 37.5 pc and 150 pc of the 600 pc box = 1/16 and
+        1/4 of the box width."""
+        pos = rng.random((500, 3))
+        for frac in (1.0 / 16.0, 1.0 / 4.0):
+            img = zoom_projection(
+                pos, np.ones(500), center=(0.5, 0.5), width=frac, n_pixels=16
+            )
+            # expected mass fraction ~ frac^2
+            frac_mass = img.sum() * (frac / 16) ** 2 / 500
+            assert frac_mass == pytest.approx(frac**2, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zoom_projection(np.zeros((1, 3)), np.ones(1), (0.5, 0.5), width=0.0)
+
+
+class TestParticlePowerSpectrum:
+    def test_uniform_lattice_has_no_power(self):
+        g = (np.arange(16) + 0.5) / 16
+        pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), -1).reshape(-1, 3)
+        mass = np.ones(len(pos))
+        k, pk, counts = particle_power_spectrum(
+            pos, mass, n_mesh=16, subtract_shot_noise=False
+        )
+        # a perfect lattice has power only at its alias harmonics,
+        # none of which fall below the lattice Nyquist
+        assert np.all(pk[k < np.pi * 16 * 0.9] < 1e-20)
+
+    def test_recovers_plane_wave_amplitude(self):
+        """Particles displaced by a single mode show the linear power
+        of that mode."""
+        npd = 32
+        g = (np.arange(npd) + 0.5) / npd
+        q = np.stack(np.meshgrid(g, g, g, indexing="ij"), -1).reshape(-1, 3)
+        amp = 1e-3
+        delta_amp = 2 * np.pi * 2 * amp  # delta = -d(psi)/dx, k = 2*2pi
+        pos = q.copy()
+        pos[:, 0] += amp * np.cos(2 * np.pi * 2 * q[:, 0])
+        pos = np.mod(pos, 1.0)
+        k, pk, counts = particle_power_spectrum(
+            pos, np.ones(len(q)), n_mesh=32, n_bins=20,
+            subtract_shot_noise=False,
+        )
+        # P integrated over the bin: the mode pair carries
+        # var = delta_amp^2/2 spread over `counts` modes of the bin
+        imax = np.argmax(pk * counts)
+        var = (pk * counts)[imax]
+        assert k[imax] == pytest.approx(4 * np.pi, rel=0.2)
+        assert var == pytest.approx(delta_amp**2 / 2, rel=0.05)
+
+    def test_shot_noise_subtraction(self, rng):
+        pos = rng.random((4096, 3))
+        mass = np.ones(4096)
+        k, p_raw, _ = particle_power_spectrum(
+            pos, mass, n_mesh=16, subtract_shot_noise=False
+        )
+        k, p_sub, _ = particle_power_spectrum(
+            pos, mass, n_mesh=16, subtract_shot_noise=True
+        )
+        np.testing.assert_allclose(p_raw - p_sub, 1.0 / 4096, rtol=1e-10)
+        # random points: power consistent with shot noise
+        assert np.abs(p_sub).max() < 0.5 * p_raw.max()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            particle_power_spectrum(np.zeros((0, 3)), np.zeros(0))
+
+
+class TestFriendsOfFriends:
+    def test_two_separated_clumps(self):
+        rng = np.random.default_rng(1)
+        a = 0.2 + 0.01 * rng.random((50, 3))
+        b = 0.7 + 0.01 * rng.random((60, 3))
+        pos = np.vstack([a, b])
+        labels = friends_of_friends(pos, linking_length=0.05)
+        assert len(np.unique(labels)) == 2
+        assert len(np.unique(labels[:50])) == 1
+        assert len(np.unique(labels[50:])) == 1
+
+    def test_periodic_linking(self):
+        pos = np.array([[0.99, 0.5, 0.5], [0.01, 0.5, 0.5]])
+        labels = friends_of_friends(pos, linking_length=0.05)
+        assert labels[0] == labels[1]
+
+    def test_isolated_particles_distinct(self, rng):
+        pos = rng.random((20, 3))
+        labels = friends_of_friends(pos, linking_length=1e-6)
+        assert len(np.unique(labels)) == 20
+
+    def test_chain_connectivity(self):
+        """FoF links transitively along a chain."""
+        pos = np.array([[0.1 + 0.04 * i, 0.5, 0.5] for i in range(10)])
+        labels = friends_of_friends(pos, linking_length=0.045)
+        assert len(np.unique(labels)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            friends_of_friends(np.zeros((2, 3)), linking_length=0.0)
+        with pytest.raises(ValueError):
+            friends_of_friends(np.zeros((2, 3)), linking_length=0.6)
+
+
+class TestHaloCatalog:
+    def test_catalog_finds_clump(self):
+        rng = np.random.default_rng(2)
+        clump = 0.5 + 0.005 * rng.standard_normal((100, 3))
+        bg = rng.random((50, 3))
+        pos = np.mod(np.vstack([clump, bg]), 1.0)
+        mass = np.ones(len(pos))
+        halos = halo_catalog(pos, mass, linking_length=0.02, min_members=20)
+        assert len(halos) >= 1
+        assert halos[0].n_particles >= 90
+        np.testing.assert_allclose(halos[0].center, 0.5, atol=0.02)
+
+    def test_min_members_filter(self, rng):
+        pos = rng.random((30, 3))
+        halos = halo_catalog(pos, np.ones(30), linking_length=1e-5, min_members=2)
+        assert halos == []
+
+    def test_periodic_center_of_mass(self):
+        """A clump straddling the box corner gets a center near the
+        corner, not at the box middle."""
+        rng = np.random.default_rng(3)
+        pos = np.mod(0.002 * rng.standard_normal((80, 3)), 1.0)
+        halos = halo_catalog(pos, np.ones(80), linking_length=0.05, min_members=10)
+        c = halos[0].center
+        assert np.all((c < 0.02) | (c > 0.98))
+
+    def test_sorted_by_mass(self, rng):
+        big = 0.25 + 0.005 * rng.random((120, 3))
+        small = 0.75 + 0.005 * rng.random((40, 3))
+        pos = np.vstack([big, small])
+        halos = halo_catalog(pos, np.ones(len(pos)), 0.02, min_members=10)
+        assert len(halos) == 2
+        assert halos[0].mass > halos[1].mass
+
+
+class TestProfiles:
+    def test_uniform_density_flat_profile(self, rng):
+        pos = rng.random((20000, 3))
+        mass = np.ones(20000) / 20000
+        r, rho, counts = radial_profile(
+            pos, mass, center=np.array([0.5, 0.5, 0.5]), r_min=0.1, r_max=0.45,
+            n_bins=5,
+        )
+        np.testing.assert_allclose(rho, 1.0, rtol=0.15)
+
+    def test_power_law_cusp(self, rng):
+        """A rho ~ r^-2 cloud measures slope ~ -2."""
+        n = 30000
+        r = 0.2 * rng.random(n) ** 1.0  # p(r) ~ const -> rho ~ r^-2
+        u = rng.standard_normal((n, 3))
+        u /= np.linalg.norm(u, axis=1, keepdims=True)
+        pos = 0.5 + r[:, None] * u
+        rm, rho, counts = radial_profile(
+            pos, np.ones(n), np.array([0.5, 0.5, 0.5]), 0.01, 0.2, n_bins=8
+        )
+        slope = np.polyfit(np.log(rm), np.log(rho), 1)[0]
+        assert slope == pytest.approx(-2.0, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radial_profile(
+                np.zeros((1, 3)), np.ones(1), np.zeros(3), 0.2, 0.1
+            )
+
+    def test_clumping_factor_uniform_vs_clustered(self, rng):
+        uniform = rng.random((5000, 3))
+        clustered = np.mod(
+            0.5 + 0.02 * rng.standard_normal((5000, 3)), 1.0
+        )
+        m = np.ones(5000)
+        c_u = clumping_factor(uniform, m, n_mesh=16)
+        c_c = clumping_factor(clustered, m, n_mesh=16)
+        assert c_u == pytest.approx(1.0, rel=0.25)
+        assert c_c > 10 * c_u
+
+    def test_clumping_empty_rejected(self):
+        with pytest.raises(ValueError):
+            clumping_factor(np.zeros((0, 3)), np.zeros(0))

@@ -1,0 +1,93 @@
+"""Tests of the Layzer-Irvine tracker, including the end-to-end
+cosmological-integration validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import LayzerIrvineTracker
+from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+from repro.cosmology.params import EINSTEIN_DE_SITTER
+from repro.ic.zeldovich import ZeldovichIC
+from repro.integrate.stepper import CosmoStepper
+from repro.sim.serial import SerialSimulation
+
+
+class TestTrackerMechanics:
+    def test_requires_increasing_a(self):
+        t = LayzerIrvineTracker()
+        t.record(0.1, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            t.record(0.1, 1.0, -1.0)
+
+    def test_requires_two_samples(self):
+        t = LayzerIrvineTracker()
+        t.record(0.1, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            t.residual()
+
+    def test_comoving_to_peculiar_conversion(self):
+        t = LayzerIrvineTracker()
+        t.record(0.5, 1.0, -2.0)
+        assert t.potential[0] == pytest.approx(-4.0)
+
+    def test_analytic_solution_satisfies_equation(self):
+        """Synthetic history K ~ a^-1, W ~ a^-1 with K = -W/2 (virial
+        equilibrium in EdS scaling) is a stationary solution:
+        d/da[a(K+W)] = -K requires d/da[a*(-K)] ... check numerically
+        on the exact relation instead: choose K(a), derive W(a) from
+        the ODE and verify the tracker's residual vanishes."""
+        a_grid = np.linspace(0.1, 0.5, 400)
+        K = a_grid ** (-1.0)  # arbitrary smooth choice
+        # solve d/da [a (K+W)] = -K  =>  a(K+W) = C - int K da
+        C = a_grid[0] * (K[0] + (-2.0 * K[0]))  # pick W0 = -2 K0
+        integral = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (K[1:] + K[:-1]) * np.diff(a_grid))]
+        )
+        W = (C - integral) / a_grid - K
+        t = LayzerIrvineTracker()
+        for a, k, w in zip(a_grid, K, W):
+            t.record(a, k, w * a)  # tracker expects comoving W_c = W*a
+        assert t.relative_violation() < 1e-5
+
+
+class TestCosmologicalRun:
+    def test_layzer_irvine_holds_in_simulation(self):
+        """End-to-end: an EdS TreePM run satisfies the cosmic energy
+        equation to a few percent — the global consistency check of
+        forces, expansion factors and the KDK operators."""
+        pk = lambda k, z=0.0: 5e-7 * np.ones_like(np.asarray(k))
+        ic = ZeldovichIC(
+            EINSTEIN_DE_SITTER, pk, n_per_dim=8, mesh_n=16, seed=5
+        )
+        a0, a1 = 0.02, 0.08
+        pos, mom, mass = ic.generate(a_start=a0)
+        cfg = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(opening_angle=0.4, group_size=32),
+                pm=PMConfig(mesh_size=16),
+                softening=3e-3,
+            ),
+            pp_subcycles=2,
+        )
+        sim = SerialSimulation(
+            cfg, pos, mom, mass, stepper=CosmoStepper(EINSTEIN_DE_SITTER)
+        )
+        tracker = LayzerIrvineTracker()
+
+        def sample(a):
+            k = sim.kinetic_energy(a)
+            wc = float(
+                0.5 * np.sum(sim.mass * sim.solver.potential(sim.pos, sim.mass))
+            )
+            tracker.record(a, k, wc)
+
+        sample(a0)
+        edges = np.geomspace(a0, a1, 13)
+        for e1, e2 in zip(edges[:-1], edges[1:]):
+            sim.step(float(e1), float(e2))
+            sample(float(e2))
+
+        assert tracker.n_samples == 13
+        assert tracker.relative_violation() < 0.05

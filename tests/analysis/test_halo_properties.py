@@ -1,0 +1,109 @@
+"""Tests of per-halo structural measurements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fof import Halo, halo_catalog
+from repro.analysis.halo_properties import halo_properties
+
+
+def _plummer_sphere(n, a, rng, center=0.5):
+    """Equilibrium Plummer sphere (positions + isotropic velocities).
+
+    Plummer model with total mass 1, scale radius a, G = 1: known
+    virial equilibrium with sigma^2(total) = ... sampled via the
+    standard Aarseth rejection method.
+    """
+    # radii from the cumulative mass profile
+    u = rng.random(n)
+    r = a / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    dirs = rng.standard_normal((n, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    pos = center + r[:, None] * dirs
+    # velocities: rejection sampling of q = v/v_esc with g(q) ~
+    # q^2 (1 - q^2)^(7/2)
+    q = np.empty(n)
+    filled = 0
+    while filled < n:
+        qq = rng.random(n)
+        gg = rng.random(n) * 0.1
+        ok = gg < qq**2 * (1 - qq**2) ** 3.5
+        take = min(ok.sum(), n - filled)
+        q[filled : filled + take] = qq[ok][:take]
+        filled += take
+    # v_esc = sqrt(2 G M / a) (1 + (r/a)^2)^(-1/4) with G = M = 1
+    v_esc = np.sqrt(2.0 / a) * (1.0 + r**2 / a**2) ** -0.25
+    vdirs = rng.standard_normal((n, 3))
+    vdirs /= np.linalg.norm(vdirs, axis=1, keepdims=True)
+    vel = (q * v_esc)[:, None] * vdirs
+    return pos, vel
+
+
+class TestHaloProperties:
+    @pytest.fixture(scope="class")
+    def plummer(self):
+        rng = np.random.default_rng(7)
+        n = 3000
+        pos, vel = _plummer_sphere(n, a=0.01, rng=rng)
+        mass = np.full(n, 1.0 / n)
+        keep = np.all(np.abs(pos - 0.5) < 0.45, axis=1)
+        return pos[keep], vel[keep], mass[keep]
+
+    def test_virial_equilibrium(self, plummer):
+        """A Plummer sphere is in virial equilibrium: 2K/|W| ~ 1."""
+        pos, vel, mass = plummer
+        halos = halo_catalog(pos, mass, linking_length=0.01, min_members=100)
+        props = halo_properties(halos[0], pos, vel, mass)
+        assert props.virial_ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_half_mass_radius(self, plummer):
+        """Plummer: r_half = a / sqrt(2^(2/3) - 1) ~ 1.305 a."""
+        pos, vel, mass = plummer
+        halos = halo_catalog(pos, mass, linking_length=0.01, min_members=100)
+        props = halo_properties(halos[0], pos, vel, mass)
+        assert props.half_mass_radius == pytest.approx(1.305 * 0.01, rel=0.15)
+
+    def test_cold_clump_sub_virial(self, rng):
+        """Zero velocities: virial ratio 0 (about to collapse)."""
+        pos = np.mod(0.5 + 0.005 * rng.standard_normal((200, 3)), 1.0)
+        vel = np.zeros_like(pos)
+        mass = np.ones(200)
+        halos = halo_catalog(pos, mass, linking_length=0.01, min_members=50)
+        props = halo_properties(halos[0], pos, vel, mass)
+        assert props.virial_ratio == pytest.approx(0.0, abs=1e-12)
+        assert props.velocity_dispersion == 0.0
+
+    def test_bulk_velocity_removed(self, rng):
+        pos = np.mod(0.5 + 0.005 * rng.standard_normal((100, 3)), 1.0)
+        vel = np.full((100, 3), 7.0)  # pure bulk motion
+        mass = np.ones(100)
+        halos = halo_catalog(pos, mass, linking_length=0.01, min_members=50)
+        props = halo_properties(halos[0], pos, vel, mass)
+        np.testing.assert_allclose(props.bulk_velocity, 7.0, rtol=1e-12)
+        assert props.velocity_dispersion == pytest.approx(0.0, abs=1e-10)
+
+    def test_central_density_positive(self, plummer):
+        pos, vel, mass = plummer
+        halos = halo_catalog(pos, mass, linking_length=0.01, min_members=100)
+        props = halo_properties(halos[0], pos, vel, mass)
+        # mean density within the half-mass sphere ~ M/2 / V(r_half)
+        rough = 0.5 * props.mass / (4 / 3 * np.pi * props.half_mass_radius**3)
+        assert props.central_density > rough  # cuspier toward the center
+
+    def test_small_halo_rejected(self):
+        h = Halo(members=np.array([0]), mass=1.0, center=np.zeros(3))
+        with pytest.raises(ValueError):
+            halo_properties(h, np.zeros((1, 3)), np.zeros((1, 3)), np.ones(1))
+
+    def test_nfw_fit_optional(self, rng):
+        """Tiny halos skip the profile fit gracefully."""
+        pos = np.mod(0.5 + 0.003 * rng.standard_normal((30, 3)), 1.0)
+        mass = np.ones(30)
+        halos = halo_catalog(pos, mass, linking_length=0.01, min_members=10)
+        props = halo_properties(
+            halos[0], pos, np.zeros_like(pos), mass, fit_profile=True
+        )
+        assert props.nfw_r_s is None
+        assert props.concentration is None

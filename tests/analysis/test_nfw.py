@@ -1,0 +1,116 @@
+"""Tests of the NFW profile model and fitter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiles import fit_nfw, nfw_density, radial_profile
+
+
+class TestNfwDensity:
+    def test_characteristic_value(self):
+        # rho(r_s) = rho_s / 4
+        assert nfw_density(0.1, rho_s=8.0, r_s=0.1) == pytest.approx(2.0)
+
+    def test_asymptotic_slopes(self):
+        r = np.array([1e-4, 1e-3])
+        inner = np.log(nfw_density(r[1], 1, 0.1) / nfw_density(r[0], 1, 0.1)) / np.log(
+            r[1] / r[0]
+        )
+        assert inner == pytest.approx(-1.0, abs=0.02)
+        r = np.array([10.0, 100.0])
+        outer = np.log(nfw_density(r[1], 1, 0.1) / nfw_density(r[0], 1, 0.1)) / np.log(
+            r[1] / r[0]
+        )
+        assert outer == pytest.approx(-3.0, abs=0.05)
+
+
+class TestFitNfw:
+    def test_recovers_exact_profile(self):
+        r = np.geomspace(0.001, 0.3, 20)
+        rho = nfw_density(r, rho_s=123.0, r_s=0.02)
+        rho_s, r_s, rms = fit_nfw(r, rho)
+        assert rho_s == pytest.approx(123.0, rel=1e-5)
+        assert r_s == pytest.approx(0.02, rel=1e-5)
+        assert rms < 1e-8
+
+    def test_recovers_with_noise(self):
+        rng = np.random.default_rng(0)
+        r = np.geomspace(0.001, 0.3, 25)
+        rho = nfw_density(r, rho_s=50.0, r_s=0.05) * np.exp(
+            0.05 * rng.standard_normal(len(r))
+        )
+        rho_s, r_s, rms = fit_nfw(r, rho)
+        assert r_s == pytest.approx(0.05, rel=0.15)
+        assert rms < 0.1
+
+    def test_ignores_empty_bins(self):
+        r = np.geomspace(0.001, 0.3, 10)
+        rho = nfw_density(r, 10.0, 0.03)
+        rho[0] = 0.0  # empty innermost bin
+        rho_s, r_s, _ = fit_nfw(r, rho)
+        assert r_s == pytest.approx(0.03, rel=1e-4)
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            fit_nfw(np.array([0.1, 0.2]), np.array([1.0, 0.5]))
+
+    def test_fit_from_sampled_halo(self, rng):
+        """Sample particles from an NFW cumulative mass profile and
+        recover the scale radius from the measured density profile."""
+        r_s, n = 0.02, 40000
+        # inverse-CDF sampling of m(r) ~ ln(1+x) - x/(1+x), x = r/r_s
+        x_grid = np.geomspace(1e-3, 10, 2000)
+        m = np.log(1 + x_grid) - x_grid / (1 + x_grid)
+        m /= m[-1]
+        u = rng.random(n)
+        x = np.interp(u, m, x_grid)
+        dirs = rng.standard_normal((n, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        pos = 0.5 + (x * r_s)[:, None] * dirs
+        pos = pos[np.all(np.abs(pos - 0.5) < 0.45, axis=1)]
+        r_mid, rho, counts = radial_profile(
+            pos,
+            np.ones(len(pos)),
+            np.array([0.5, 0.5, 0.5]),
+            r_min=2e-3,
+            r_max=0.15,
+            n_bins=14,
+        )
+        rho_s, r_s_fit, rms = fit_nfw(r_mid, rho, weights=counts)
+        assert r_s_fit == pytest.approx(r_s, rel=0.2)
+        assert rms < 0.2
+
+
+class TestCosmologicalDistances:
+    def test_eds_comoving_distance(self):
+        from repro.cosmology.expansion import Expansion
+        from repro.cosmology.params import EINSTEIN_DE_SITTER
+
+        exp = Expansion(EINSTEIN_DE_SITTER)
+        # EdS: D_C = 2 (1 - 1/sqrt(1+z)) in c/H0 units
+        for z in (0.5, 1.0, 3.0):
+            assert exp.comoving_distance(z) == pytest.approx(
+                2.0 * (1.0 - 1.0 / np.sqrt(1.0 + z)), rel=1e-8
+            )
+
+    def test_eds_lookback(self):
+        from repro.cosmology.expansion import Expansion
+        from repro.cosmology.params import EINSTEIN_DE_SITTER
+
+        exp = Expansion(EINSTEIN_DE_SITTER)
+        # EdS: t_L = (2/3)[1 - (1+z)^{-3/2}]
+        assert exp.lookback_time(1.0) == pytest.approx(
+            (2.0 / 3.0) * (1.0 - 2.0**-1.5), rel=1e-8
+        )
+
+    def test_validation(self):
+        from repro.cosmology.expansion import Expansion
+        from repro.cosmology.params import WMAP7
+
+        exp = Expansion(WMAP7)
+        with pytest.raises(ValueError):
+            exp.comoving_distance(-1.0)
+        with pytest.raises(ValueError):
+            exp.lookback_time(-0.5)

@@ -1,0 +1,84 @@
+"""Tests of the halo mass function and two-point correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fof import Halo, halo_catalog
+from repro.analysis.statistics import halo_mass_function, two_point_correlation
+
+
+def _halo(mass):
+    return Halo(members=np.arange(3), mass=mass, center=np.zeros(3))
+
+
+class TestHaloMassFunction:
+    def test_cumulative_counts(self):
+        halos = [_halo(m) for m in (1.0, 2.0, 4.0, 8.0)]
+        t, n = halo_mass_function(halos, n_bins=4)
+        assert n[0] == pytest.approx(4.0)  # all halos above the minimum
+        assert n[-1] == pytest.approx(1.0)  # only the largest at the top
+        assert np.all(np.diff(n) <= 0)  # cumulative: non-increasing
+
+    def test_volume_normalization(self):
+        halos = [_halo(1.0), _halo(2.0)]
+        _, n1 = halo_mass_function(halos, box=1.0)
+        _, n2 = halo_mass_function(halos, box=2.0)
+        np.testing.assert_allclose(n1, 8.0 * n2)
+
+    def test_single_mass_degenerate(self):
+        t, n = halo_mass_function([_halo(5.0), _halo(5.0)])
+        assert len(t) == 1
+        assert n[0] == pytest.approx(2.0)
+
+    def test_empty_catalog(self):
+        with pytest.raises(ValueError):
+            halo_mass_function([])
+
+    def test_from_real_catalog(self, rng):
+        blob = np.mod(0.3 + 0.01 * rng.standard_normal((200, 3)), 1.0)
+        bg = rng.random((100, 3))
+        pos = np.vstack([blob, bg])
+        halos = halo_catalog(pos, np.ones(len(pos)), 0.03, min_members=10)
+        t, n = halo_mass_function(halos)
+        assert n[0] >= 1
+
+
+class TestTwoPointCorrelation:
+    def test_random_points_uncorrelated(self, rng):
+        pos = rng.random((3000, 3))
+        edges = np.array([0.05, 0.1, 0.2, 0.4])
+        r, xi = two_point_correlation(pos, edges)
+        np.testing.assert_allclose(xi, 0.0, atol=0.05)
+
+    def test_clustered_positive_at_small_r(self, rng):
+        blob = np.mod(0.5 + 0.02 * rng.standard_normal((500, 3)), 1.0)
+        bg = rng.random((500, 3))
+        pos = np.vstack([blob, bg])
+        edges = np.array([0.005, 0.02, 0.05, 0.2, 0.45])
+        r, xi = two_point_correlation(pos, edges)
+        assert xi[0] > 10.0  # strong small-scale clustering
+        assert abs(xi[-1]) < 1.0  # decorrelates at large r
+
+    def test_pair_count_normalization(self, rng):
+        """Integrating (1 + xi) over all r recovers the total pairs."""
+        pos = rng.random((400, 3))
+        edges = np.linspace(1e-6, 0.49, 30)
+        r, xi = two_point_correlation(pos, edges)
+        shell_vol = 4.0 / 3.0 * np.pi * np.diff(edges**3)
+        n = len(pos)
+        rr = n * (n - 1) / 2 * shell_vol
+        total_pairs = np.sum((1 + xi) * rr)
+        # pairs within r < 0.49 (most pairs; the box corner misses some)
+        assert total_pairs < n * (n - 1) / 2
+        assert total_pairs > 0.4 * n * (n - 1) / 2
+
+    def test_validation(self, rng):
+        pos = rng.random((10, 3))
+        with pytest.raises(ValueError):
+            two_point_correlation(pos, np.array([0.2, 0.1]))
+        with pytest.raises(ValueError):
+            two_point_correlation(pos, np.array([0.1, 0.6]))
+        with pytest.raises(ValueError):
+            two_point_correlation(pos[:1], np.array([0.1, 0.2]))

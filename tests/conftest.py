@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the suite contains hundreds of tests and
+# several exercise O(N^2) references, so keep example counts modest.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20120416)
+
+
+@pytest.fixture
+def uniform_particles(rng):
+    """64 uniformly random particles in the unit box with equal masses."""
+    n = 64
+    pos = rng.random((n, 3))
+    mass = np.full(n, 1.0 / n)
+    return pos, mass
+
+
+@pytest.fixture
+def clustered_particles(rng):
+    """A clustered configuration: a tight Gaussian blob plus background."""
+    n_blob, n_bg = 96, 32
+    blob = 0.5 + 0.02 * rng.standard_normal((n_blob, 3))
+    bg = rng.random((n_bg, 3))
+    pos = np.mod(np.vstack([blob, bg]), 1.0)
+    mass = np.full(len(pos), 1.0 / len(pos))
+    return pos, mass

@@ -1,0 +1,107 @@
+"""Tests of expansion history and growth factors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology.expansion import Expansion
+from repro.cosmology.growth import GrowthFactor
+from repro.cosmology.params import EINSTEIN_DE_SITTER, WMAP7, CosmologyParams
+
+
+class TestParams:
+    def test_wmap7_flat(self):
+        assert WMAP7.omega_k == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosmologyParams(omega_m=-1)
+        with pytest.raises(ValueError):
+            CosmologyParams(omega_b=0.5, omega_m=0.3)
+        with pytest.raises(ValueError):
+            CosmologyParams(h=0)
+
+    def test_shape_parameter_close_to_omega_m_h(self):
+        g = WMAP7.gamma_shape
+        assert 0.6 * WMAP7.omega_m * WMAP7.h < g < WMAP7.omega_m * WMAP7.h
+
+
+class TestExpansion:
+    def test_e_of_one(self):
+        assert Expansion(WMAP7).E(1.0) == pytest.approx(1.0)
+
+    def test_eds_power_law(self):
+        exp = Expansion(EINSTEIN_DE_SITTER)
+        a = np.array([0.1, 0.5, 1.0])
+        np.testing.assert_allclose(exp.E(a), a**-1.5, rtol=1e-12)
+
+    def test_eds_kick_drift_analytic(self):
+        """EdS: drift = int a^-1.5 da = 2(sqrt(a2) - sqrt(a1));
+        kick = int a^-0.5 da = same form."""
+        exp = Expansion(EINSTEIN_DE_SITTER)
+        a1, a2 = 0.04, 0.16
+        assert exp.drift_factor(a1, a2) == pytest.approx(
+            2 * (1 / np.sqrt(a1) - 1 / np.sqrt(a2)), rel=1e-9
+        )
+        assert exp.kick_factor(a1, a2) == pytest.approx(
+            2 * (np.sqrt(a2) - np.sqrt(a1)), rel=1e-9
+        )
+
+    def test_eds_age_of_universe(self):
+        """EdS: t(a=1) = 2/3 in 1/H0 units."""
+        exp = Expansion(EINSTEIN_DE_SITTER)
+        assert exp.time_between(1e-8, 1.0) == pytest.approx(2.0 / 3.0, rel=1e-4)
+
+    def test_z_a_conversions(self):
+        assert Expansion.a_of_z(0.0) == 1.0
+        assert Expansion.a_of_z(399.0) == pytest.approx(1.0 / 400.0)
+        assert Expansion.z_of_a(0.25) == pytest.approx(3.0)
+
+    def test_lambda_dominates_late(self):
+        exp = Expansion(WMAP7)
+        # at high a, E(a) -> sqrt(omega_l)
+        assert exp.E(100.0) == pytest.approx(np.sqrt(WMAP7.omega_l), rel=1e-4)
+
+
+class TestGrowth:
+    def test_eds_growth_is_a(self):
+        g = GrowthFactor(EINSTEIN_DE_SITTER)
+        a = np.array([0.01, 0.1, 0.5, 1.0])
+        np.testing.assert_allclose(g.D(a), a, rtol=1e-4)
+
+    def test_eds_growth_rate_is_one(self):
+        g = GrowthFactor(EINSTEIN_DE_SITTER)
+        assert g.f(0.3) == pytest.approx(1.0, abs=1e-3)
+
+    def test_normalized_at_one(self):
+        g = GrowthFactor(WMAP7)
+        assert float(g.D(1.0)) == pytest.approx(1.0, rel=1e-10)
+
+    def test_monotone_increasing(self):
+        g = GrowthFactor(WMAP7)
+        a = np.linspace(0.01, 1.0, 20)
+        d = g.D(a)
+        assert np.all(np.diff(d) > 0)
+
+    def test_lcdm_growth_suppressed_late(self):
+        """Lambda suppresses growth: D(a)/a drops below 1 toward a=1
+        when normalized in matter domination."""
+        g = GrowthFactor(WMAP7)
+        early_ratio = float(g.D(0.01)) / 0.01
+        late_ratio = 1.0  # D(1)/1
+        assert late_ratio < early_ratio
+
+    def test_matter_era_growth_rate(self):
+        """At early times LCDM behaves like EdS: f -> 1."""
+        g = GrowthFactor(WMAP7)
+        assert g.f(1.0 / 401.0) == pytest.approx(1.0, abs=5e-3)
+
+    def test_wmap7_growth_rate_today(self):
+        """f(1) ~ Omega_m^0.55 ~ 0.49 for WMAP7."""
+        g = GrowthFactor(WMAP7)
+        assert float(g.f(1.0)) == pytest.approx(WMAP7.omega_m**0.55, abs=0.02)
+
+    def test_d_ratio(self):
+        g = GrowthFactor(EINSTEIN_DE_SITTER)
+        assert g.D_ratio(0.1, 0.2) == pytest.approx(2.0, rel=1e-4)

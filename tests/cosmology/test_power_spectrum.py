@@ -1,0 +1,101 @@
+"""Tests of the linear power spectrum machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology.params import WMAP7
+from repro.cosmology.power_spectrum import (
+    PowerSpectrum,
+    bbks_transfer,
+    free_streaming_cutoff,
+)
+
+
+class TestBBKSTransfer:
+    def test_unity_at_large_scales(self):
+        assert bbks_transfer(np.array([0.0]), 0.2)[0] == 1.0
+        assert bbks_transfer(np.array([1e-5]), 0.2)[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone_decreasing(self):
+        k = np.geomspace(1e-4, 1e3, 200)
+        t = bbks_transfer(k, 0.2)
+        assert np.all(np.diff(t) < 0)
+
+    def test_small_scale_asymptote(self):
+        """T ~ ln(q)/q^2 at large k: steep suppression."""
+        assert bbks_transfer(np.array([100.0]), 0.2)[0] < 1e-3
+
+
+class TestFreeStreamingCutoff:
+    def test_no_damping_large_scales(self):
+        assert free_streaming_cutoff(np.array([1e-3]), 1.0)[0] == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_sharp_cutoff(self):
+        t = free_streaming_cutoff(np.array([0.5, 1.0, 2.0, 4.0]), 1.0)
+        assert t[0] > 0.5
+        assert t[1] < 0.2
+        assert t[2] < 1e-2
+        assert np.all(t >= 0)
+
+    def test_monotone_nonincreasing(self):
+        k = np.geomspace(1e-2, 10, 300)
+        t = free_streaming_cutoff(k, 1.0)
+        assert np.all(np.diff(t) <= 1e-15)
+
+
+class TestPowerSpectrum:
+    @pytest.fixture(scope="class")
+    def ps(self):
+        return PowerSpectrum(WMAP7)
+
+    def test_sigma8_normalization(self, ps):
+        assert ps.sigma_r(8.0) == pytest.approx(WMAP7.sigma8, rel=1e-3)
+
+    def test_growth_scaling(self, ps):
+        k = np.array([0.1])
+        p0 = ps(k, z=0.0)[0]
+        p1 = ps(k, z=9.0)[0]
+        d = ps.growth.D(0.1)
+        assert p1 / p0 == pytest.approx(float(d) ** 2, rel=1e-6)
+
+    def test_dimensionless_increasing_in_matter_regime(self, ps):
+        """Delta^2(k) rises with k for n_s ~ 1 CDM (hierarchical)."""
+        k = np.array([0.01, 0.1, 1.0, 10.0])
+        d2 = ps.dimensionless(k)
+        assert np.all(np.diff(d2) > 0)
+
+    def test_cutoff_spectrum_suppressed(self):
+        ps_cdm = PowerSpectrum(WMAP7)
+        ps_cut = PowerSpectrum(WMAP7, k_fs=10.0)
+        k = np.array([30.0])
+        assert ps_cut(k)[0] < 1e-4 * ps_cdm(k)[0]
+        k = np.array([0.1])
+        assert ps_cut(k)[0] == pytest.approx(ps_cdm(k)[0], rel=1e-2)
+
+    def test_sigma_smaller_on_larger_scales(self, ps):
+        assert ps.sigma_r(16.0) < ps.sigma_r(8.0) < ps.sigma_r(1.0)
+
+    def test_box_units_preserve_dimensionless_power(self, ps):
+        """Delta^2 is invariant: k^3 P must match across unit systems."""
+        box = 50.0  # Mpc/h
+        p_box = ps.in_box_units(box)
+        k_box = np.array([10.0])  # rad per box length
+        k_phys = k_box / box
+        d2_box = k_box**3 * p_box(k_box) / (2 * np.pi**2)
+        d2_phys = ps.dimensionless(k_phys)
+        np.testing.assert_allclose(d2_box, d2_phys, rtol=1e-12)
+
+    def test_box_units_validation(self, ps):
+        with pytest.raises(ValueError):
+            ps.in_box_units(0.0)
+
+    def test_custom_transfer(self):
+        flat = PowerSpectrum(WMAP7, transfer=lambda k: np.ones_like(k))
+        k = np.array([0.1, 1.0])
+        p = flat(k)
+        # pure power law: P ~ k^n_s
+        assert p[1] / p[0] == pytest.approx(10**WMAP7.n_s, rel=1e-10)

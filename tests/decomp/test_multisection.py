@@ -1,0 +1,144 @@
+"""Tests of the 3-D multisection decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomp.multisection import MultisectionDecomposition, weighted_split
+
+
+class TestWeightedSplit:
+    def test_single_part(self):
+        b = weighted_split(np.array([0.3]), np.array([1.0]), 1, 0.0, 1.0)
+        np.testing.assert_array_equal(b, [0.0, 1.0])
+
+    def test_uniform_samples_even_split(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(100000)
+        b = weighted_split(v, np.ones_like(v), 4, 0.0, 1.0)
+        np.testing.assert_allclose(b, [0, 0.25, 0.5, 0.75, 1.0], atol=0.01)
+
+    def test_weights_shift_boundaries(self):
+        v = np.linspace(0.01, 0.99, 100)
+        w = np.where(v < 0.5, 3.0, 1.0)  # left half 3x more expensive
+        b = weighted_split(v, w, 2, 0.0, 1.0)
+        assert b[1] < 0.45  # median of weight sits left of 0.5
+
+    def test_no_samples_uniform_fallback(self):
+        b = weighted_split(np.zeros(0), np.zeros(0), 4, 0.0, 2.0)
+        np.testing.assert_allclose(b, [0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_degenerate_samples_still_monotone(self):
+        v = np.full(10, 0.5)
+        b = weighted_split(v, np.ones(10), 4, 0.0, 1.0)
+        assert np.all(np.diff(b) > 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            weighted_split(np.zeros(1), np.ones(1), 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            weighted_split(np.zeros(1), np.ones(1), 2, 1.0, 0.0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20)
+    def test_property_monotone_and_bounded(self, m, n):
+        rng = np.random.default_rng(n)
+        v = rng.random(n)
+        b = weighted_split(v, np.ones(n), m, 0.0, 1.0)
+        assert b[0] == 0.0 and b[-1] == 1.0
+        assert np.all(np.diff(b) > 0)
+
+
+class TestUniformDecomposition:
+    def test_domain_bounds(self):
+        d = MultisectionDecomposition.uniform((2, 2, 2))
+        lo, hi = d.domain_bounds(0)
+        np.testing.assert_allclose(lo, [0, 0, 0])
+        np.testing.assert_allclose(hi, [0.5, 0.5, 0.5])
+        lo, hi = d.domain_bounds(7)
+        np.testing.assert_allclose(lo, [0.5, 0.5, 0.5])
+        np.testing.assert_allclose(hi, [1, 1, 1])
+
+    def test_rank_cell_roundtrip(self):
+        d = MultisectionDecomposition.uniform((2, 3, 4))
+        for r in range(d.n_domains):
+            assert d.rank_of_cell(*d.cell_of_rank(r)) == r
+
+    def test_volumes_sum_to_box(self):
+        d = MultisectionDecomposition.uniform((3, 2, 2))
+        assert d.domain_volumes().sum() == pytest.approx(1.0)
+
+    def test_owner_of_covers_all(self, rng):
+        d = MultisectionDecomposition.uniform((2, 3, 2))
+        pos = rng.random((500, 3))
+        owners = d.owner_of(pos)
+        assert owners.min() >= 0
+        assert owners.max() < d.n_domains
+        for r in range(d.n_domains):
+            lo, hi = d.domain_bounds(r)
+            sel = owners == r
+            assert np.all((pos[sel] >= lo) & (pos[sel] < hi))
+
+    def test_invalid_rank(self):
+        d = MultisectionDecomposition.uniform((2, 2, 2))
+        with pytest.raises(ValueError):
+            d.cell_of_rank(8)
+
+
+class TestFromSamples:
+    def test_equal_counts_per_domain(self, rng):
+        """Defining property: every domain holds ~equal sample counts."""
+        samples = rng.random((8000, 3))
+        # clustered: half the samples in a small corner blob
+        samples[:4000] = 0.1 * rng.random((4000, 3))
+        d = MultisectionDecomposition.from_samples(samples, (2, 2, 2))
+        owners = d.owner_of(samples)
+        counts = np.bincount(owners, minlength=8)
+        assert counts.max() / counts.min() < 1.25
+
+    def test_clustered_blob_gets_small_domains(self, rng):
+        samples = np.vstack(
+            [0.05 + 0.05 * rng.random((5000, 3)), rng.random((1000, 3))]
+        )
+        d = MultisectionDecomposition.from_samples(samples, (2, 2, 2))
+        vols = d.domain_volumes()
+        # the domain containing the blob (rank 0: low corner) is small
+        assert vols[0] < 0.2 * vols.max()
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="increasing"):
+            MultisectionDecomposition(
+                np.array([0.0, 0.5, 0.4, 1.0]),
+                np.tile(np.linspace(0, 1, 2 + 1), (3, 1)),
+                np.tile(np.linspace(0, 1, 3), (3, 2, 1)),
+            )
+        with pytest.raises(ValueError, match="span"):
+            MultisectionDecomposition(
+                np.array([0.1, 1.0]),
+                np.tile(np.linspace(0, 1, 3), (1, 1)),
+                np.tile(np.linspace(0, 1, 3), (1, 2, 1)),
+            )
+
+    def test_flatten_roundtrip(self, rng):
+        samples = rng.random((1000, 3))
+        d = MultisectionDecomposition.from_samples(samples, (2, 3, 2))
+        d2 = MultisectionDecomposition.unflatten(d.flatten(), (2, 3, 2))
+        np.testing.assert_array_equal(d.x_bounds, d2.x_bounds)
+        np.testing.assert_array_equal(d.y_bounds, d2.y_bounds)
+        np.testing.assert_array_equal(d.z_bounds, d2.z_bounds)
+
+    def test_fig3_style_2d_division(self, rng):
+        """The paper's Fig. 3: an 8x8 2-D division adapting to
+        clustered structure; every domain ends up with equal counts."""
+        blob = 0.5 + 0.05 * rng.standard_normal((20000, 3))
+        bg = rng.random((5000, 3))
+        samples = np.clip(np.vstack([blob, bg]), 0.0, 0.999999)
+        d = MultisectionDecomposition.from_samples(samples, (8, 8, 1))
+        counts = np.bincount(d.owner_of(samples), minlength=64)
+        assert counts.max() / max(counts.min(), 1) < 1.6
+        # central domains (containing the blob) are far smaller
+        vols = d.domain_volumes()
+        assert vols.min() < 0.05 * vols.max()

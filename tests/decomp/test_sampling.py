@@ -1,0 +1,189 @@
+"""Tests of the sampling method, boundary smoothing and exchange."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decomp.exchange import exchange_particles
+from repro.decomp.multisection import MultisectionDecomposition
+from repro.decomp.sampling import BoundaryHistory, SamplingDecomposer
+from repro.mpi.runtime import run_spmd
+
+
+class TestBoundaryHistory:
+    def test_first_push_identity(self):
+        h = BoundaryHistory(window=5)
+        v = np.array([0.0, 0.3, 1.0])
+        np.testing.assert_array_equal(h.push(v), v)
+
+    def test_linear_weights(self):
+        h = BoundaryHistory(window=5)
+        h.push(np.array([0.0]))
+        out = h.push(np.array([3.0]))
+        # weights 1, 2 -> (0*1 + 3*2)/3 = 2
+        assert out[0] == pytest.approx(2.0)
+
+    def test_window_truncates(self):
+        h = BoundaryHistory(window=2)
+        h.push(np.array([100.0]))
+        h.push(np.array([0.0]))
+        out = h.push(np.array([0.0]))
+        assert out[0] == pytest.approx(0.0)  # the 100 fell out
+
+    def test_smoothing_damps_jumps(self):
+        """Alternating boundary sets are damped toward their mean."""
+        h = BoundaryHistory(window=5)
+        vals = []
+        for i in range(20):
+            vals.append(h.push(np.array([0.4 if i % 2 else 0.6]))[0])
+        # raw jump amplitude 0.2; smoothed amplitude far smaller
+        late = np.array(vals[10:])
+        assert late.max() - late.min() < 0.08
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BoundaryHistory(window=0)
+
+
+class TestSamplingDecomposer:
+    def _run(self, n_ranks, divisions, positions_of_rank, costs_of_rank, steps=1,
+             cost_balance=True, window=1):
+        def fn(comm):
+            dec = SamplingDecomposer(
+                divisions,
+                sample_rate=0.5,
+                window=window,
+                cost_balance=cost_balance,
+                seed=7,
+            )
+            out = None
+            for s in range(steps):
+                out = dec.update(
+                    comm, positions_of_rank(comm.rank), costs_of_rank(comm.rank)
+                )
+            return out
+
+        return run_spmd(n_ranks, fn)
+
+    def test_all_ranks_agree(self):
+        rng = np.random.default_rng(0)
+        parts = [rng.random((100, 3)) for _ in range(4)]
+        out = self._run(4, (2, 2, 1), lambda r: parts[r], lambda r: 1.0)
+        for d in out[1:]:
+            np.testing.assert_array_equal(d.flatten(), out[0].flatten())
+
+    def test_equal_cost_equalizes_counts(self):
+        """With uniform costs, domains converge to equal counts even
+        for a clustered distribution."""
+        rng = np.random.default_rng(1)
+        blob = np.clip(0.25 + 0.05 * rng.standard_normal((2000, 3)), 0, 0.999)
+        bg = rng.random((500, 3))
+        allp = np.vstack([blob, bg])
+        uniform = MultisectionDecomposition.uniform((2, 2, 1))
+        owners = uniform.owner_of(allp)
+        parts = [allp[owners == r] for r in range(4)]
+        out = self._run(
+            4, (2, 2, 1), lambda r: parts[r], lambda r: 1.0, cost_balance=False
+        )
+        counts = np.bincount(out[0].owner_of(allp), minlength=4)
+        assert counts.max() / counts.min() < 1.5
+
+    def test_costly_rank_gets_smaller_domain(self):
+        """Cost-proportional sampling: the expensive rank's region
+        shrinks relative to count-balanced sampling."""
+        rng = np.random.default_rng(2)
+        parts = [rng.random((200, 3)) * [0.5, 1, 1] + [0.5 * (r // 2), 0, 0]
+                 for r in range(4)]
+
+        def costs(r):
+            return 10.0 if r == 0 else 1.0
+
+        balanced = self._run(4, (2, 2, 1), lambda r: parts[r], costs)[0]
+        neutral = self._run(
+            4, (2, 2, 1), lambda r: parts[r], costs, cost_balance=False
+        )[0]
+        assert balanced.domain_volumes()[0] < neutral.domain_volumes()[0]
+
+    def test_smoothing_applied_over_steps(self):
+        rng = np.random.default_rng(3)
+        parts = [rng.random((300, 3)) for _ in range(2)]
+        smooth = self._run(
+            2, (2, 1, 1), lambda r: parts[r], lambda r: 1.0, steps=5, window=5
+        )[0]
+        # smoothed boundaries remain valid and within the box
+        assert np.all(np.diff(smooth.x_bounds) > 0)
+
+    def test_division_size_mismatch(self):
+        with pytest.raises(RuntimeError, match="divisions"):
+            self._run(4, (3, 1, 1), lambda r: np.zeros((1, 3)), lambda r: 1.0)
+
+    def test_empty_rank_tolerated(self):
+        rng = np.random.default_rng(4)
+
+        def parts(r):
+            return rng.random((100, 3)) if r else np.zeros((0, 3))
+
+        out = self._run(2, (2, 1, 1), parts, lambda r: 1.0)
+        assert out[0].n_domains == 2
+
+
+class TestExchange:
+    def test_particles_reach_their_owners(self):
+        rng = np.random.default_rng(5)
+        allpos = rng.random((400, 3))
+        allvel = rng.standard_normal((400, 3))
+        decomp = MultisectionDecomposition.uniform((2, 2, 1))
+
+        def fn(comm):
+            # initially particles are scattered arbitrarily: rank r
+            # holds the r-th quarter regardless of position
+            lo, hi = 100 * comm.rank, 100 * (comm.rank + 1)
+            arrays = {
+                "pos": allpos[lo:hi],
+                "vel": allvel[lo:hi],
+                "mass": np.full(100, 0.001),
+            }
+            return exchange_particles(comm, decomp, arrays)
+
+        out = run_spmd(4, fn)
+        total = sum(len(o["pos"]) for o in out)
+        assert total == 400
+        for r, o in enumerate(out):
+            lo, hi = decomp.domain_bounds(r)
+            assert np.all((o["pos"] >= lo) & (o["pos"] < hi))
+            assert len(o["vel"]) == len(o["pos"]) == len(o["mass"])
+
+    def test_velocity_follows_position(self):
+        """Payload arrays stay aligned with their particles."""
+        pos = np.array([[0.1, 0.5, 0.5], [0.9, 0.5, 0.5]])
+        vel = np.array([[1.0, 0, 0], [2.0, 0, 0]])
+        decomp = MultisectionDecomposition.uniform((2, 1, 1))
+
+        def fn(comm):
+            if comm.rank == 0:
+                arrays = {"pos": pos, "vel": vel}
+            else:
+                arrays = {"pos": np.zeros((0, 3)), "vel": np.zeros((0, 3))}
+            return exchange_particles(comm, decomp, arrays)
+
+        out = run_spmd(2, fn)
+        assert out[0]["vel"][0, 0] == 1.0
+        assert out[1]["vel"][0, 0] == 2.0
+
+    def test_validation(self):
+        decomp = MultisectionDecomposition.uniform((1, 1, 1))
+
+        def missing_pos(comm):
+            exchange_particles(comm, decomp, {"vel": np.zeros((1, 3))})
+
+        with pytest.raises(RuntimeError, match="pos"):
+            run_spmd(1, missing_pos)
+
+        def bad_len(comm):
+            exchange_particles(
+                comm, decomp, {"pos": np.zeros((2, 3)), "vel": np.zeros((1, 3))}
+            )
+
+        with pytest.raises(RuntimeError, match="mismatch"):
+            run_spmd(1, bad_len)

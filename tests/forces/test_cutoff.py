@@ -1,0 +1,231 @@
+"""Tests of the g_P3M cutoff function (paper eq. 3) and force splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.integrate import quad
+
+from repro.forces.cutoff import (
+    GaussianForceSplit,
+    S2ForceSplit,
+    gaussian_force_cutoff,
+    get_split,
+    gp3m_cutoff,
+    gp3m_potential_cutoff,
+    s2_shape_factor,
+)
+
+
+class TestGp3mCutoff:
+    def test_unity_at_origin(self):
+        assert gp3m_cutoff(0.0) == pytest.approx(1.0)
+
+    def test_zero_at_two(self):
+        # g(2) = 67/35 - 67/35 = 0 exactly (see eq. 3)
+        assert gp3m_cutoff(2.0) == pytest.approx(0.0, abs=1e-14)
+
+    def test_zero_beyond_two(self):
+        xi = np.linspace(2.0, 10.0, 50)
+        assert np.all(gp3m_cutoff(xi) == 0.0)
+
+    def test_continuous_at_branch_point(self):
+        # zeta = max(0, xi-1) introduces a branch at xi = 1
+        left = gp3m_cutoff(1.0 - 1e-9)
+        right = gp3m_cutoff(1.0 + 1e-9)
+        assert left == pytest.approx(right, abs=1e-7)
+
+    def test_value_at_branch_point(self):
+        # g(1) = 1 - 1/2 - 12/35 + 3/20 (analytic evaluation of eq. 3)
+        expected = 1.0 - 0.5 - 12.0 / 35.0 + 3.0 / 20.0
+        assert gp3m_cutoff(1.0) == pytest.approx(expected, rel=1e-14)
+
+    def test_monotonically_decreasing(self):
+        xi = np.linspace(0.0, 2.0, 2001)
+        g = gp3m_cutoff(xi)
+        assert np.all(np.diff(g) <= 1e-12)
+
+    def test_bounded_between_zero_and_one(self):
+        xi = np.linspace(0.0, 3.0, 1000)
+        g = gp3m_cutoff(xi)
+        assert np.all(g <= 1.0 + 1e-14)
+        assert np.all(g >= -1e-14)
+
+    def test_smooth_derivative_at_branch(self):
+        # the zeta^6 factor makes the correction C^5-smooth at xi = 1
+        h = 1e-5
+        d_left = (gp3m_cutoff(1.0) - gp3m_cutoff(1.0 - h)) / h
+        d_right = (gp3m_cutoff(1.0 + h) - gp3m_cutoff(1.0)) / h
+        assert d_left == pytest.approx(d_right, abs=1e-3)
+
+    def test_matches_s2_pair_force_integral(self):
+        """g(xi) must equal 1 - F_S2S2(r) r^2: the residual after
+        subtracting the force between two S2 clouds (Fourier integral)."""
+
+        def f_s2s2(r, rcut):
+            # F(r) = -(2/pi) d/dr int dk S(k rcut)^2 j0(kr)
+            #      = (2/pi) int dk S^2 * [sin(kr)/(k r^2) - cos(kr)/r]... use
+            # derivative of j0: dU/dr with U = -(2/pi) int S^2 j0(kr) dk
+            def integrand(k):
+                s2 = s2_shape_factor(k * rcut) ** 2
+                kr = k * r
+                dj0 = (np.cos(kr) * kr - np.sin(kr)) / (kr * kr) * k
+                return s2 * dj0
+
+            val, _ = quad(integrand, 0.0, 800.0, limit=800)
+            return (2.0 / np.pi) * val  # = -dU/dr * ... sign handled below
+
+        rcut = 1.0
+        for xi in (0.25, 0.75, 1.25, 1.75):
+            r = xi * rcut / 2.0
+            # attraction magnitude between the two clouds:
+            fpm = -f_s2s2(r, rcut)  # positive
+            expected = 1.0 - fpm * r * r
+            assert gp3m_cutoff(xi) == pytest.approx(expected, abs=1e-7)
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    def test_property_range(self, xi):
+        g = float(gp3m_cutoff(xi))
+        assert 0.0 - 1e-12 <= g <= 1.0 + 1e-12
+
+    def test_vectorized_matches_scalar(self):
+        xi = np.linspace(0, 2.5, 17)
+        vec = gp3m_cutoff(xi)
+        scl = np.array([float(gp3m_cutoff(x)) for x in xi])
+        np.testing.assert_allclose(vec, scl, rtol=0, atol=0)
+
+
+class TestGp3mPotentialCutoff:
+    def test_unity_at_origin_limit(self):
+        # h(xi) -> 1 as xi -> 0 (pure Newtonian potential at short range)
+        assert gp3m_potential_cutoff(1e-9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_beyond_cutoff(self):
+        assert gp3m_potential_cutoff(2.0) == pytest.approx(0.0, abs=1e-14)
+        assert np.all(gp3m_potential_cutoff(np.array([2.5, 3.0, 10.0])) == 0.0)
+
+    def test_consistent_with_force_by_differentiation(self):
+        """-d/dr [h(2r/rcut)/r] must equal g(2r/rcut)/r^2."""
+        rcut = 1.0
+        r = np.linspace(0.05, 0.99, 40) * rcut
+        h = 1e-6
+
+        def phi(rr):
+            return gp3m_potential_cutoff(2.0 * rr / rcut) / rr
+
+        force_num = -(phi(r + h) - phi(r - h)) / (2 * h)
+        force_ana = gp3m_cutoff(2.0 * r / rcut) / r**2
+        np.testing.assert_allclose(force_num, force_ana, rtol=5e-5, atol=1e-7)
+
+    def test_monotone_decreasing(self):
+        xi = np.linspace(1e-4, 2.0, 500)
+        h = gp3m_potential_cutoff(xi)
+        assert np.all(np.diff(h) <= 1e-12)
+
+
+class TestS2ShapeFactor:
+    def test_unity_at_zero(self):
+        assert s2_shape_factor(0.0) == pytest.approx(1.0)
+
+    def test_series_matches_exact_at_crossover(self):
+        # the series branch (u < 0.1, i.e. x < 0.2) must agree with the
+        # exact formula evaluated at the same point
+        x = 0.1999
+        u = x / 2.0
+        exact = 12.0 / u**4 * (2.0 - 2.0 * np.cos(u) - u * np.sin(u))
+        assert float(s2_shape_factor(x)) == pytest.approx(exact, rel=1e-9)
+
+    def test_decays_at_large_k(self):
+        assert abs(s2_shape_factor(100.0)) < 2e-3
+
+    def test_is_fourier_transform_of_s2_density(self):
+        """S(k rcut) must equal 4 pi int r^2 rho(r) sinc(kr) dr for the
+        linearly-decreasing S2 profile of eq. (1)."""
+        rcut = 1.0
+        a = rcut / 2.0
+
+        def rho(r):  # unit-mass S2 profile
+            return 24.0 / (np.pi * rcut**3) * (1.0 - 2.0 * r / rcut)
+
+        for k in (0.5, 2.0, 7.0, 20.0):
+            val, _ = quad(
+                lambda r: 4 * np.pi * r**2 * rho(r) * np.sinc(k * r / np.pi),
+                0.0,
+                a,
+            )
+            assert s2_shape_factor(k * rcut) == pytest.approx(val, abs=1e-10)
+
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_property_bounded_by_one(self, x):
+        assert abs(float(s2_shape_factor(x))) <= 1.0 + 1e-12
+
+
+class TestS2ForceSplit:
+    def test_short_plus_long_reconstructs_newton_in_kspace(self):
+        """At k = 0 the long-range factor is 1 (all power); the short
+        range correspondingly vanishes at r >> rcut."""
+        split = S2ForceSplit(rcut=0.1)
+        assert split.long_range_kspace_factor(0.0) == pytest.approx(1.0)
+        assert split.short_range_factor(np.array([0.2])) == 0.0
+
+    def test_cutoff_radius(self):
+        split = S2ForceSplit(rcut=0.05)
+        assert split.cutoff_radius == 0.05
+        r = np.linspace(0.0501, 1.0, 20)
+        assert np.all(split.short_range_factor(r) == 0.0)
+
+    def test_rejects_nonpositive_rcut(self):
+        with pytest.raises(ValueError):
+            S2ForceSplit(rcut=0.0)
+        with pytest.raises(ValueError):
+            S2ForceSplit(rcut=-1.0)
+
+
+class TestGaussianForceSplit:
+    def test_short_range_factor_limits(self):
+        split = GaussianForceSplit(rs=0.02)
+        assert split.short_range_factor(np.array([1e-8]))[0] == pytest.approx(
+            1.0, abs=1e-6
+        )
+        assert split.short_range_factor(np.array([1.0]))[0] == 0.0
+
+    def test_effective_cutoff_is_where_tail_crosses_eps(self):
+        split = GaussianForceSplit(rs=0.02, tail_eps=1e-5)
+        rc = split.cutoff_radius
+        assert gaussian_force_cutoff(rc, 0.02) == pytest.approx(1e-5, rel=1e-6)
+
+    def test_kspace_factor(self):
+        split = GaussianForceSplit(rs=0.02)
+        assert split.long_range_kspace_factor(0.0) == pytest.approx(1.0)
+        assert split.long_range_kspace_factor(1000.0) < 1e-10
+
+    def test_complementarity_short_long(self):
+        """short factor == 1 - r^2 * (long-range real-space force):
+        for the Gaussian split, erfc + gaussian term + erf-part = 1."""
+        from scipy.special import erf
+
+        rs = 0.05
+        r = np.linspace(0.001, 0.5, 50)
+        short = gaussian_force_cutoff(r, rs)
+        u = r / (2 * rs)
+        long_factor = erf(u) - (2 / np.sqrt(np.pi)) * u * np.exp(-(u**2))
+        np.testing.assert_allclose(short + long_factor, 1.0, atol=1e-12)
+
+
+class TestGetSplit:
+    def test_s2(self):
+        split = get_split("s2", 0.1)
+        assert isinstance(split, S2ForceSplit)
+        assert split.rcut == 0.1
+
+    def test_gaussian(self):
+        split = get_split("gaussian", 0.1)
+        assert isinstance(split, GaussianForceSplit)
+        # effective support comparable to the requested rcut
+        assert 0.03 < split.cutoff_radius < 0.3
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_split("spline", 0.1)

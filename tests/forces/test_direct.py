@@ -1,0 +1,159 @@
+"""Tests of the direct-summation force calculators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.forces.cutoff import S2ForceSplit
+from repro.forces.direct import (
+    direct_forces_cutoff,
+    direct_forces_open,
+    direct_forces_periodic_mi,
+    direct_potential_open,
+)
+
+
+class TestDirectOpen:
+    def test_two_body_inverse_square(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        mass = np.array([1.0, 2.0])
+        acc = direct_forces_open(pos, mass)
+        np.testing.assert_allclose(acc[0], [2.0, 0.0, 0.0], atol=1e-14)
+        np.testing.assert_allclose(acc[1], [-1.0, 0.0, 0.0], atol=1e-14)
+
+    def test_momentum_conservation(self, clustered_particles):
+        pos, mass = clustered_particles
+        acc = direct_forces_open(pos, mass, eps=1e-3)
+        total = (mass[:, None] * acc).sum(axis=0)
+        np.testing.assert_allclose(total, 0.0, atol=1e-13)
+
+    def test_softening_regularizes_close_pairs(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1e-12, 0.0, 0.0]])
+        mass = np.ones(2)
+        acc = direct_forces_open(pos, mass, eps=0.01)
+        assert np.all(np.isfinite(acc))
+        assert np.linalg.norm(acc[0]) < 1e-12 / 0.01**3 * 1.001
+
+    def test_self_interaction_excluded(self):
+        pos = np.array([[0.5, 0.5, 0.5]])
+        acc = direct_forces_open(pos, np.array([1.0]))
+        np.testing.assert_array_equal(acc, 0.0)
+
+    def test_chunking_invariance(self, uniform_particles):
+        pos, mass = uniform_particles
+        a1 = direct_forces_open(pos, mass, eps=1e-3, chunk=7)
+        a2 = direct_forces_open(pos, mass, eps=1e-3, chunk=1024)
+        np.testing.assert_allclose(a1, a2, rtol=0, atol=0)
+
+    def test_explicit_targets(self, uniform_particles):
+        pos, mass = uniform_particles
+        probe = np.array([[0.1, 0.9, 0.3], [0.6, 0.2, 0.8]])
+        acc = direct_forces_open(pos, mass, eps=1e-3, targets=probe)
+        assert acc.shape == (2, 3)
+        full = direct_forces_open(
+            np.vstack([pos, probe]),
+            np.concatenate([mass, [0.0, 0.0]]),
+            eps=1e-3,
+        )
+        np.testing.assert_allclose(acc, full[-2:], atol=1e-13)
+
+    def test_g_scaling(self, uniform_particles):
+        pos, mass = uniform_particles
+        a1 = direct_forces_open(pos, mass, eps=1e-3, G=1.0)
+        a2 = direct_forces_open(pos, mass, eps=1e-3, G=4.5)
+        np.testing.assert_allclose(a2, 4.5 * a1, rtol=1e-14)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (5, 3),
+            elements=st.floats(min_value=0.0, max_value=1.0, width=32),
+        )
+    )
+    def test_property_pairwise_antisymmetry(self, pos):
+        """For equal masses, the force matrix is antisymmetric, so the
+        mass-weighted total momentum change is exactly zero."""
+        mass = np.ones(len(pos))
+        acc = direct_forces_open(pos, mass, eps=0.05)
+        np.testing.assert_allclose(acc.sum(axis=0), 0.0, atol=1e-9)
+
+
+class TestDirectPotential:
+    def test_two_body(self):
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        mass = np.array([3.0, 5.0])
+        phi = direct_potential_open(pos, mass)
+        assert phi[0] == pytest.approx(-5.0 / 2.0)
+        assert phi[1] == pytest.approx(-3.0 / 2.0)
+
+    def test_energy_consistency_with_force(self):
+        """Numerical gradient of the potential equals minus the force."""
+        pos = np.array([[0.2, 0.3, 0.4], [0.7, 0.6, 0.5], [0.4, 0.8, 0.1]])
+        mass = np.array([1.0, 2.0, 3.0])
+        probe = np.array([[0.5, 0.5, 0.5]])
+        h = 1e-6
+        grad = np.zeros(3)
+        for d in range(3):
+            pp, pm = probe.copy(), probe.copy()
+            pp[0, d] += h
+            pm[0, d] -= h
+            fp = direct_potential_open(pos, mass, targets=pp)[0]
+            fm = direct_potential_open(pos, mass, targets=pm)[0]
+            grad[d] = (fp - fm) / (2 * h)
+        acc = direct_forces_open(pos, mass, targets=probe)[0]
+        np.testing.assert_allclose(acc, -grad, rtol=1e-6)
+
+
+class TestDirectPeriodicMI:
+    def test_wraps_across_boundary(self):
+        # particles at x=0.05 and x=0.95 are 0.1 apart through the wall
+        pos = np.array([[0.05, 0.5, 0.5], [0.95, 0.5, 0.5]])
+        mass = np.ones(2)
+        acc = direct_forces_periodic_mi(pos, mass, box=1.0)
+        # particle 0 is pulled in -x (toward the image at -0.05)
+        assert acc[0, 0] < 0
+        assert acc[0, 0] == pytest.approx(-1.0 / 0.1**2, rel=1e-12)
+
+    def test_reduces_to_open_for_central_cluster(self):
+        rng = np.random.default_rng(7)
+        pos = 0.5 + 0.01 * rng.standard_normal((20, 3))
+        mass = np.ones(20)
+        a_mi = direct_forces_periodic_mi(pos, mass, box=1.0, eps=1e-4)
+        a_open = direct_forces_open(pos, mass, eps=1e-4)
+        np.testing.assert_allclose(a_mi, a_open, rtol=0, atol=0)
+
+
+class TestDirectCutoff:
+    def test_zero_beyond_rcut(self):
+        split = S2ForceSplit(rcut=0.1)
+        pos = np.array([[0.2, 0.5, 0.5], [0.8, 0.5, 0.5]])
+        mass = np.ones(2)
+        acc = direct_forces_cutoff(pos, mass, split, box=1.0)
+        np.testing.assert_array_equal(acc, 0.0)
+
+    def test_matches_plain_force_at_tiny_separation(self):
+        split = S2ForceSplit(rcut=0.2)
+        pos = np.array([[0.5, 0.5, 0.5], [0.501, 0.5, 0.5]])
+        mass = np.ones(2)
+        a_cut = direct_forces_cutoff(pos, mass, split, box=1.0, eps=1e-5)
+        a_raw = direct_forces_periodic_mi(pos, mass, box=1.0, eps=1e-5)
+        # g(2r/rcut) with r = 0.001, rcut=0.2 -> xi=0.01, g ~ 1 - 1.6e-6
+        np.testing.assert_allclose(a_cut, a_raw, rtol=1e-5)
+
+    def test_rejects_rcut_over_half_box(self):
+        split = S2ForceSplit(rcut=0.6)
+        pos = np.zeros((2, 3))
+        with pytest.raises(ValueError, match="minimum image"):
+            direct_forces_cutoff(pos, np.ones(2), split, box=1.0)
+
+    def test_momentum_conservation(self, clustered_particles):
+        pos, mass = clustered_particles
+        split = S2ForceSplit(rcut=0.15)
+        acc = direct_forces_cutoff(pos, mass, split, box=1.0, eps=1e-4)
+        np.testing.assert_allclose(
+            (mass[:, None] * acc).sum(axis=0), 0.0, atol=1e-10
+        )

@@ -1,0 +1,120 @@
+"""Tests of the Ewald summation reference solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forces.ewald import EwaldSummation
+
+
+@pytest.fixture(scope="module")
+def ewald():
+    return EwaldSummation(box=1.0)
+
+
+class TestEwaldInvariances:
+    def test_alpha_independence(self):
+        """The Ewald force must not depend on the splitting parameter."""
+        dx = np.array([0.21, -0.13, 0.34])
+        e1 = EwaldSummation(box=1.0, alpha=1.5, nmax=4, kmax=10)
+        e2 = EwaldSummation(box=1.0, alpha=2.5, nmax=4, kmax=10)
+        np.testing.assert_allclose(
+            e1.pair_acceleration(dx), e2.pair_acceleration(dx), atol=1e-9
+        )
+
+    def test_periodicity(self, ewald):
+        dx = np.array([0.2, 0.3, -0.1])
+        for shift in ([1, 0, 0], [0, -1, 0], [2, 1, -1]):
+            np.testing.assert_allclose(
+                ewald.pair_acceleration(dx),
+                ewald.pair_acceleration(dx + np.array(shift, dtype=float)),
+                atol=1e-10,
+            )
+
+    def test_antisymmetry(self, ewald):
+        dx = np.array([0.17, 0.05, -0.29])
+        np.testing.assert_allclose(
+            ewald.pair_acceleration(dx),
+            -ewald.pair_acceleration(-dx),
+            atol=1e-12,
+        )
+
+    def test_cubic_symmetry(self, ewald):
+        """Permuting coordinates permutes the force components."""
+        dx = np.array([0.11, 0.23, 0.31])
+        a = ewald.pair_acceleration(dx)
+        a_perm = ewald.pair_acceleration(dx[[1, 2, 0]])
+        np.testing.assert_allclose(a[[1, 2, 0]], a_perm, atol=1e-12)
+
+    def test_zero_at_special_points(self, ewald):
+        """By symmetry the periodic force vanishes at the cube center
+        displacement (0.5, 0.5, 0.5) and at zero separation."""
+        np.testing.assert_allclose(
+            ewald.pair_acceleration(np.array([0.5, 0.5, 0.5])), 0.0, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            ewald.pair_acceleration(np.zeros(3)), 0.0, atol=1e-12
+        )
+
+
+class TestEwaldLimits:
+    def test_short_distance_newtonian(self, ewald):
+        """At r << box the force approaches the isolated Newtonian one."""
+        dx = np.array([0.01, 0.0, 0.0])
+        acc = ewald.pair_acceleration(dx)
+        newton = -dx / np.linalg.norm(dx) ** 3
+        # periodic correction is O(r / L^3) relative here
+        np.testing.assert_allclose(acc, newton, rtol=2e-3, atol=1e-5)
+
+    def test_linear_correction_term(self, ewald):
+        """The leading periodic correction is + (4 pi / 3 L^3) r (the
+        neutralizing background inside the sphere of radius r)."""
+        for x in (0.05, 0.1):
+            dx = np.array([x, 0.0, 0.0])
+            acc = ewald.pair_acceleration(dx)[0]
+            newton = -1.0 / x**2
+            correction = acc - newton
+            expected = 4.0 * np.pi / 3.0 * x
+            assert correction == pytest.approx(expected, rel=0.05)
+
+
+class TestEwaldForces:
+    def test_momentum_conservation(self, ewald):
+        rng = np.random.default_rng(3)
+        pos = rng.random((24, 3))
+        mass = rng.random(24) + 0.5
+        acc = ewald.forces(pos, mass)
+        np.testing.assert_allclose((mass[:, None] * acc).sum(axis=0), 0.0, atol=1e-8)
+
+    def test_uniform_lattice_has_zero_force(self, ewald):
+        """A perfect cubic lattice is an equilibrium of periodic gravity."""
+        g = np.arange(4) / 4.0
+        pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), axis=-1).reshape(-1, 3)
+        mass = np.ones(len(pos))
+        acc = ewald.forces(pos, mass)
+        np.testing.assert_allclose(acc, 0.0, atol=1e-8)
+
+    def test_chunking_invariance(self, ewald):
+        rng = np.random.default_rng(5)
+        pos = rng.random((30, 3))
+        mass = np.ones(30)
+        a1 = ewald.forces(pos, mass, chunk=7)
+        a2 = ewald.forces(pos, mass, chunk=64)
+        np.testing.assert_allclose(a1, a2, atol=0)
+
+    def test_softening_matches_direct_at_close_range(self, ewald):
+        """With eps > 0, a very tight pair feels the Plummer force."""
+        pos = np.array([[0.5, 0.5, 0.5], [0.5005, 0.5, 0.5]])
+        mass = np.ones(2)
+        eps = 1e-3
+        acc = ewald.forces(pos, mass, eps=eps)
+        r = 0.0005
+        plummer = r / (r**2 + eps**2) ** 1.5
+        assert acc[0, 0] == pytest.approx(plummer, rel=1e-3)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EwaldSummation(box=0.0)
+        with pytest.raises(ValueError):
+            EwaldSummation(box=1.0, alpha=-1.0)

@@ -1,0 +1,104 @@
+"""Tests of the Ewald potential and total energy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forces.ewald import EwaldSummation
+
+#: the Ewald lattice constant: psi_self = -2.837297... (electrostatic
+#: convention); gravity flips the sign
+EWALD_SELF = 2.837297
+
+
+@pytest.fixture(scope="module")
+def ewald():
+    return EwaldSummation()
+
+
+class TestPotential:
+    def test_lattice_constant(self, ewald):
+        """A single unit mass in a unit box: phi = +2.8373 G m."""
+        phi = ewald.potential(np.array([[0.3, 0.4, 0.5]]), np.array([1.0]))
+        assert phi[0] == pytest.approx(EWALD_SELF, abs=2e-5)
+
+    def test_alpha_independence(self):
+        p1 = EwaldSummation(alpha=1.5, nmax=4, kmax=10).potential(
+            np.array([[0.2, 0.2, 0.2]]), np.array([1.0])
+        )
+        p2 = EwaldSummation(alpha=3.0, nmax=4, kmax=10).potential(
+            np.array([[0.2, 0.2, 0.2]]), np.array([1.0])
+        )
+        assert p1[0] == pytest.approx(p2[0], abs=1e-8)
+
+    def test_translation_invariance(self, ewald):
+        pos = np.array([[0.1, 0.2, 0.3], [0.6, 0.7, 0.8]])
+        mass = np.array([1.0, 3.0])
+        shift = np.array([0.37, -0.21, 0.55])
+        p1 = ewald.potential(pos, mass)
+        p2 = ewald.potential(np.mod(pos + shift, 1.0), mass)
+        np.testing.assert_allclose(p1, p2, atol=1e-9)
+
+    def test_gradient_is_minus_force(self, ewald):
+        pos = np.array([[0.3, 0.5, 0.5], [0.62, 0.48, 0.55]])
+        mass = np.array([1.0, 2.0])
+        h = 1e-5
+        grad = np.zeros(3)
+        for d in range(3):
+            pp, pm = pos.copy(), pos.copy()
+            pp[0, d] += h
+            pm[0, d] -= h
+            grad[d] = (
+                ewald.potential(pp, mass)[0] - ewald.potential(pm, mass)[0]
+            ) / (2 * h)
+        acc = ewald.forces(pos, mass)[0]
+        np.testing.assert_allclose(acc, -grad, rtol=1e-6, atol=1e-8)
+
+    def test_pair_offset_matches_pm(self, ewald):
+        """Pair potential = -1/r + (lattice constant) + O(r^2): the
+        positive periodic offset the PM solver measures independently."""
+        pos = np.array([[0.3, 0.5, 0.5], [0.34, 0.5, 0.5]])
+        mass = np.array([1.0, 0.0])
+        phi = ewald.potential(pos, mass)[1]
+        r = 0.04
+        assert phi == pytest.approx(-1.0 / r + EWALD_SELF, abs=0.02)
+
+    def test_targets_subset(self, ewald, rng):
+        pos = rng.random((20, 3))
+        mass = rng.random(20)
+        full = ewald.potential(pos, mass)
+        sub = ewald.potential(pos, mass, targets=np.array([3, 7]))
+        np.testing.assert_allclose(sub, full[[3, 7]], atol=0)
+
+    def test_softening_correction(self, ewald):
+        pos = np.array([[0.5, 0.5, 0.5], [0.5005, 0.5, 0.5]])
+        mass = np.array([1.0, 0.0])
+        eps = 1e-3
+        phi = ewald.potential(pos, mass, eps=eps)[1]
+        r = 0.0005
+        plummer = -1.0 / np.sqrt(r**2 + eps**2)
+        assert phi == pytest.approx(plummer + EWALD_SELF, abs=0.01)
+
+
+class TestTotalEnergy:
+    def test_uniform_lattice_energy(self, ewald):
+        """A uniform lattice is (nearly) the mean density: its energy
+        per particle approaches the pure self-energy of the sub-lattice
+        spacing, and the configuration is an equilibrium."""
+        g = np.arange(4) / 4.0
+        pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), -1).reshape(-1, 3)
+        mass = np.full(len(pos), 1.0 / len(pos))
+        # energy of a scaled lattice: U(N m^2 / L) with L_eff = 1/4
+        u = ewald.total_energy(pos, mass)
+        expected = 0.5 * len(pos) * (mass[0] ** 2) * EWALD_SELF * 4
+        assert u == pytest.approx(expected, rel=1e-3)
+
+    def test_clustered_more_bound_than_uniform(self, ewald, rng):
+        n = 32
+        mass = np.full(n, 1.0 / n)
+        uniform = rng.random((n, 3))
+        clustered = np.mod(0.5 + 0.02 * rng.standard_normal((n, 3)), 1.0)
+        assert ewald.total_energy(clustered, mass, eps=1e-3) < ewald.total_energy(
+            uniform, mass, eps=1e-3
+        )

@@ -1,0 +1,113 @@
+"""Tests of the tabulated Ewald correction and the exact-periodic tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forces.ewald import EwaldSummation
+from repro.forces.ewald_table import EwaldCorrectionTable, get_correction_table
+from repro.tree.traversal import TreeSolver, tree_forces
+from repro.utils.periodic import minimum_image
+
+
+@pytest.fixture(scope="module")
+def table():
+    return get_correction_table(n=32, box=1.0)
+
+
+@pytest.fixture(scope="module")
+def ewald():
+    return EwaldSummation()
+
+
+class TestCorrectionField:
+    def test_vanishes_at_origin(self, table):
+        np.testing.assert_allclose(
+            table.correction(np.zeros((1, 3))), 0.0, atol=1e-10
+        )
+
+    def test_linear_background_near_origin(self, table):
+        """f_corr ~ (4 pi / 3) dx for small dx."""
+        dx = np.array([[0.02, 0.0, 0.0]])
+        corr = table.correction(dx)[0]
+        assert corr[0] == pytest.approx(4 * np.pi / 3 * 0.02, rel=0.05)
+
+    def test_matches_exact_correction(self, table, ewald):
+        rng = np.random.default_rng(1)
+        dx = rng.uniform(-0.5, 0.5, (200, 3))
+        exact = ewald.pair_acceleration(dx)
+        r2 = np.einsum("ij,ij->i", dx, dx)
+        newton = -dx / r2[:, None] ** 1.5
+        err = np.abs(table.correction(dx) - (exact - newton))
+        assert err.max() < 2e-2  # trilinear table resolution
+
+    def test_odd_symmetry(self, table):
+        dx = np.array([[0.21, 0.13, 0.34]])
+        c1 = table.correction(dx)
+        c2 = table.correction(-dx)
+        np.testing.assert_allclose(c1, -c2, atol=1e-14)
+        # per-axis reflection flips only that component
+        dx_ref = dx * np.array([-1.0, 1.0, 1.0])
+        c3 = table.correction(dx_ref)
+        np.testing.assert_allclose(c3[0, 0], -c1[0, 0], atol=1e-14)
+        np.testing.assert_allclose(c3[0, 1:], c1[0, 1:], atol=1e-14)
+
+    def test_periodicity(self, table):
+        dx = np.array([[0.3, -0.2, 0.1]])
+        np.testing.assert_allclose(
+            table.correction(dx),
+            table.correction(dx + np.array([[1.0, -2.0, 3.0]])),
+            atol=1e-12,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwaldCorrectionTable(n=2)
+
+    def test_cache_returns_same_object(self):
+        assert get_correction_table(n=32, box=1.0) is get_correction_table(
+            n=32, box=1.0
+        )
+
+
+class TestExactPeriodicTree:
+    def test_fixes_the_minimum_image_floor(self, ewald, clustered_particles):
+        """The corrected tree beats the plain minimum-image tree against
+        the exact periodic force — the O(1) floor is gone."""
+        pos, mass = clustered_particles
+        ref = ewald.forces(pos, mass, eps=1e-3)
+
+        def rms(**kw):
+            acc, _ = tree_forces(
+                pos, mass, theta=0.3, eps=1e-3, periodic=True, group_size=32,
+                **kw,
+            )
+            err = np.linalg.norm(acc - ref, axis=1)
+            return np.sqrt((err**2).mean()) / np.linalg.norm(ref, axis=1).mean()
+
+        plain = rms()
+        corrected = rms(ewald_correction=True)
+        assert corrected < 0.5 * plain
+        assert corrected < 0.02
+
+    def test_exactly_opened_tree_matches_ewald(self, ewald, rng):
+        """theta -> 0 with corrections = direct Ewald summation up to
+        table interpolation error."""
+        pos = rng.random((40, 3))
+        mass = np.full(40, 1.0 / 40)
+        acc, _ = tree_forces(
+            pos, mass, theta=1e-6, eps=1e-4, periodic=True,
+            ewald_correction=True,
+        )
+        ref = ewald.forces(pos, mass, eps=1e-4)
+        err = np.linalg.norm(acc - ref, axis=1)
+        assert err.max() / np.linalg.norm(ref, axis=1).mean() < 0.01
+
+    def test_requires_periodic_pure_tree(self):
+        from repro.forces.cutoff import S2ForceSplit
+
+        with pytest.raises(ValueError, match="periodic pure-tree"):
+            TreeSolver(periodic=False, ewald_correction=True)
+        with pytest.raises(ValueError, match="periodic pure-tree"):
+            TreeSolver(split=S2ForceSplit(0.1), ewald_correction=True)

@@ -1,0 +1,94 @@
+"""Tests of the Gaussian random field generator and P(k) estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ic.grf import gaussian_random_field, measure_power_spectrum
+
+
+def _power_law(amplitude=1e-4, slope=0.0):
+    return lambda k: amplitude * k**slope
+
+
+class TestGaussianRandomField:
+    def test_zero_mean(self):
+        delta = gaussian_random_field(32, _power_law(), seed=1)
+        assert abs(delta.mean()) < 1e-10  # DC mode is zeroed
+
+    def test_deterministic_given_seed(self):
+        a = gaussian_random_field(16, _power_law(), seed=5)
+        b = gaussian_random_field(16, _power_law(), seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = gaussian_random_field(16, _power_law(), seed=6)
+        assert not np.allclose(a, c)
+
+    def test_real_output(self):
+        delta = gaussian_random_field(16, _power_law(), seed=2)
+        assert delta.dtype == np.float64
+        assert delta.shape == (16, 16, 16)
+
+    def test_variance_scales_with_amplitude(self):
+        d1 = gaussian_random_field(32, _power_law(1e-4), seed=3)
+        d2 = gaussian_random_field(32, _power_law(4e-4), seed=3)
+        assert d2.var() / d1.var() == pytest.approx(4.0, rel=1e-10)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gaussian_random_field(16, lambda k: -np.ones_like(k))
+
+    def test_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field(1, _power_law())
+
+    def test_gaussianity(self):
+        """One-point distribution is Gaussian: |skewness| and excess
+        kurtosis are small for a white spectrum."""
+        delta = gaussian_random_field(32, _power_law(), seed=4)
+        x = delta.ravel() / delta.std()
+        assert abs(np.mean(x**3)) < 0.05
+        assert abs(np.mean(x**4) - 3.0) < 0.15
+
+
+class TestMeasurePowerSpectrum:
+    def test_roundtrip_white_spectrum(self):
+        amp = 3.0e-5
+        delta = gaussian_random_field(64, _power_law(amp), seed=7)
+        k, pk, counts = measure_power_spectrum(delta, n_bins=10)
+        # high-count bins recover the input amplitude
+        good = counts > 200
+        np.testing.assert_allclose(pk[good], amp, rtol=0.2)
+
+    def test_roundtrip_power_law(self):
+        delta = gaussian_random_field(64, _power_law(1e-6, -1.0), seed=8)
+        k, pk, counts = measure_power_spectrum(delta, n_bins=10)
+        good = counts > 200
+        slope = np.polyfit(np.log(k[good]), np.log(pk[good]), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=0.15)
+
+    def test_single_mode(self):
+        """A pure plane wave puts all power in one bin."""
+        n = 32
+        x = np.arange(n) / n
+        delta = 0.1 * np.cos(2 * np.pi * 4 * x)[:, None, None] * np.ones((1, n, n))
+        k, pk, counts = measure_power_spectrum(delta, n_bins=12)
+        imax = np.argmax(pk)
+        assert k[imax] == pytest.approx(2 * np.pi * 4, rel=0.2)
+        # Parseval: sum over modes of P / V equals the field variance
+        assert np.sum(pk * counts) == pytest.approx(delta.var(), rel=1e-6)
+        # and the peak bin carries essentially all of it
+        assert pk[imax] * counts[imax] == pytest.approx(delta.var(), rel=1e-3)
+
+    def test_rejects_noncubic(self):
+        with pytest.raises(ValueError):
+            measure_power_spectrum(np.zeros((4, 4, 5)))
+
+    def test_box_scaling(self):
+        """P carries volume units: doubling the box scales P by 8 at
+        fixed mode amplitude."""
+        delta = gaussian_random_field(32, _power_law(), seed=9)
+        k1, p1, _ = measure_power_spectrum(delta, box=1.0)
+        k2, p2, _ = measure_power_spectrum(delta, box=2.0)
+        np.testing.assert_allclose(p2, 8.0 * p1, rtol=1e-12)
+        np.testing.assert_allclose(k2, 0.5 * k1, rtol=1e-12)

@@ -1,0 +1,205 @@
+"""Tests of the 2LPT initial conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology.params import EINSTEIN_DE_SITTER
+from repro.ic.lpt2 import Lpt2IC, second_order_displacement
+from repro.ic.zeldovich import ZeldovichIC
+
+
+def _flat_pk(amp=1e-6):
+    return lambda k, z=0.0: amp * np.ones_like(np.asarray(k))
+
+
+def _plane_wave_psi(n, axis=0, mode=1, amp=0.01):
+    """psi1 for a single plane wave delta = A k sin(k x)."""
+    x = np.arange(n) / n
+    psi = np.zeros((n, n, n, 3))
+    shape = [1, 1, 1]
+    shape[axis] = n
+    psi[..., axis] = amp * np.cos(2 * np.pi * mode * x).reshape(shape)
+    return psi
+
+
+class TestSecondOrderDisplacement:
+    def test_zero_for_single_plane_wave(self):
+        """The 2LPT source vanishes identically for one plane wave
+        (Zel'dovich is exact in 1-D)."""
+        psi2 = second_order_displacement(_plane_wave_psi(16))
+        np.testing.assert_allclose(psi2, 0.0, atol=1e-14)
+
+    def test_crossed_waves_analytic(self):
+        """Two orthogonal waves psi = (A cos kx, B cos ky, 0):
+        source = phi,xx phi,yy = AB k^2 sin(kx) sin(ky); the solution
+        has psi2_x = -(AB k/2) cos(kx) sin(ky) ... verified against the
+        direct Fourier inversion component by component."""
+        n = 32
+        k = 2 * np.pi
+        A, B = 0.01, 0.02
+        psi1 = _plane_wave_psi(n, axis=0, amp=A) + np.transpose(
+            _plane_wave_psi(n, axis=0, amp=B), (1, 0, 2, 3)
+        )[..., [1, 0, 2]]
+        # build psi1 = (A cos kx, B cos ky, 0) explicitly instead:
+        x = np.arange(n) / n
+        psi1 = np.zeros((n, n, n, 3))
+        psi1[..., 0] = (A * np.cos(k * x))[:, None, None]
+        psi1[..., 1] = (B * np.cos(k * x))[None, :, None]
+        psi2 = second_order_displacement(psi1)
+        # phi1 = -(A/k) sin kx - (B/k) sin ky  (psi1 = -grad phi1), so
+        # S = phi1,xx phi1,yy = (A k sin kx)(B k sin ky); with the
+        # standard convention div psi2 = +S:
+        # psi2_x = -(A B k / 2) cos kx sin ky
+        xg = x[:, None, None]
+        yg = x[None, :, None]
+        expected_x = -(A * B * k / 2.0) * np.cos(k * xg) * np.sin(k * yg)
+        expected_y = -(A * B * k / 2.0) * np.sin(k * xg) * np.cos(k * yg)
+        np.testing.assert_allclose(
+            psi2[..., 0], np.broadcast_to(expected_x, (n, n, n)), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            psi2[..., 1], np.broadcast_to(expected_y, (n, n, n)), atol=1e-12
+        )
+        np.testing.assert_allclose(psi2[..., 2], 0.0, atol=1e-13)
+
+    def test_divergence_convention(self):
+        """div psi2 == +S, computed independently via FFT."""
+        rng = np.random.default_rng(9)
+        n = 16
+        # smooth random psi1 from a random potential
+        from repro.ic.grf import gaussian_random_field
+        from repro.mesh.greens import kvectors
+
+        phi = gaussian_random_field(n, lambda k: 1e-4 / (1 + k**4), seed=2)
+        kx, ky, kz = kvectors(n, 1.0)
+        ks = (kx, ky, kz)
+        phik = np.fft.rfftn(phi)
+        # band-limit: FFT derivatives are ill-defined on the Nyquist
+        # planes (the real displacement fields are built Nyquist-free)
+        k_nyq = np.pi * n
+        phik = phik * (
+            (np.abs(kx) < k_nyq) & (np.abs(ky) < k_nyq) & (np.abs(kz) < k_nyq)
+        )
+        psi1 = np.empty((n, n, n, 3))
+        for i, k in enumerate(ks):
+            psi1[..., i] = np.fft.irfftn(
+                -1j * k * phik, s=(n, n, n), axes=(0, 1, 2)
+            )
+        # the source from the tidal tensor phi,ij
+        d = {}
+        for i in range(3):
+            for j in range(3):
+                d[(i, j)] = np.fft.irfftn(
+                    -ks[i] * ks[j] * phik, s=(n, n, n), axes=(0, 1, 2)
+                )
+        S = (
+            d[(0, 0)] * d[(1, 1)]
+            + d[(0, 0)] * d[(2, 2)]
+            + d[(1, 1)] * d[(2, 2)]
+            - d[(0, 1)] ** 2
+            - d[(0, 2)] ** 2
+            - d[(1, 2)] ** 2
+        )
+        psi2 = second_order_displacement(psi1)
+        div = np.zeros((n, n, n))
+        for i, k in enumerate(ks):
+            div += np.fft.irfftn(
+                1j * k * np.fft.rfftn(psi2[..., i]), s=(n, n, n), axes=(0, 1, 2)
+            )
+        # compare mode by mode away from the Nyquist planes (squaring
+        # band-limited fields aliases power onto Nyquist, where real
+        # FFT round trips cannot represent a gradient)
+        mask = (np.abs(kx) < k_nyq) & (np.abs(ky) < k_nyq) & (np.abs(kz) < k_nyq)
+        div_k = np.fft.rfftn(div) * mask
+        s_k = np.fft.rfftn(S) * mask
+        s_k[0, 0, 0] = 0.0  # the divergence has no DC component
+        np.testing.assert_allclose(div_k, s_k, atol=1e-10)
+
+    def test_spherical_compression_enhances_collapse(self):
+        """Isotropic compression: the 2LPT term must push particles
+        further inward (the +17/21 > +14/21 spherical-collapse
+        coefficient)."""
+        n = 32
+        k = 2 * np.pi
+        x = np.arange(n) / n
+        amp = 0.01
+        # psi1 = -grad phi with phi = (amp/k) (cos kx + cos ky + cos kz):
+        # converging flow toward the origin-centered overdensity
+        psi1 = np.zeros((n, n, n, 3))
+        psi1[..., 0] = (amp * np.sin(k * x))[:, None, None]
+        psi1[..., 1] = (amp * np.sin(k * x))[None, :, None]
+        psi1[..., 2] = (amp * np.sin(k * x))[None, None, :]
+        # delta1 = -div psi1 = -amp k (cos kx + cos ky + cos kz):
+        # overdense (converging flow) at the cube center (0.5, 0.5, 0.5)
+        psi2 = second_order_displacement(psi1)
+        d2 = -3.0 / 7.0
+        # probe just +x of the overdensity: the first-order flow points
+        # inward (-x); the 2LPT term D2 psi2 must point the same way
+        mid = (n // 2 + 1, n // 2, n // 2)
+        first = psi1[mid][0]
+        second = d2 * psi2[mid][0]
+        assert first < 0  # converging flow at the probe
+        assert first * second > 0  # same direction: enhanced collapse
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            second_order_displacement(np.zeros((4, 4, 4)))
+
+
+class TestLpt2IC:
+    def test_reduces_to_zeldovich_at_low_amplitude(self):
+        """Second-order terms scale as D^2: at tiny amplitude 2LPT and
+        Zel'dovich agree to first order."""
+        kwargs = dict(n_per_dim=8, mesh_n=16, seed=3)
+        z1 = ZeldovichIC(EINSTEIN_DE_SITTER, _flat_pk(1e-10), **kwargs)
+        z2 = Lpt2IC(EINSTEIN_DE_SITTER, _flat_pk(1e-10), **kwargs)
+        a = 0.01
+        p1, m1, _ = z1.generate(a)
+        p2, m2, _ = z2.generate(a)
+        d = np.abs(p2 - p1)
+        d = np.minimum(d, 1 - d)
+        rms1 = z1.rms_displacement(a)
+        assert d.max() < 1e-3 * rms1
+
+    def test_second_order_term_has_right_scaling(self):
+        """The 1LPT/2LPT position difference grows as D^2 (~a^2 in
+        EdS)."""
+        kwargs = dict(n_per_dim=8, mesh_n=16, seed=4)
+        z1 = ZeldovichIC(EINSTEIN_DE_SITTER, _flat_pk(1e-4), **kwargs)
+        z2 = Lpt2IC(EINSTEIN_DE_SITTER, _flat_pk(1e-4), **kwargs)
+
+        def diff(a):
+            p1, _, _ = z1.generate(a)
+            p2, _, _ = z2.generate(a)
+            d = p2 - p1
+            d -= np.round(d)
+            return float(np.sqrt((d**2).sum(axis=1)).mean())
+
+        assert diff(0.02) / diff(0.01) == pytest.approx(4.0, rel=1e-3)
+
+    def test_masses_match_zeldovich(self):
+        z2 = Lpt2IC(EINSTEIN_DE_SITTER, _flat_pk(), n_per_dim=4, mesh_n=8)
+        _, _, mass = z2.generate(0.01)
+        assert mass.sum() == pytest.approx(3.0 / (8 * np.pi))
+
+    def test_momentum_includes_second_order(self):
+        """2LPT momenta differ from Zel'dovich by the f2 D2 psi2 term."""
+        kwargs = dict(n_per_dim=8, mesh_n=16, seed=5)
+        z1 = ZeldovichIC(EINSTEIN_DE_SITTER, _flat_pk(1e-4), **kwargs)
+        z2 = Lpt2IC(EINSTEIN_DE_SITTER, _flat_pk(1e-4), **kwargs)
+        a = 0.05
+        _, m1, _ = z1.generate(a)
+        _, m2, _ = z2.generate(a)
+        assert not np.allclose(m1, m2)
+        # EdS: dp2 = a^2 H f2 D2 psi2 with f2 = 2, D2 = -3/7 a^2;
+        # the offset direction is the second-order displacement
+        p1, _, _ = z1.generate(a)
+        p2, _, _ = z2.generate(a)
+        dx = p2 - p1
+        dx -= np.round(dx)
+        dp = m2 - m1
+        # dp = a^2 H f2 (D2 psi2) = a^2 H f2 dx -> exactly parallel
+        h = a**-1.5
+        np.testing.assert_allclose(dp, a**2 * h * 2.0 * dx, atol=1e-12)

@@ -1,0 +1,138 @@
+"""Tests of the Zel'dovich initial-condition generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology.params import EINSTEIN_DE_SITTER, WMAP7
+from repro.ic.zeldovich import ZeldovichIC, particle_mass
+
+
+def _flat_pk(amp=1e-6):
+    return lambda k, z=0.0: amp * np.ones_like(np.asarray(k))
+
+
+class TestParticleMass:
+    def test_code_units_value(self):
+        m = particle_mass(EINSTEIN_DE_SITTER, 100)
+        assert m == pytest.approx(3.0 / (8 * np.pi * 100))
+
+    def test_total_mass_independent_of_n(self):
+        m1 = particle_mass(WMAP7, 1000) * 1000
+        m2 = particle_mass(WMAP7, 8000) * 8000
+        assert m1 == pytest.approx(m2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            particle_mass(WMAP7, 0)
+
+
+class TestZeldovichIC:
+    @pytest.fixture(scope="class")
+    def ic(self):
+        return ZeldovichIC(
+            EINSTEIN_DE_SITTER, _flat_pk(), n_per_dim=8, mesh_n=16, seed=3
+        )
+
+    def test_lattice_centered_and_uniform(self, ic):
+        q = ic.lattice()
+        assert q.shape == (512, 3)
+        assert q.min() == pytest.approx(0.5 / 8)
+        assert q.max() == pytest.approx(7.5 / 8)
+
+    def test_generate_shapes(self, ic):
+        pos, mom, mass = ic.generate(a_start=0.01)
+        assert pos.shape == (512, 3)
+        assert mom.shape == (512, 3)
+        assert mass.shape == (512,)
+        assert np.all((pos >= 0) & (pos < 1))
+
+    def test_displacements_grow_with_a(self, ic):
+        p1, _, _ = ic.generate(a_start=0.005)
+        p2, _, _ = ic.generate(a_start=0.01)
+        q = ic.lattice()
+
+        def disp(p):
+            d = p - q
+            return d - np.round(d)
+
+        # EdS: D = a, so displacements double
+        np.testing.assert_allclose(disp(p2), 2 * disp(p1), atol=1e-12)
+
+    def test_momentum_parallel_to_displacement(self, ic):
+        """Zel'dovich: p is proportional to the displacement field."""
+        a = 0.01
+        pos, mom, _ = ic.generate(a_start=a)
+        q = ic.lattice()
+        d = pos - q
+        d -= np.round(d)
+        # p = a^2 H f D psi; displacement = D psi
+        # EdS: H = a^-1.5, f = 1 -> p = a^0.5 * displacement
+        np.testing.assert_allclose(mom, np.sqrt(a) * d, atol=1e-10)
+
+    def test_displacement_field_divergence_is_minus_delta(self, ic):
+        """-div(psi) must reconstruct the density field (up to the
+        Nyquist planes, which the displacement cannot represent)."""
+        delta = ic.density_field()
+        psi = ic.displacement_field()
+        n = ic.mesh_n
+        k1 = 2 * np.pi * np.fft.fftfreq(n, d=1.0 / n)
+        kzv = 2 * np.pi * np.fft.rfftfreq(n, d=1.0 / n)
+        ks = (k1[:, None, None], k1[None, :, None], kzv[None, None, :])
+        div = np.zeros_like(delta)
+        for ax in range(3):
+            div += np.fft.irfftn(
+                1j * ks[ax] * np.fft.rfftn(psi[..., ax]),
+                s=delta.shape,
+                axes=(0, 1, 2),
+            )
+        # reference: delta with Nyquist planes removed
+        dk = np.fft.rfftn(delta)
+        k_nyq = np.pi * n
+        dk *= (np.abs(ks[0]) < k_nyq) & (np.abs(ks[1]) < k_nyq) & (
+            np.abs(ks[2]) < k_nyq
+        )
+        expected = np.fft.irfftn(dk, s=delta.shape, axes=(0, 1, 2))
+        np.testing.assert_allclose(-div, expected, atol=1e-10)
+
+    def test_rms_displacement_scales(self, ic):
+        r1 = ic.rms_displacement(0.005)
+        r2 = ic.rms_displacement(0.01)
+        assert r2 == pytest.approx(2 * r1, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZeldovichIC(WMAP7, _flat_pk(), n_per_dim=1)
+        with pytest.raises(ValueError):
+            ZeldovichIC(WMAP7, _flat_pk(), n_per_dim=8, mesh_n=4)
+        ic = ZeldovichIC(WMAP7, _flat_pk(), n_per_dim=4)
+        with pytest.raises(ValueError):
+            ic.generate(a_start=0.0)
+
+    def test_default_mesh(self):
+        ic = ZeldovichIC(WMAP7, _flat_pk(), n_per_dim=4)
+        assert ic.mesh_n == 8
+
+    def test_linear_density_from_particles(self):
+        """Assigning the displaced particles to a mesh recovers the
+        linear density field mode by mode, attenuated by the known
+        assignment (CIC on the coarse mesh) and displacement-sampling
+        windows."""
+        from repro.mesh.assignment import assign_mass
+
+        ic = ZeldovichIC(
+            EINSTEIN_DE_SITTER, _flat_pk(3e-7), n_per_dim=16, mesh_n=16, seed=11
+        )
+        a = 0.02
+        pos, _, mass = ic.generate(a_start=a)
+        n = 8  # coarse mesh: keep only well-sampled modes
+        mesh = assign_mass(pos, mass, n, scheme="cic")
+        delta_meas = np.fft.rfftn(mesh / mesh.mean() - 1.0) / n**3
+        delta_lin = np.fft.rfftn(ic.density_field() * a) / ic.mesh_n**3
+        for m in [(1, 0, 0), (0, 1, 0), (0, 0, 1), (2, 0, 0), (1, 1, 0), (1, 1, 1)]:
+            window = np.prod(
+                [np.sinc(md / n) ** 2 * np.cos(np.pi * md / ic.mesh_n) for md in m]
+            )
+            ratio = delta_meas[m] / delta_lin[m]
+            assert abs(ratio - window) < 0.1 * window

@@ -1,0 +1,185 @@
+"""Tests of the leapfrog integrators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology.params import EINSTEIN_DE_SITTER
+from repro.integrate.leapfrog import LeapfrogIntegrator, TwoLevelKDK
+from repro.integrate.stepper import CosmoStepper, StaticStepper
+
+
+def _kepler_force(mu=1.0):
+    """Central 1/r^2 attraction toward (0.5, 0.5, 0.5) — not periodic;
+    amplitudes stay tiny so box wrapping never triggers."""
+
+    def force(pos):
+        d = pos - 0.5
+        r = np.linalg.norm(d, axis=1, keepdims=True)
+        return -mu * d / r**3
+
+    return force
+
+
+def _circular_orbit_ic(radius=0.01, mu=1.0):
+    pos = np.array([[0.5 + radius, 0.5, 0.5]])
+    v = np.sqrt(mu / radius)
+    mom = np.array([[0.0, v, 0.0]])
+    return pos, mom
+
+
+class TestStaticLeapfrog:
+    def test_circular_orbit_radius_conserved(self):
+        mu, radius = 1.0, 0.01
+        pos, mom = _circular_orbit_ic(radius, mu)
+        integ = LeapfrogIntegrator(_kepler_force(mu), StaticStepper())
+        period = 2 * np.pi * np.sqrt(radius**3 / mu)
+        n = 200
+        for i in range(n):
+            pos, mom = integ.step(pos, mom, i * period / n, (i + 1) * period / n)
+        r = np.linalg.norm(pos[0] - 0.5)
+        assert r == pytest.approx(radius, rel=1e-3)
+
+    def test_energy_conservation_over_many_orbits(self):
+        mu, radius = 1.0, 0.01
+        pos, mom = _circular_orbit_ic(radius, mu)
+        integ = LeapfrogIntegrator(_kepler_force(mu), StaticStepper())
+
+        def energy(p, m):
+            r = np.linalg.norm(p[0] - 0.5)
+            return 0.5 * np.sum(m**2) - mu / r
+
+        e0 = energy(pos, mom)
+        period = 2 * np.pi * np.sqrt(radius**3 / mu)
+        dt = period / 100
+        for i in range(500):  # five orbits
+            pos, mom = integ.step(pos, mom, i * dt, (i + 1) * dt)
+        assert energy(pos, mom) == pytest.approx(e0, rel=1e-4)
+
+    def test_time_reversibility(self):
+        mu = 1.0
+        pos0, mom0 = _circular_orbit_ic(0.01, mu)
+        integ = LeapfrogIntegrator(_kepler_force(mu), StaticStepper())
+        pos, mom = pos0.copy(), mom0.copy()
+        for i in range(10):
+            pos, mom = integ.step(pos, mom, i * 1e-3, (i + 1) * 1e-3)
+        # reverse momenta and integrate back
+        mom = -mom
+        integ.reset_cache()
+        for i in range(10):
+            pos, mom = integ.step(pos, mom, i * 1e-3, (i + 1) * 1e-3)
+        np.testing.assert_allclose(pos, pos0, atol=1e-12)
+        np.testing.assert_allclose(-mom, mom0, atol=1e-12)
+
+    def test_second_order_convergence(self):
+        """The leapfrog phase error after one orbit is O(dt^2):
+        halving the step reduces it by ~4x."""
+        mu, radius = 1.0, 0.01
+        period = 2 * np.pi * np.sqrt(radius**3 / mu)
+
+        def final_phase_error(n):
+            pos, mom = _circular_orbit_ic(radius, mu)
+            integ = LeapfrogIntegrator(_kepler_force(mu), StaticStepper())
+            for i in range(n):
+                pos, mom = integ.step(
+                    pos, mom, i * period / n, (i + 1) * period / n
+                )
+            d = pos[0] - 0.5
+            return abs(np.arctan2(d[1], d[0]))
+
+        e1 = final_phase_error(50)
+        e2 = final_phase_error(100)
+        assert e1 / e2 == pytest.approx(4.0, rel=0.15)
+
+    def test_force_cache_reused(self):
+        calls = []
+
+        def force(pos):
+            calls.append(1)
+            return np.zeros_like(pos)
+
+        integ = LeapfrogIntegrator(force, StaticStepper())
+        pos = np.array([[0.5, 0.5, 0.5]])
+        mom = np.zeros((1, 3))
+        pos, mom = integ.step(pos, mom, 0.0, 0.1)
+        pos, mom = integ.step(pos, mom, 0.1, 0.2)
+        # 2 evaluations first step (start+end), 1 for the second
+        assert len(calls) == 3
+
+
+class TestTwoLevelKDK:
+    def test_matches_single_level_when_pm_zero(self):
+        mu = 1.0
+        pos0, mom0 = _circular_orbit_ic(0.01, mu)
+        zero = lambda p: np.zeros_like(p)
+        two = TwoLevelKDK(zero, _kepler_force(mu), StaticStepper(), n_sub=1)
+        one = LeapfrogIntegrator(_kepler_force(mu), StaticStepper())
+        p2, m2 = pos0.copy(), mom0.copy()
+        p1, m1 = pos0.copy(), mom0.copy()
+        for i in range(20):
+            p2, m2 = two.step(p2, m2, i * 1e-3, (i + 1) * 1e-3)
+            p1, m1 = one.step(p1, m1, i * 1e-3, (i + 1) * 1e-3)
+        np.testing.assert_allclose(p2, p1, atol=1e-13)
+        np.testing.assert_allclose(m2, m1, atol=1e-13)
+
+    def test_subcycles_improve_fast_force_accuracy(self):
+        """With the whole force on the inner level, more subcycles act
+        like smaller steps for it."""
+        mu, radius = 1.0, 0.01
+        period = 2 * np.pi * np.sqrt(radius**3 / mu)
+        zero = lambda p: np.zeros_like(p)
+
+        def error(n_sub):
+            pos, mom = _circular_orbit_ic(radius, mu)
+            kdk = TwoLevelKDK(zero, _kepler_force(mu), StaticStepper(), n_sub=n_sub)
+            n = 30
+            for i in range(n):
+                pos, mom = kdk.step(pos, mom, i * period / n, (i + 1) * period / n)
+            return abs(np.linalg.norm(pos[0] - 0.5) - radius)
+
+        assert error(4) < error(1)
+
+    def test_paper_step_structure_force_counts(self):
+        """Per step: 1 new PM evaluation and n_sub new PP evaluations
+        (after the first step's bootstrap)."""
+        pm_calls, pp_calls = [], []
+
+        def pm(p):
+            pm_calls.append(1)
+            return np.zeros_like(p)
+
+        def pp(p):
+            pp_calls.append(1)
+            return np.zeros_like(p)
+
+        kdk = TwoLevelKDK(pm, pp, StaticStepper(), n_sub=2)
+        pos = np.array([[0.5, 0.5, 0.5]])
+        mom = np.zeros((1, 3))
+        pos, mom = kdk.step(pos, mom, 0.0, 0.1)
+        first_pm, first_pp = len(pm_calls), len(pp_calls)
+        pos, mom = kdk.step(pos, mom, 0.1, 0.2)
+        assert len(pm_calls) - first_pm == 1
+        assert len(pp_calls) - first_pp == 2
+
+    def test_invalid_nsub(self):
+        with pytest.raises(ValueError):
+            TwoLevelKDK(lambda p: p, lambda p: p, StaticStepper(), n_sub=0)
+
+
+class TestCosmoStepper:
+    def test_eds_coefficients_positive_decreasing(self):
+        st = CosmoStepper(EINSTEIN_DE_SITTER)
+        k1 = st.kick_coeff(0.01, 0.02)
+        k2 = st.kick_coeff(0.11, 0.12)
+        assert k1 > k2 > 0  # same da costs more time early
+
+    def test_additivity(self):
+        st = CosmoStepper(EINSTEIN_DE_SITTER)
+        full = st.drift_coeff(0.01, 0.03)
+        split = st.drift_coeff(0.01, 0.02) + st.drift_coeff(0.02, 0.03)
+        assert full == pytest.approx(split, rel=1e-10)
+
+    def test_flags(self):
+        assert CosmoStepper(EINSTEIN_DE_SITTER).cosmological
+        assert not StaticStepper().cosmological

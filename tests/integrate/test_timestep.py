@@ -1,0 +1,108 @@
+"""Tests of the time-step criteria and the adaptive controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmology.expansion import Expansion
+from repro.cosmology.params import EINSTEIN_DE_SITTER
+from repro.integrate.timestep import (
+    StepController,
+    acceleration_timestep,
+    suggest_scale_factor_step,
+)
+
+
+class TestAccelerationTimestep:
+    def test_standard_formula(self):
+        acc = np.array([[3.0, 0.0, 4.0]])  # |a| = 5
+        dt = acceleration_timestep(acc, eps=0.01, eta=0.025)
+        assert dt == pytest.approx(0.025 * np.sqrt(0.01 / 5.0))
+
+    def test_max_acceleration_governs(self):
+        acc = np.array([[1.0, 0, 0], [100.0, 0, 0]])
+        dt = acceleration_timestep(acc, eps=0.01)
+        assert dt == pytest.approx(acceleration_timestep(acc[1:], eps=0.01))
+
+    def test_zero_acceleration_unbounded(self):
+        assert acceleration_timestep(np.zeros((3, 3)), eps=0.01) == np.inf
+        assert acceleration_timestep(np.zeros((0, 3)), eps=0.01) == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acceleration_timestep(np.ones((1, 3)), eps=0.0)
+        with pytest.raises(ValueError):
+            acceleration_timestep(np.ones((1, 3)), eps=0.1, eta=0.0)
+
+    def test_softening_scaling(self):
+        acc = np.ones((1, 3))
+        dt1 = acceleration_timestep(acc, eps=0.01)
+        dt2 = acceleration_timestep(acc, eps=0.04)
+        assert dt2 == pytest.approx(2 * dt1)
+
+
+class TestScaleFactorStep:
+    @pytest.fixture
+    def expansion(self):
+        return Expansion(EINSTEIN_DE_SITTER)
+
+    def test_dloga_cap_for_cold_systems(self, expansion):
+        """Tiny accelerations: the expansion cap governs."""
+        da = suggest_scale_factor_step(
+            0.1, 1e-8 * np.ones((2, 3)), eps=0.01, expansion=expansion,
+            max_dloga=0.05,
+        )
+        assert da == pytest.approx(0.1 * 0.05)
+
+    def test_acceleration_cap_for_hot_systems(self, expansion):
+        """Violent accelerations: the dynamical criterion governs."""
+        da = suggest_scale_factor_step(
+            0.1, 1e8 * np.ones((2, 3)), eps=0.01, expansion=expansion,
+            max_dloga=0.05,
+        )
+        assert da < 0.1 * 0.05
+
+    def test_validation(self, expansion):
+        with pytest.raises(ValueError):
+            suggest_scale_factor_step(0.0, np.ones((1, 3)), 0.01, expansion)
+
+
+class TestStepController:
+    @pytest.fixture
+    def controller(self):
+        return StepController(
+            Expansion(EINSTEIN_DE_SITTER), eps=0.01, max_dloga=0.05
+        )
+
+    def test_steps_toward_end(self, controller):
+        a = 0.01
+        acc = np.zeros((2, 3))
+        seen = []
+        for _ in range(200):
+            a = controller.next_step(a, acc, a_end=0.1)
+            seen.append(a)
+            if a >= 0.1:
+                break
+        assert seen[-1] == pytest.approx(0.1)
+        assert all(b > a for a, b in zip(seen[:-2], seen[1:-1]))
+
+    def test_growth_hysteresis(self, controller):
+        """After a violent phase the step recovers gradually."""
+        a = 0.1
+        hot = 1e9 * np.ones((1, 3))
+        cold = np.zeros((1, 3))
+        a1 = controller.next_step(a, hot, a_end=1.0)
+        small = a1 - a
+        a2 = controller.next_step(a1, cold, a_end=1.0)
+        assert (a2 - a1) <= 1.3 * small * 1.0001
+
+    def test_shrink_is_immediate(self, controller):
+        a = 0.1
+        a1 = controller.next_step(a, np.zeros((1, 3)), a_end=1.0)
+        a2 = controller.next_step(a1, 1e9 * np.ones((1, 3)), a_end=1.0)
+        assert (a2 - a1) < (a1 - a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepController(Expansion(EINSTEIN_DE_SITTER), eps=0.01, growth=1.0)

@@ -1,0 +1,164 @@
+"""Tests of mass assignment and mesh interpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mesh.assignment import (
+    assign_mass,
+    assignment_order,
+    interpolate_mesh,
+    window_ft,
+)
+
+SCHEMES = ["ngp", "cic", "tsc"]
+
+
+class TestAssignMass:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_total_mass_conserved(self, scheme, rng):
+        pos = rng.random((100, 3))
+        mass = rng.random(100)
+        mesh = assign_mass(pos, mass, 16, scheme=scheme)
+        assert mesh.sum() == pytest.approx(mass.sum(), rel=1e-12)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_nonnegative_weights(self, scheme, rng):
+        pos = rng.random((50, 3))
+        mesh = assign_mass(pos, np.ones(50), 8, scheme=scheme)
+        assert np.all(mesh >= 0.0)
+
+    def test_ngp_single_particle_on_gridpoint(self):
+        pos = np.array([[0.25, 0.5, 0.75]])  # grid points of n=4
+        mesh = assign_mass(pos, np.array([2.0]), 4, scheme="ngp")
+        assert mesh[1, 2, 3] == pytest.approx(2.0)
+        assert mesh.sum() == pytest.approx(2.0)
+
+    def test_cic_splits_between_cells(self):
+        # particle halfway between grid points 0 and 1 in x
+        pos = np.array([[0.5 / 4, 0.0, 0.0]])
+        mesh = assign_mass(pos, np.array([1.0]), 4, scheme="cic")
+        assert mesh[0, 0, 0] == pytest.approx(0.5)
+        assert mesh[1, 0, 0] == pytest.approx(0.5)
+
+    def test_tsc_on_gridpoint_weights(self):
+        # particle exactly on a grid point: weights 1/8, 3/4, 1/8 per axis
+        pos = np.array([[0.25, 0.25, 0.25]])
+        mesh = assign_mass(pos, np.array([1.0]), 4, scheme="tsc")
+        assert mesh[1, 1, 1] == pytest.approx(0.75**3)
+        assert mesh[0, 1, 1] == pytest.approx(0.125 * 0.75**2)
+        assert mesh[2, 0, 2] == pytest.approx(0.125**3)
+
+    def test_periodic_wrapping(self):
+        # particle at the box edge spreads onto both sides
+        pos = np.array([[0.999, 0.5, 0.5]])
+        mesh = assign_mass(pos, np.array([1.0]), 8, scheme="tsc")
+        assert mesh.sum() == pytest.approx(1.0)
+        assert mesh[0].sum() > 0  # wrapped contribution
+
+    def test_uniform_lattice_gives_uniform_mesh(self):
+        g = (np.arange(8) + 0.0) / 8.0
+        pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), -1).reshape(-1, 3)
+        mesh = assign_mass(pos, np.ones(len(pos)), 8, scheme="tsc")
+        np.testing.assert_allclose(mesh, 1.0, atol=1e-12)
+
+    def test_out_accumulates(self, rng):
+        pos = rng.random((10, 3))
+        mass = np.ones(10)
+        mesh = assign_mass(pos, mass, 8)
+        mesh2 = assign_mass(pos, mass, 8, out=mesh.copy())
+        np.testing.assert_allclose(mesh2, 2 * mesh)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assign_mass(np.zeros((3, 2)), np.ones(3), 8)
+        with pytest.raises(ValueError):
+            assign_mass(np.zeros((3, 3)), np.ones(3), 8, scheme="bad")
+        with pytest.raises(ValueError):
+            assign_mass(np.zeros((3, 3)), np.ones(3), 8, out=np.zeros((4, 4, 4)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (20, 3),
+            elements=st.floats(min_value=0.0, max_value=0.99),
+        )
+    )
+    def test_property_mass_conservation(self, pos):
+        mesh = assign_mass(pos, np.ones(20), 8, scheme="tsc")
+        assert mesh.sum() == pytest.approx(20.0, rel=1e-10)
+
+
+class TestInterpolateMesh:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_constant_field_exact(self, scheme, rng):
+        mesh = np.full((8, 8, 8), 3.5)
+        pos = rng.random((40, 3))
+        vals = interpolate_mesh(mesh, pos, scheme=scheme)
+        np.testing.assert_allclose(vals, 3.5, rtol=1e-12)
+
+    def test_linear_field_exact_for_cic(self):
+        """CIC interpolation reproduces linear fields exactly away from
+        the periodic wrap."""
+        n = 16
+        x = np.arange(n) / n
+        mesh = np.broadcast_to(x[:, None, None], (n, n, n)).copy()
+        pos = np.array([[0.31, 0.5, 0.5], [0.62, 0.1, 0.9]])
+        vals = interpolate_mesh(mesh, pos, scheme="cic")
+        np.testing.assert_allclose(vals, pos[:, 0], atol=1e-12)
+
+    def test_vector_field_components(self, rng):
+        mesh = rng.random((8, 8, 8, 3))
+        pos = rng.random((10, 3))
+        vals = interpolate_mesh(mesh, pos, scheme="tsc")
+        assert vals.shape == (10, 3)
+        for d in range(3):
+            comp = interpolate_mesh(mesh[..., d], pos, scheme="tsc")
+            np.testing.assert_allclose(vals[:, d], comp)
+
+    def test_assignment_interpolation_adjointness(self, rng):
+        """<assign(m), f> == <m, interp(f)>: the two operations use the
+        same window and are adjoint."""
+        n = 8
+        pos = rng.random((25, 3))
+        mass = rng.random(25)
+        field = rng.random((n, n, n))
+        lhs = np.sum(assign_mass(pos, mass, n, scheme="tsc") * field)
+        rhs = np.sum(mass * interpolate_mesh(field, pos, scheme="tsc"))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_rejects_noncubic_mesh(self):
+        with pytest.raises(ValueError):
+            interpolate_mesh(np.zeros((4, 5, 4)), np.zeros((1, 3)))
+
+
+class TestWindowFT:
+    def test_orders(self):
+        assert assignment_order("ngp") == 1
+        assert assignment_order("cic") == 2
+        assert assignment_order("tsc") == 3
+        with pytest.raises(ValueError):
+            assignment_order("pcs")
+
+    def test_dc_value_is_one(self):
+        for scheme in SCHEMES:
+            assert window_ft(scheme, np.array([0.0]), 0.1)[0] == pytest.approx(1.0)
+
+    def test_higher_order_decays_faster(self):
+        k = np.array([20.0])
+        h = 0.1
+        w_ngp = window_ft("ngp", k, h)[0]
+        w_cic = window_ft("cic", k, h)[0]
+        w_tsc = window_ft("tsc", k, h)[0]
+        assert w_tsc < w_cic < w_ngp
+
+    def test_window_positive_below_nyquist(self):
+        h = 1.0 / 32
+        k_nyq = np.pi / h
+        k = np.linspace(0, k_nyq, 100)
+        for scheme in SCHEMES:
+            assert np.all(window_ft(scheme, k, h) > 0)

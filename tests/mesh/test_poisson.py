@@ -1,0 +1,215 @@
+"""Tests of the Green's function and the serial PM solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forces.cutoff import S2ForceSplit
+from repro.forces.direct import direct_forces_cutoff
+from repro.forces.ewald import EwaldSummation
+from repro.mesh.differentiate import gradient_mesh
+from repro.mesh.greens import build_greens_function, kvectors
+from repro.mesh.poisson import PMSolver
+
+
+class TestKvectors:
+    def test_shapes_broadcast_to_rfft_mesh(self):
+        kx, ky, kz = kvectors(8, rfft=True)
+        assert (kx + ky + kz).shape == (8, 8, 5)
+
+    def test_full_fft_shape(self):
+        kx, ky, kz = kvectors(8, rfft=False)
+        assert (kx + ky + kz).shape == (8, 8, 8)
+
+    def test_nyquist_value(self):
+        kx, _, _ = kvectors(8, box=2.0)
+        assert kx.min() == pytest.approx(-np.pi * 8 / 2.0)
+
+
+class TestGreensFunction:
+    def test_dc_mode_zero(self):
+        gk = build_greens_function(8)
+        assert gk[0, 0, 0] == 0.0
+
+    def test_all_finite(self):
+        gk = build_greens_function(16, split=S2ForceSplit(0.2))
+        assert np.all(np.isfinite(gk))
+
+    def test_negative_definite(self):
+        """Gravity is attractive: G(k) <= 0 for the plain solver."""
+        gk = build_greens_function(8, deconvolve=False)
+        assert np.all(gk <= 0.0)
+
+    def test_split_suppresses_high_k(self):
+        g_full = build_greens_function(32, deconvolve=False)
+        g_split = build_greens_function(
+            32, split=S2ForceSplit(8.0 / 32), deconvolve=False
+        )
+        ratio = np.abs(g_split[0, 0, 1:]) / np.abs(g_full[0, 0, 1:])
+        # monotone-ish suppression toward the Nyquist frequency
+        assert ratio[0] > 0.9
+        assert ratio[-1] < 0.2
+
+    def test_deconvolution_amplifies(self):
+        g_raw = build_greens_function(16, deconvolve=False)
+        g_dec = build_greens_function(16, deconvolve=True, assignment="tsc")
+        assert np.all(np.abs(g_dec[1:, :, :]) >= np.abs(g_raw[1:, :, :]) - 1e-30)
+
+
+class TestGradientMesh:
+    def test_plane_wave_two_point(self):
+        n = 32
+        x = np.arange(n) / n
+        phi = np.sin(2 * np.pi * x)[:, None, None] * np.ones((1, n, n))
+        grad = gradient_mesh(phi, scheme="two_point")
+        expected = 2 * np.pi * np.cos(2 * np.pi * x)
+        # two-point scheme: effective k -> sin(kh)/h
+        keff = np.sin(2 * np.pi / n) * n
+        np.testing.assert_allclose(
+            grad[:, 0, 0, 0], expected * keff / (2 * np.pi), atol=1e-12
+        )
+        np.testing.assert_allclose(grad[..., 1], 0.0, atol=1e-12)
+
+    def test_four_point_more_accurate_than_two_point(self):
+        n = 32
+        x = np.arange(n) / n
+        phi = np.sin(2 * np.pi * 3 * x)[:, None, None] * np.ones((1, n, n))
+        exact = 6 * np.pi * np.cos(2 * np.pi * 3 * x)
+        g2 = gradient_mesh(phi, scheme="two_point")[:, 0, 0, 0]
+        g4 = gradient_mesh(phi, scheme="four_point")[:, 0, 0, 0]
+        assert np.abs(g4 - exact).max() < np.abs(g2 - exact).max()
+
+    def test_spectral_exact_for_resolved_modes(self):
+        n = 16
+        x = np.arange(n) / n
+        phi = np.cos(2 * np.pi * 2 * x)[None, :, None] * np.ones((n, 1, n))
+        grad = gradient_mesh(phi, scheme="spectral")
+        exact = -4 * np.pi * np.sin(2 * np.pi * 2 * x)
+        np.testing.assert_allclose(grad[0, :, 0, 1], exact, atol=1e-10)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            gradient_mesh(np.zeros((4, 4, 4)), scheme="six_point")
+
+    def test_noncubic_rejected(self):
+        with pytest.raises(ValueError):
+            gradient_mesh(np.zeros((4, 4, 5)))
+
+
+class TestPMSolverBasics:
+    def test_mass_density_normalization(self, rng):
+        solver = PMSolver(8)
+        pos = rng.random((50, 3))
+        mass = np.full(50, 0.02)
+        rho = solver.density_mesh(pos, mass)
+        # mean density = total mass / box volume
+        assert rho.mean() == pytest.approx(1.0, rel=1e-12)
+
+    def test_uniform_density_gives_zero_force(self):
+        solver = PMSolver(8)
+        phi = solver.potential_mesh(np.ones((8, 8, 8)))
+        np.testing.assert_allclose(phi, 0.0, atol=1e-12)
+
+    def test_forces_shape_and_finite(self, uniform_particles):
+        pos, mass = uniform_particles
+        solver = PMSolver(16)
+        acc = solver.forces(pos, mass)
+        assert acc.shape == pos.shape
+        assert np.all(np.isfinite(acc))
+
+    def test_momentum_conservation(self, clustered_particles):
+        pos, mass = clustered_particles
+        solver = PMSolver(16)
+        acc = solver.forces(pos, mass)
+        ptot = (mass[:, None] * acc).sum(axis=0)
+        assert np.linalg.norm(ptot) < 1e-3 * np.abs(mass[:, None] * acc).sum()
+
+    def test_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            PMSolver(2)
+
+
+class TestPMAccuracy:
+    def test_pure_pm_matches_ewald_at_large_separation(self):
+        """A two-particle force at separation >> h must match the exact
+        periodic (Ewald) force to ~1%."""
+        n = 32
+        solver = PMSolver(n, differencing="four_point")
+        ewald = EwaldSummation()
+        pos = np.array([[0.25, 0.5, 0.5], [0.75, 0.5, 0.5]])
+        # probe with a massless target at several separations
+        src = np.array([[0.5, 0.5, 0.5]])
+        mass = np.array([1.0])
+        for d in (0.2, 0.3, 0.4):
+            tgt = np.array([[0.5 + d, 0.5, 0.5]])
+            a_pm = solver.forces(src, mass, targets=tgt)[0]
+            a_ex = ewald.pair_acceleration(tgt[0] - src[0])
+            np.testing.assert_allclose(a_pm, a_ex, rtol=0.05, atol=1e-3)
+
+    def test_p3m_total_force_matches_ewald(self, rng):
+        """PM (with S2 Green's function) + direct short-range cutoff
+        forces must reproduce the exact Ewald force: the defining
+        consistency property of the force split."""
+        n = 16
+        rcut = 4.0 / n
+        split = S2ForceSplit(rcut)
+        solver = PMSolver(n, split=split)
+        ewald = EwaldSummation()
+
+        pos = rng.random((32, 3))
+        mass = rng.random(32) / 32 + 0.01
+        a_long = solver.forces(pos, mass)
+        a_short = direct_forces_cutoff(pos, mass, split, box=1.0)
+        a_ex = ewald.forces(pos, mass)
+
+        err = np.linalg.norm(a_long + a_short - a_ex, axis=1)
+        scale = np.linalg.norm(a_ex, axis=1).mean()
+        assert np.sqrt((err**2).mean()) / scale < 0.03
+
+    def test_error_decreases_with_cutoff_radius(self, rng):
+        """The paper's rcut = 3 mesh-cells choice trades accuracy for
+        PP cost; larger rcut must strictly reduce the PM-side error."""
+        n = 16
+        ewald = EwaldSummation()
+        pos = rng.random((24, 3))
+        mass = np.full(24, 1.0 / 24)
+        a_ex = ewald.forces(pos, mass)
+        errors = []
+        for cells in (2.0, 3.0, 5.0):
+            split = S2ForceSplit(cells / n)
+            solver = PMSolver(n, split=split)
+            total = solver.forces(pos, mass) + direct_forces_cutoff(
+                pos, mass, split, box=1.0
+            )
+            err = np.linalg.norm(total - a_ex, axis=1)
+            errors.append(np.sqrt((err**2).mean()))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_isolated_particle_feels_no_self_force(self):
+        solver = PMSolver(16)
+        pos = np.array([[0.37, 0.52, 0.68]])  # generic off-grid position
+        acc = solver.forces(pos, np.array([1.0]))
+        # self-force from assignment/interpolation asymmetry is tiny
+        assert np.linalg.norm(acc) < 1e-8 * 16**2
+
+    def test_potential_at_matches_pairwise(self):
+        """PM potential between two distant particles ~ Ewald pair
+        potential up to the (common) self-energy constant."""
+        n = 32
+        solver = PMSolver(n)
+        mass = np.array([1.0])
+        # identical geometry rotated x -> y: exact cubic symmetry
+        p1 = solver.potential_at(
+            np.array([[0.3, 0.5, 0.5]]), mass, targets=np.array([[0.7, 0.5, 0.5]])
+        )[0]
+        p2 = solver.potential_at(
+            np.array([[0.5, 0.3, 0.5]]), mass, targets=np.array([[0.5, 0.7, 0.5]])
+        )[0]
+        assert p1 == pytest.approx(p2, rel=1e-10)
+
+    def test_deconvolution_power_validation(self):
+        from repro.mesh.greens import build_greens_function
+
+        with pytest.raises(ValueError):
+            build_greens_function(8, deconvolve=3)

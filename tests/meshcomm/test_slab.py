@@ -1,0 +1,96 @@
+"""Tests of mesh-region and slab-decomposition bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.meshcomm.slab import LocalMeshRegion, SlabDecomposition
+
+
+class TestLocalMeshRegion:
+    def test_array_shape_includes_ghosts(self):
+        reg = LocalMeshRegion(n=16, lo=(0, 4, 8), shape=(4, 4, 4), ghost=2)
+        assert reg.array_shape == (8, 8, 8)
+        assert reg.allocate().shape == (8, 8, 8)
+
+    def test_unwrapped_range(self):
+        reg = LocalMeshRegion(n=16, lo=(2, 0, 0), shape=(4, 16, 16), ghost=1)
+        assert reg.unwrapped_range(0) == (1, 7)
+
+    def test_wrapped_indices_fold_into_mesh(self):
+        reg = LocalMeshRegion(n=8, lo=(7, 0, 0), shape=(2, 8, 8), ghost=1)
+        np.testing.assert_array_equal(reg.wrapped_indices(0), [6, 7, 0, 1])
+
+    def test_interior_view(self):
+        reg = LocalMeshRegion(n=8, lo=(0, 0, 0), shape=(2, 2, 2), ghost=1)
+        arr = reg.allocate()
+        arr[1, 1, 1] = 5.0
+        interior = reg.interior(arr)
+        assert interior.shape == (2, 2, 2)
+        assert interior[0, 0, 0] == 5.0
+
+    def test_interior_no_ghost(self):
+        reg = LocalMeshRegion(n=8, lo=(0, 0, 0), shape=(2, 2, 2), ghost=0)
+        arr = reg.allocate()
+        assert reg.interior(arr) is arr
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalMeshRegion(n=0, lo=(0, 0, 0), shape=(1, 1, 1))
+        with pytest.raises(ValueError):
+            LocalMeshRegion(n=8, lo=(0, 0, 0), shape=(25, 1, 1))
+        with pytest.raises(ValueError):
+            LocalMeshRegion(n=8, lo=(0, 0, 0), shape=(21, 1, 1), ghost=2)
+        with pytest.raises(ValueError):
+            LocalMeshRegion(n=8, lo=(0, 0, 0), shape=(1, 1, 1), ghost=-1)
+
+    def test_from_domain_covers_assignment_stencil(self):
+        reg = LocalMeshRegion.from_domain(
+            16, np.array([0.25, 0.0, 0.0]), np.array([0.5, 1.0, 1.0]), 1.0, 2
+        )
+        # domain x in [0.25, 0.5) = cells 4..7; TSC stencil reaches 3..8
+        a, b = reg.unwrapped_range(0)
+        assert a <= 3 - 2 + 2  # interior starts at or before cell 3
+        assert b >= 8 + 1      # interior ends at or after cell 8
+
+    def test_from_domain_full_axis(self):
+        """A full-axis domain covers every cell (with aliased overlap):
+        the TSC stencil of a particle at x -> 1 reaches cell n + 1."""
+        reg = LocalMeshRegion.from_domain(8, np.zeros(3), np.ones(3), 1.0, 1)
+        assert reg.shape == (11, 11, 11)
+        assert set(reg.wrapped_indices(0).tolist()) == set(range(8))
+
+
+class TestSlabDecomposition:
+    def test_even_split(self):
+        slabs = SlabDecomposition(16, 4)
+        assert [slabs.range_of(i) for i in range(4)] == [
+            (0, 4), (4, 8), (8, 12), (12, 16)
+        ]
+
+    def test_uneven_split_front_loaded(self):
+        slabs = SlabDecomposition(10, 3)
+        assert [slabs.range_of(i) for i in range(3)] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_owner_of(self):
+        slabs = SlabDecomposition(16, 4)
+        assert slabs.owner_of(0) == 0
+        assert slabs.owner_of(7) == 1
+        assert slabs.owner_of(15) == 3
+        assert slabs.owner_of(-1) == 3  # wraps
+
+    def test_shape_and_allocate(self):
+        slabs = SlabDecomposition(8, 3)
+        assert slabs.shape_of(0) == (3, 8, 8)
+        assert slabs.allocate(2).shape == (2, 8, 8)
+
+    def test_slab_limit_enforced(self):
+        """The paper's constraint: FFT processes <= mesh points per dim."""
+        with pytest.raises(ValueError, match="1-D slab"):
+            SlabDecomposition(8, 9)
+        with pytest.raises(ValueError):
+            SlabDecomposition(8, 0)
+
+    def test_len(self):
+        assert len(SlabDecomposition(8, 5)) == 5

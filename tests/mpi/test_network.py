@@ -1,0 +1,190 @@
+"""Tests of the torus network model and traffic accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.network import (
+    Message,
+    PhaseTraffic,
+    TorusNetwork,
+    TrafficLog,
+)
+from repro.mpi.runtime import MPIRuntime
+
+
+class TestTorusGeometry:
+    def test_coord_roundtrip(self):
+        net = TorusNetwork((3, 4, 5))
+        for rank in range(net.n_nodes):
+            assert net.rank_of(net.coord(rank)) == rank
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            TorusNetwork((0, 1, 1))
+        with pytest.raises(ValueError):
+            TorusNetwork((2, 2))
+        with pytest.raises(ValueError):
+            TorusNetwork((2, 2, 2), link_bandwidth=-1)
+
+    def test_route_length_is_manhattan_torus_distance(self):
+        net = TorusNetwork((4, 4, 4))
+        for src, dst, expected in [
+            (0, 0, 0),
+            (0, 1, 1),  # one z step
+            (0, net.rank_of((2, 0, 0)), 2),
+            (0, net.rank_of((3, 0, 0)), 1),  # wraps around
+            (0, net.rank_of((2, 2, 2)), 6),
+            (0, net.rank_of((3, 3, 3)), 3),  # wraps all dims
+        ]:
+            assert len(net.route(src, dst)) == expected
+
+    def test_route_is_connected_path(self):
+        net = TorusNetwork((3, 5, 2))
+        src, dst = 1, 28
+        route = net.route(src, dst)
+        assert route[0][0] == src
+        assert route[-1][1] == dst
+        for (a, b), (c, d) in zip(route[:-1], route[1:]):
+            assert b == c
+
+    def test_route_steps_are_unit_hops(self):
+        net = TorusNetwork((4, 4, 4))
+        for a, b in net.route(0, net.rank_of((2, 3, 1))):
+            ca, cb = np.array(net.coord(a)), np.array(net.coord(b))
+            d = np.abs(ca - cb)
+            d = np.minimum(d, 4 - d)  # periodic hop
+            assert d.sum() == 1
+
+    def test_rank_outside_torus_rejected(self):
+        net = TorusNetwork((2, 2, 2))
+        with pytest.raises(ValueError):
+            net.coord(8)
+
+
+class TestPhaseTime:
+    def test_single_message_time(self):
+        net = TorusNetwork((4, 1, 1), link_bandwidth=1e9, link_latency=1e-6)
+        ph = PhaseTraffic("x", [Message(0, 1, 10**9)])
+        t = net.phase_time(ph)
+        assert t.bandwidth_seconds == pytest.approx(1.0)
+        assert t.latency_seconds == pytest.approx(1e-6)
+        assert t.seconds == pytest.approx(1.0 + 1e-6)
+
+    def test_self_messages_free(self):
+        net = TorusNetwork((2, 1, 1))
+        ph = PhaseTraffic("x", [Message(0, 0, 10**12)])
+        assert net.phase_time(ph).seconds == 0.0
+
+    def test_congestion_serializes_at_receiver(self):
+        """Many senders to one receiver: endpoint bytes dominate."""
+        net = TorusNetwork((8, 1, 1), link_bandwidth=1e9, link_latency=0.0)
+        msgs = [Message(s, 0, 10**8) for s in range(1, 8)]
+        t = net.phase_time(PhaseTraffic("fan-in", msgs))
+        assert t.max_endpoint_bytes == 7 * 10**8
+        assert t.seconds == pytest.approx(0.7)
+
+    def test_disjoint_pairs_run_concurrently(self):
+        """Disjoint nearest-neighbor pairs share no links: phase time
+        equals a single transfer."""
+        net = TorusNetwork((8, 1, 1), link_bandwidth=1e9, link_latency=0.0)
+        msgs = [Message(2 * i, 2 * i + 1, 10**9) for i in range(4)]
+        t = net.phase_time(PhaseTraffic("pairs", msgs))
+        assert t.seconds == pytest.approx(1.0)
+
+    def test_link_congestion_detected(self):
+        """Messages crossing a common link accumulate on it."""
+        net = TorusNetwork((8, 1, 1), link_bandwidth=1e9, link_latency=0.0)
+        # 0->4, 1->4, 2->4... all cross link 3->4 in x dimension-order
+        msgs = [Message(s, 4, 10**8) for s in (1, 2, 3)]
+        t = net.phase_time(PhaseTraffic("hotlink", msgs))
+        assert t.max_link_bytes == 3 * 10**8
+
+    def test_empty_phase(self):
+        net = TorusNetwork((2, 2, 2))
+        t = net.phase_time(PhaseTraffic("empty"))
+        assert t.seconds == 0.0
+        assert t.n_messages == 0
+
+
+class TestTrafficLog:
+    def test_phases_accumulate(self):
+        log = TrafficLog()
+        log.record(0, 1, 100)
+        log.begin_phase("a")
+        log.record(1, 2, 200)
+        log.record(2, 3, 300)
+        assert log.phase("a").total_bytes == 500
+        assert log.phase("startup").total_bytes == 100
+
+    def test_latest_phase_with_name_wins(self):
+        log = TrafficLog()
+        log.begin_phase("x")
+        log.record(0, 1, 1)
+        log.begin_phase("x")
+        log.record(0, 1, 2)
+        assert log.phase("x").total_bytes == 2
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(KeyError):
+            TrafficLog().phase("nope")
+
+    def test_merged(self):
+        log = TrafficLog()
+        log.begin_phase("a")
+        log.record(0, 1, 1)
+        log.begin_phase("b")
+        log.record(0, 1, 2)
+        log.begin_phase("a")
+        log.record(0, 1, 4)
+        assert log.merged(["a"]).total_bytes == 5
+        assert log.merged(["a", "b"]).total_bytes == 7
+
+    def test_max_senders_per_receiver(self):
+        ph = PhaseTraffic(
+            "x",
+            [Message(1, 0, 1), Message(2, 0, 1), Message(2, 0, 1), Message(0, 1, 1)],
+        )
+        assert ph.max_senders_per_receiver() == 2
+
+
+class TestRuntimeTrafficIntegration:
+    def test_alltoallv_traffic_recorded(self):
+        rt = MPIRuntime(4)
+
+        def fn(comm):
+            comm.traffic_phase("exchange")
+            comm.alltoallv([np.zeros(8) for _ in range(comm.size)])
+            comm.barrier()
+
+        rt.run(fn)
+        ph = rt.traffic.phase("exchange")
+        # 4 ranks x 3 remote destinations x 64 bytes
+        assert ph.total_bytes == 4 * 3 * 64
+        assert ph.max_senders_per_receiver() == 3
+
+    def test_bcast_uses_log_messages(self):
+        rt = MPIRuntime(8)
+
+        def fn(comm):
+            comm.traffic_phase("bc")
+            comm.bcast(np.zeros(1) if comm.rank == 0 else None, root=0)
+            comm.barrier()
+
+        rt.run(fn)
+        # binomial tree on 8 ranks: exactly 7 messages
+        assert rt.traffic.phase("bc").n_messages == 7
+
+    def test_modeled_time_positive_for_real_exchange(self):
+        rt = MPIRuntime(4, torus_shape=(2, 2, 1))
+
+        def fn(comm):
+            comm.traffic_phase("x")
+            comm.alltoallv([np.zeros(1000) for _ in range(comm.size)])
+            comm.barrier()
+
+        rt.run(fn)
+        t = rt.network.phase_time(rt.traffic.phase("x"))
+        assert t.seconds > 0
+        assert t.total_bytes == 4 * 3 * 8000

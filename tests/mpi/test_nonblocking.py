@@ -1,0 +1,99 @@
+"""Tests of the non-blocking point-to-point API (paper footnote 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.comm import Request
+from repro.mpi.runtime import run_spmd
+
+
+class TestIsendIrecv:
+    def test_basic_roundtrip(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(5), dest=1, tag=3)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=3)
+            return req.wait()
+
+        out = run_spmd(2, fn)
+        np.testing.assert_array_equal(out[1], np.arange(5))
+
+    def test_test_polls_without_blocking(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()  # let rank 1 poll first
+                comm.isend("payload", dest=1)
+                comm.barrier()
+                return None
+            req = comm.irecv(source=0)
+            done_before, _ = req.test()
+            comm.barrier()  # now rank 0 sends
+            comm.barrier()
+            done_after, payload = req.test()
+            return done_before, done_after, payload
+
+        out = run_spmd(2, fn)
+        before, after, payload = out[1]
+        assert before is False
+        assert after is True
+        assert payload == "payload"
+
+    def test_wait_idempotent(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.isend(42, dest=1)
+                return None
+            req = comm.irecv(source=0)
+            return req.wait(), req.wait(), req.test()
+
+        out = run_spmd(2, fn)
+        v1, v2, (done, v3) = out[1]
+        assert v1 == v2 == v3 == 42
+        assert done
+
+    def test_waitall_many_senders(self):
+        """The footnote's scenario in miniature: one receiver posts a
+        receive per sender and completes them all."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                reqs = [
+                    comm.irecv(source=s, tag=s) for s in range(1, comm.size)
+                ]
+                vals = Request.waitall(reqs)
+                return sorted(vals)
+            comm.isend(comm.rank * 10, dest=0, tag=comm.rank)
+            return None
+
+        out = run_spmd(6, fn)
+        assert out[0] == [10, 20, 30, 40, 50]
+
+    def test_tag_mismatch_detected(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.isend(1, dest=1, tag=5)
+            else:
+                comm.irecv(source=0, tag=7).wait()
+
+        with pytest.raises(RuntimeError, match="tag mismatch|rank"):
+            run_spmd(2, fn)
+
+    def test_traffic_still_recorded(self):
+        from repro.mpi.runtime import MPIRuntime
+
+        rt = MPIRuntime(2)
+
+        def fn(comm):
+            comm.traffic_phase("nb")
+            if comm.rank == 0:
+                comm.isend(np.zeros(16), dest=1)
+            else:
+                comm.irecv(source=0).wait()
+            comm.barrier()
+
+        rt.run(fn)
+        assert rt.traffic.phase("nb").total_bytes == 128

@@ -1,0 +1,47 @@
+"""Tests of the memory footprint model against the paper's claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_paper_200tb_claim(self):
+        """"The total amount of memory required is ~200TB" for the
+        10240^3-particle run."""
+        m = MemoryModel()
+        total_tb = m.total_bytes() / 1e12
+        assert total_tb == pytest.approx(200.0, rel=0.15)
+
+    def test_fits_on_24576_nodes(self):
+        """The run lived on 24576 nodes with 16 GB each."""
+        m = MemoryModel(nodes=24576)
+        assert m.per_node_bytes() < 16.0e9
+        # but with meaningful utilization (> 40%)
+        assert m.per_node_bytes() > 0.4 * 16.0e9
+
+    def test_full_system_headroom(self):
+        """On the full system (1.3 PB total) the run is comfortable."""
+        m = MemoryModel(nodes=82944)
+        assert m.total_bytes() < 1.3e15
+        assert m.per_node_bytes() < 16.0e9 / 4
+
+    def test_breakdown_sums_to_total(self):
+        m = MemoryModel()
+        b = m.breakdown()
+        parts = sum(v for k, v in b.items() if k != "total")
+        assert parts == pytest.approx(b["total"], rel=1e-12)
+
+    def test_particles_dominate(self):
+        """Particle state dominates the budget — the property that
+        makes trillion-body the memory-limited frontier."""
+        b = MemoryModel().breakdown()
+        assert b["particles"] > 0.4 * b["total"]
+        assert b["meshes"] < 0.05 * b["total"]
+
+    def test_mesh_share_grows_with_mesh(self):
+        small = MemoryModel(n_mesh=4096).breakdown()["meshes"]
+        big = MemoryModel(n_mesh=8192).breakdown()["meshes"]
+        assert big == pytest.approx(8 * small, rel=1e-12)

@@ -1,0 +1,165 @@
+"""Tests of the performance models against the paper's own numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.perf.flops import efficiency, kernel_limit_flops, measured_performance
+from repro.perf.kcomputer import K_FULL, K_PARTIAL, KComputerModel
+from repro.perf.model import (
+    PAPER_TABLE1,
+    PAPER_TOTALS,
+    PhaseRule,
+    TableOneModel,
+)
+from repro.perf.report import format_table1
+
+
+class TestKComputerModel:
+    def test_linpack_peak(self):
+        """16 Gflops/core, 128 Gflops/node, 10.6 Pflops full system."""
+        m = K_FULL.machine
+        assert m.peak_per_core == pytest.approx(16e9)
+        assert m.peak_per_node == pytest.approx(128e9)
+        assert m.peak_total == pytest.approx(10.6e15, rel=0.02)
+
+    def test_kernel_limit_12_gflops(self):
+        """17 FMA + 17 non-FMA per 2 interactions -> 12 Gflops/core."""
+        assert K_FULL.kernel_peak_per_core == pytest.approx(12e9)
+
+    def test_kernel_max_efficiency_75_percent(self):
+        assert K_FULL.kernel_max_efficiency == pytest.approx(0.75)
+
+    def test_kernel_sustained_11_65_gflops(self):
+        """97% of the limit is the paper's measured 11.65 Gflops."""
+        model = KComputerModel(kernel_efficiency=11.65 / 12.0)
+        assert model.kernel_sustained_per_core == pytest.approx(11.65e9, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KComputerModel(kernel_efficiency=0.0)
+
+
+class TestHeadlineNumbers:
+    """The paper's aggregate metrics must follow from its inputs."""
+
+    @pytest.mark.parametrize(
+        "p,model", [(24576, K_PARTIAL), (82944, K_FULL)]
+    )
+    def test_pflops_and_efficiency(self, p, model):
+        tot = PAPER_TOTALS[p]
+        perf = measured_performance(
+            tot["interactions_per_step"], tot["total_seconds"]
+        )
+        assert perf / 1e15 == pytest.approx(tot["pflops"], rel=0.03)
+        assert efficiency(perf, model.machine) == pytest.approx(
+            tot["efficiency"], rel=0.03
+        )
+
+    def test_force_cycle_efficiency_71_percent(self):
+        """"If we focus on the only force calculation cycle, it
+        achieves 71% efficiency ... equivalent to 95% since the
+        theoretical maximum efficiency is 75%."""
+        perf = measured_performance(
+            PAPER_TOTALS[24576]["interactions_per_step"],
+            PAPER_TABLE1[24576]["PP/force calculation"],
+        )
+        eff = efficiency(perf, K_PARTIAL.machine)
+        assert eff == pytest.approx(0.71, abs=0.01)
+        assert eff / K_PARTIAL.kernel_max_efficiency == pytest.approx(0.95, abs=0.02)
+
+    def test_full_system_speedup(self):
+        """3.375x nodes gives 2.89x speed (sublinear because of the
+        constant FFT): both in the paper."""
+        speedup = PAPER_TOTALS[24576]["total_seconds"] / PAPER_TOTALS[82944][
+            "total_seconds"
+        ]
+        assert speedup == pytest.approx(2.89, abs=0.02)
+
+    def test_pp_kernel_seconds_projection(self):
+        """Projecting 5.35e15 interactions through the sustained-kernel
+        model gives a time close to (but below) the measured force row:
+        the measured row includes non-kernel overhead."""
+        t = K_PARTIAL.pp_kernel_seconds(5.35e15)
+        measured = PAPER_TABLE1[24576]["PP/force calculation"]
+        assert t < measured
+        assert t == pytest.approx(measured, rel=0.08)
+
+
+class TestTableOneModel:
+    def test_cross_validation_24k_to_82k(self):
+        """Calibrate at 24576 nodes, predict the full system: every row
+        within 40%, the total within 10%."""
+        model = TableOneModel()
+        model.calibrate(PAPER_TABLE1[24576], 24576)
+        pred = model.predict(82944)
+        meas = PAPER_TABLE1[82944]
+        for row, value in meas.items():
+            assert pred[row] == pytest.approx(value, rel=0.4), row
+        assert model.predict_total(82944) == pytest.approx(
+            PAPER_TOTALS[82944]["total_seconds"], rel=0.1
+        )
+
+    def test_cross_validation_reverse(self):
+        model = TableOneModel()
+        model.calibrate(PAPER_TABLE1[82944], 82944)
+        assert model.predict_total(24576) == pytest.approx(
+            PAPER_TOTALS[24576]["total_seconds"], rel=0.15
+        )
+
+    def test_calibration_identity(self):
+        """Predicting at the calibration point returns the inputs."""
+        model = TableOneModel()
+        model.calibrate(PAPER_TABLE1[24576], 24576)
+        pred = model.predict(24576)
+        for row, value in PAPER_TABLE1[24576].items():
+            assert pred[row] == pytest.approx(value, rel=1e-12)
+
+    def test_fft_row_constant(self):
+        """The defining saturation: FFT time does not shrink with p."""
+        model = TableOneModel()
+        model.calibrate(PAPER_TABLE1[24576], 24576)
+        assert model.predict(82944)["PM/FFT"] == pytest.approx(4.06)
+
+    def test_section_totals(self):
+        """PM and DD sub-rows sum to the paper's section totals; the PP
+        section carries ~1.2 s of unlisted overhead (150.87 listed vs
+        152.10 reported), as does the grand total."""
+        secs = TableOneModel.section_totals(PAPER_TABLE1[24576])
+        assert secs["PM"] == pytest.approx(9.28, abs=0.01)
+        assert secs["PP"] == pytest.approx(150.87, abs=0.01)
+        assert 150.0 < secs["PP"] < 152.10
+        assert secs["Domain Decomposition"] == pytest.approx(6.28, abs=0.01)
+
+    def test_errors(self):
+        model = TableOneModel()
+        with pytest.raises(RuntimeError):
+            model.predict(10)
+        with pytest.raises(ValueError, match="missing"):
+            model.calibrate({"PM/FFT": 1.0}, 10)
+        with pytest.raises(ValueError):
+            model.calibrate(PAPER_TABLE1[24576], 0)
+
+    def test_phase_rule_roundtrip(self):
+        rule = PhaseRule("x", -0.5)
+        c = rule.coefficient(2.0, 100)
+        assert rule.predict(c, 100) == pytest.approx(2.0)
+        assert rule.predict(c, 400) == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_format_contains_rows_and_totals(self):
+        txt = format_table1(
+            {"paper 24576": PAPER_TABLE1[24576], "paper 82944": PAPER_TABLE1[82944]},
+            footer={
+                "paper 24576": {"Pflops": 1.53},
+                "paper 82944": {"Pflops": 4.45},
+            },
+        )
+        assert "force calculation" in txt
+        assert "PM (sec/step)" in txt
+        assert "Total (sec/step)" in txt
+        assert "122.18" in txt  # the dominant PP force row
+        assert "4.17" in txt  # the saturated FFT row at 82944
+        assert "Pflops" in txt

@@ -1,0 +1,73 @@
+"""Tests of the mesh-exchange congestion model (paper section II-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.relaymodel import PAPER_RELAY_CASE, MeshExchangeModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MeshExchangeModel.calibrated_to_paper()
+
+
+class TestCalibration:
+    def test_direct_times_reproduced_exactly(self, model):
+        """Calibration identities."""
+        assert model.forward_seconds(1) == pytest.approx(
+            PAPER_RELAY_CASE["direct"]["forward"]
+        )
+        assert model.backward_seconds(1) == pytest.approx(
+            PAPER_RELAY_CASE["direct"]["backward"]
+        )
+
+    def test_sender_count_order_of_magnitude(self, model):
+        """The paper: an FFT process receives from ~p^(2/3)-scale
+        counts of processes (hundreds to thousands at 12288 nodes)."""
+        s = model.senders_per_slab(1)
+        assert 300 < s < 3000
+
+
+class TestRelayPredictions:
+    def test_forward_prediction(self, model):
+        """Predicted relay forward ~3 s (paper: ~3 s; x3.3 speedup)."""
+        pred = model.forward_seconds(3)
+        assert pred == pytest.approx(PAPER_RELAY_CASE["relay3"]["forward"], rel=0.25)
+
+    def test_backward_prediction(self, model):
+        """Predicted relay backward ~0.3-0.45 s (paper: ~0.3 s; x10)."""
+        pred = model.backward_seconds(3)
+        assert pred == pytest.approx(
+            PAPER_RELAY_CASE["relay3"]["backward"], rel=0.6
+        )
+        assert pred < 0.5
+
+    def test_overall_speedup_factor(self, model):
+        """"We achieve speed up more than a factor of four for the
+        communication" — total conversion time improvement."""
+        direct = model.forward_seconds(1) + model.backward_seconds(1)
+        relay = model.forward_seconds(3) + model.backward_seconds(3)
+        assert direct / relay > 3.0
+
+    def test_more_groups_help_until_crossgroup_costs(self, model):
+        """Group sweep: conversion time decreases then flattens."""
+        times = [model.forward_seconds(g) for g in (1, 2, 3, 4, 6)]
+        assert times[0] > times[1] > times[2]
+
+    def test_fft_becomes_bottleneck_after_optimization(self, model):
+        """Paper: "FFT became a bottleneck after the optimization of
+        these communication parts" (FFT ~4 s > relay conversions)."""
+        relay_total = model.forward_seconds(3) + model.backward_seconds(3)
+        assert PAPER_RELAY_CASE["fft"] > relay_total / 2
+        assert PAPER_RELAY_CASE["fft"] > model.backward_seconds(3)
+
+
+class TestValidation:
+    def test_divisions_must_match(self):
+        with pytest.raises(ValueError):
+            MeshExchangeModel(p=10, divisions=(2, 2, 2), n_mesh=64, n_fft=8)
+
+    def test_nfft_limit(self):
+        with pytest.raises(ValueError):
+            MeshExchangeModel(p=8, divisions=(2, 2, 2), n_mesh=8, n_fft=16)

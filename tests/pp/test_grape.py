@@ -1,0 +1,106 @@
+"""Tests of the GRAPE-5 API facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forces.cutoff import S2ForceSplit
+from repro.forces.direct import direct_forces_open
+from repro.pp.grape import PhantomGrape
+
+
+class TestPipeline:
+    def test_matches_direct_summation(self, clustered_particles):
+        pos, mass = clustered_particles
+        g5 = PhantomGrape(eps=1e-3)
+        g5.set_n(len(pos))
+        g5.set_xmj(0, pos, mass)
+        acc = g5.calculate_forces_on(pos)
+        ref = direct_forces_open(pos, mass, eps=1e-3)
+        np.testing.assert_allclose(acc, ref, atol=1e-12)
+
+    def test_incremental_board_filling(self, rng):
+        """Loading j-particles in chunks equals loading them at once."""
+        pos = rng.random((60, 3))
+        mass = rng.random(60)
+        tgt = rng.random((10, 3))
+        whole = PhantomGrape(eps=1e-2)
+        whole.set_n(60)
+        whole.set_xmj(0, pos, mass)
+        chunked = PhantomGrape(eps=1e-2)
+        chunked.set_n(60)
+        chunked.set_xmj(0, pos[:25], mass[:25])
+        chunked.set_xmj(25, pos[25:], mass[25:])
+        np.testing.assert_array_equal(
+            whole.calculate_forces_on(tgt), chunked.calculate_forces_on(tgt)
+        )
+
+    def test_cutoff_pipeline(self):
+        """With the g_P3M split attached: the paper's ported kernel."""
+        split = S2ForceSplit(rcut=0.1)
+        g5 = PhantomGrape(split=split)
+        g5.set_n(1)
+        g5.set_xmj(0, np.array([[0.5, 0.5, 0.5]]), np.array([1.0]))
+        acc = g5.calculate_forces_on(np.array([[0.7, 0.5, 0.5]]))
+        np.testing.assert_array_equal(acc, 0.0)  # beyond rcut
+
+    def test_potential_readback(self):
+        g5 = PhantomGrape()
+        g5.set_n(1)
+        g5.set_xmj(0, np.zeros((1, 3)), np.array([2.0]))
+        g5.set_ip(np.array([[1.0, 0.0, 0.0]]))
+        g5.run()
+        assert g5.get_potential()[0] == pytest.approx(-2.0)
+
+    def test_counter_accumulates(self, rng):
+        g5 = PhantomGrape()
+        g5.set_n(8)
+        g5.set_xmj(0, rng.random((8, 3)), np.ones(8))
+        g5.calculate_forces_on(rng.random((5, 3)))
+        g5.calculate_forces_on(rng.random((3, 3)))
+        assert g5.counter.interactions == 5 * 8 + 3 * 8
+
+
+class TestProtocolErrors:
+    def test_run_before_load(self):
+        with pytest.raises(RuntimeError):
+            PhantomGrape().run()
+
+    def test_get_force_before_run(self):
+        g5 = PhantomGrape()
+        g5.set_n(1)
+        g5.set_xmj(0, np.zeros((1, 3)), np.ones(1))
+        g5.set_ip(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            g5.get_force()
+
+    def test_set_ip_invalidates_result(self):
+        g5 = PhantomGrape()
+        g5.set_n(1)
+        g5.set_xmj(0, np.zeros((1, 3)), np.ones(1))
+        g5.set_ip(np.ones((1, 3)))
+        g5.run()
+        g5.get_force()
+        g5.set_ip(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            g5.get_force()
+
+    def test_jmem_capacity(self):
+        g5 = PhantomGrape(jmemsize=4)
+        with pytest.raises(ValueError):
+            g5.set_n(5)
+
+    def test_offset_bounds(self):
+        g5 = PhantomGrape()
+        g5.set_n(4)
+        with pytest.raises(ValueError):
+            g5.set_xmj(2, np.zeros((3, 3)), np.ones(3))
+
+    def test_shape_validation(self):
+        g5 = PhantomGrape()
+        g5.set_n(4)
+        with pytest.raises(ValueError):
+            g5.set_xmj(0, np.zeros((2, 2)), np.ones(2))
+        with pytest.raises(ValueError):
+            g5.set_ip(np.zeros((2, 4)))

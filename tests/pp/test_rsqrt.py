@@ -1,0 +1,61 @@
+"""Tests of the emulated HPC-ACE fast reciprocal square root."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pp.rsqrt import fast_rsqrt, rsqrt_relative_error, rsqrt_seed_8bit
+
+
+class TestSeed:
+    def test_seed_has_roughly_8_bits(self):
+        x = np.geomspace(1e-12, 1e12, 1000)
+        err = np.abs(rsqrt_seed_8bit(x) * np.sqrt(x) - 1.0)
+        assert np.max(err) < 2.0**-8 * 1.01  # 8-bit mantissa rounding
+        assert np.max(err) > 2.0**-11  # but genuinely approximate
+
+    def test_seed_exact_on_powers_of_four(self):
+        # 1/sqrt(4^k) is exactly representable in 8 mantissa bits
+        x = 4.0 ** np.arange(-10, 11)
+        np.testing.assert_array_equal(rsqrt_seed_8bit(x), 1.0 / np.sqrt(x))
+
+
+class TestFastRsqrt:
+    def test_24bit_accuracy(self):
+        """The paper's third-order iteration reaches ~24-bit accuracy.
+
+        The analytic bound is 2.5 * delta^3 with seed error
+        delta <= 2^-8, i.e. 2.5 * 2^-24 ~ 1.5e-7."""
+        x = np.geomspace(1e-20, 1e20, 10000)
+        err = rsqrt_relative_error(x)
+        assert np.max(err) < 2.5 * 2.0**-24 * 1.05
+
+    def test_not_fully_double_precision(self):
+        """It should NOT be double precision: the paper explicitly stops
+        at 24 bits."""
+        rng = np.random.default_rng(11)
+        x = rng.random(10000) * 100 + 0.01
+        err = rsqrt_relative_error(x)
+        assert np.max(err) > 2.0**-40
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    def test_property_relative_error(self, x):
+        assert float(rsqrt_relative_error(x)) < 2.5 * 2.0**-24 * 1.05
+
+    def test_scalar_and_array_agree(self):
+        xs = np.array([0.5, 2.0, 9.0])
+        vec = fast_rsqrt(xs)
+        scl = np.array([float(fast_rsqrt(x)) for x in xs])
+        np.testing.assert_array_equal(vec, scl)
+
+    def test_third_order_convergence_rate(self):
+        """One iteration cubes the relative error (third-order method):
+        seed error ~2^-8 -> refined error ~2^-24 scale."""
+        x = np.geomspace(0.1, 10.0, 1000)
+        seed_err = np.max(np.abs(rsqrt_seed_8bit(x) * np.sqrt(x) - 1.0))
+        ref_err = np.max(rsqrt_relative_error(x))
+        # error^3 within an order of magnitude
+        assert ref_err == pytest.approx(seed_err**3, rel=30.0)

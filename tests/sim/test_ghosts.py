@@ -1,0 +1,91 @@
+"""Tests of ghost-particle exchange."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decomp.multisection import MultisectionDecomposition
+from repro.mpi.runtime import run_spmd
+from repro.sim.ghosts import distance_to_domain, exchange_ghosts
+
+
+class TestDistanceToDomain:
+    def test_inside_is_zero(self):
+        lo, hi = np.array([0.2, 0.2, 0.2]), np.array([0.6, 0.6, 0.6])
+        pos = np.array([[0.3, 0.4, 0.5]])
+        assert distance_to_domain(pos, lo, hi)[0] == 0.0
+
+    def test_axis_aligned_distance(self):
+        lo, hi = np.array([0.2, 0.0, 0.0]), np.array([0.6, 1.0, 1.0])
+        pos = np.array([[0.7, 0.5, 0.5]])
+        assert distance_to_domain(pos, lo, hi)[0] == pytest.approx(0.1)
+
+    def test_corner_distance(self):
+        lo, hi = np.array([0.2, 0.2, 0.0]), np.array([0.6, 0.6, 1.0])
+        pos = np.array([[0.7, 0.7, 0.5]])
+        assert distance_to_domain(pos, lo, hi)[0] == pytest.approx(
+            np.sqrt(2) * 0.1
+        )
+
+    def test_periodic_wrap(self):
+        """A point near x=1 is close to a domain starting at x=0."""
+        lo, hi = np.array([0.0, 0.0, 0.0]), np.array([0.3, 1.0, 1.0])
+        pos = np.array([[0.95, 0.5, 0.5]])
+        assert distance_to_domain(pos, lo, hi)[0] == pytest.approx(0.05)
+
+    def test_vectorized(self, rng):
+        lo, hi = np.array([0.4, 0.4, 0.4]), np.array([0.6, 0.6, 0.6])
+        pos = rng.random((100, 3))
+        d = distance_to_domain(pos, lo, hi)
+        assert d.shape == (100,)
+        assert np.all(d >= 0)
+        assert np.all(d <= np.sqrt(3) / 2 + 1e-12)
+
+
+class TestExchangeGhosts:
+    def test_ghosts_cover_cutoff_shell(self):
+        """Every remote particle within rcut of the domain arrives."""
+        rng = np.random.default_rng(0)
+        allpos = rng.random((300, 3))
+        allmass = rng.random(300)
+        decomp = MultisectionDecomposition.uniform((2, 2, 1))
+        owners = decomp.owner_of(allpos)
+        rcut = 0.1
+
+        def fn(comm):
+            sel = owners == comm.rank
+            gpos, gmass = exchange_ghosts(
+                comm, decomp, allpos[sel], allmass[sel], rcut
+            )
+            return gpos, gmass
+
+        out = run_spmd(4, fn)
+        for r, (gpos, gmass) in enumerate(out):
+            lo, hi = decomp.domain_bounds(r)
+            remote = owners != r
+            expected = remote & (distance_to_domain(allpos, lo, hi) <= rcut)
+            assert len(gpos) == expected.sum()
+            # every expected ghost is present (set comparison by mass)
+            np.testing.assert_allclose(
+                np.sort(gmass), np.sort(allmass[expected]), atol=0
+            )
+
+    def test_no_self_ghosts(self):
+        pos = np.array([[0.1, 0.5, 0.5]])
+        decomp = MultisectionDecomposition.uniform((1, 1, 1))
+
+        def fn(comm):
+            return exchange_ghosts(comm, decomp, pos, np.ones(1), 0.2)
+
+        gpos, gmass = run_spmd(1, fn)[0]
+        assert len(gpos) == 0
+
+    def test_invalid_rcut(self):
+        decomp = MultisectionDecomposition.uniform((1, 1, 1))
+
+        def fn(comm):
+            exchange_ghosts(comm, decomp, np.zeros((1, 3)), np.ones(1), 0.0)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(1, fn)

@@ -1,0 +1,86 @@
+"""Tests of snapshot I/O and checkpoint/resume equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+from repro.sim.io import SnapshotHeader, load_snapshot, save_snapshot
+from repro.sim.serial import SerialSimulation
+
+
+def _state(rng, n=32):
+    return rng.random((n, 3)), rng.standard_normal((n, 3)), np.full(n, 1.0 / n)
+
+
+class TestSnapshotRoundtrip:
+    def test_arrays_and_header_preserved(self, tmp_path, rng):
+        pos, mom, mass = _state(rng)
+        hdr = SnapshotHeader(
+            time=0.25,
+            n_particles=32,
+            cosmological=True,
+            step=7,
+            extra={"seed": 42, "label": "test"},
+        )
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, pos, mom, mass, hdr)
+        p2, m2, w2, h2 = load_snapshot(path)
+        np.testing.assert_array_equal(p2, pos)
+        np.testing.assert_array_equal(m2, mom)
+        np.testing.assert_array_equal(w2, mass)
+        assert h2 == hdr
+        assert h2.redshift == pytest.approx(3.0)
+
+    def test_length_mismatch_rejected(self, tmp_path, rng):
+        pos, mom, mass = _state(rng)
+        hdr = SnapshotHeader(time=0.0, n_particles=99)
+        with pytest.raises(ValueError):
+            save_snapshot(tmp_path / "x.npz", pos, mom, mass, hdr)
+
+    def test_redshift_requires_cosmological(self):
+        hdr = SnapshotHeader(time=1.0, n_particles=1, cosmological=False)
+        with pytest.raises(ValueError):
+            hdr.redshift
+
+    def test_suffix_tolerance(self, tmp_path, rng):
+        """numpy appends .npz: loading by the bare name still works."""
+        pos, mom, mass = _state(rng)
+        hdr = SnapshotHeader(time=0.0, n_particles=32)
+        save_snapshot(tmp_path / "snap", pos, mom, mass, hdr)
+        p2, _, _, _ = load_snapshot(tmp_path / "snap")
+        np.testing.assert_array_equal(p2, pos)
+
+
+class TestCheckpointResume:
+    def test_resume_reproduces_trajectory(self, tmp_path, rng):
+        """Run 4 steps straight vs 2 steps + checkpoint + 2 steps."""
+        cfg = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(opening_angle=0.5, group_size=32),
+                pm=PMConfig(mesh_size=16),
+                softening=5e-3,
+            ),
+        )
+        pos, mom, mass = _state(rng, 64)
+
+        straight = SerialSimulation(cfg, pos, mom, mass)
+        straight.run(0.0, 0.2, n_steps=4)
+
+        first = SerialSimulation(cfg, pos, mom, mass)
+        first.run(0.0, 0.1, n_steps=2)
+        save_snapshot(
+            tmp_path / "ckpt.npz",
+            first.pos,
+            first.mom,
+            first.mass,
+            SnapshotHeader(time=0.1, n_particles=64, step=2),
+        )
+
+        p2, m2, w2, hdr = load_snapshot(tmp_path / "ckpt.npz")
+        resumed = SerialSimulation(cfg, p2, m2, w2)
+        resumed.run(hdr.time, 0.2, n_steps=2)
+
+        np.testing.assert_allclose(resumed.pos, straight.pos, atol=1e-12)
+        np.testing.assert_allclose(resumed.mom, straight.mom, atol=1e-12)

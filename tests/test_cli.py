@@ -1,0 +1,127 @@
+"""Tests of the command-line runner."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main, run_from_config
+from repro.sim.io import load_snapshot
+
+
+def _quiet(*args, **kwargs):
+    pass
+
+
+class TestRunFromConfig:
+    def test_static_run(self):
+        summary = run_from_config(
+            {
+                "kind": "static",
+                "n_particles": 64,
+                "mesh_size": 16,
+                "end": 0.05,
+                "n_steps": 2,
+            },
+            log=_quiet,
+        )
+        assert summary["steps"] == 2
+        assert summary["kind"] == "static"
+        assert summary["interactions_last_pp"] > 0
+
+    def test_cosmological_run_with_snapshots(self, tmp_path):
+        summary = run_from_config(
+            {
+                "kind": "cosmological",
+                "n_per_dim": 4,
+                "mesh_size": 8,
+                "start": 0.01,
+                "end": 0.02,
+                "n_steps": 3,
+                "snapshots": [0.01, 0.02],
+                "output_dir": str(tmp_path),
+            },
+            log=_quiet,
+        )
+        assert len(summary["snapshots"]) == 2
+        pos, mom, mass, hdr = load_snapshot(summary["snapshots"][-1])
+        assert hdr.cosmological
+        assert hdr.n_particles == 64
+        assert hdr.time == pytest.approx(0.02)
+        assert np.all((pos >= 0) & (pos < 1))
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            run_from_config({"particles": 10}, log=_quiet)
+
+    def test_snapshot_requires_output_dir(self):
+        with pytest.raises(ValueError, match="output_dir"):
+            run_from_config(
+                {"kind": "static", "snapshots": [0.1]}, log=_quiet
+            )
+
+    def test_snapshot_epoch_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="outside"):
+            run_from_config(
+                {
+                    "kind": "static",
+                    "end": 0.1,
+                    "snapshots": [0.5],
+                    "output_dir": str(tmp_path),
+                },
+                log=_quiet,
+            )
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            run_from_config({"kind": "magnetohydro"}, log=_quiet)
+
+    def test_2lpt_initial_conditions(self):
+        summary = run_from_config(
+            {
+                "kind": "cosmological",
+                "n_per_dim": 4,
+                "mesh_size": 8,
+                "start": 0.01,
+                "end": 0.015,
+                "n_steps": 1,
+                "lpt_order": 2,
+            },
+            log=_quiet,
+        )
+        assert summary["steps"] == 1
+
+    def test_invalid_lpt_order(self):
+        with pytest.raises(ValueError, match="lpt_order"):
+            run_from_config(
+                {"kind": "cosmological", "lpt_order": 3, "n_steps": 1},
+                log=_quiet,
+            )
+
+
+class TestMain:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "4.45 Pflops" in out
+
+    def test_run_with_summary_file(self, tmp_path, capsys):
+        cfg = tmp_path / "run.json"
+        cfg.write_text(
+            json.dumps(
+                {
+                    "kind": "static",
+                    "n_particles": 32,
+                    "mesh_size": 16,
+                    "end": 0.02,
+                    "n_steps": 1,
+                }
+            )
+        )
+        summary_path = tmp_path / "summary.json"
+        assert main(["run", str(cfg), "--summary", str(summary_path)]) == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["steps"] == 1

@@ -1,0 +1,247 @@
+"""Edge-case and robustness tests across subsystems.
+
+Covers paths the module-focused suites exercise thinly: error branches,
+unusual-but-legal configurations, and cross-module corners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+from repro.mpi.runtime import run_spmd
+
+
+class TestTreePMCorners:
+    def test_quadrupole_through_full_solver(self, clustered_particles):
+        from repro.treepm.solver import TreePMSolver
+
+        pos, mass = clustered_particles
+        cfg = TreePMConfig(
+            tree=TreeConfig(opening_angle=0.7, use_quadrupole=True, group_size=32),
+            pm=PMConfig(mesh_size=16),
+            softening=1e-3,
+        )
+        cfg_mono = TreePMConfig(
+            tree=TreeConfig(opening_angle=0.7, use_quadrupole=False, group_size=32),
+            pm=PMConfig(mesh_size=16),
+            softening=1e-3,
+        )
+        quad = TreePMSolver(cfg).forces(pos, mass).total
+        mono = TreePMSolver(cfg_mono).forces(pos, mass).total
+        # both finite, same magnitude scale, but not identical
+        assert np.all(np.isfinite(quad))
+        assert not np.allclose(quad, mono)
+        assert np.linalg.norm(quad) == pytest.approx(
+            np.linalg.norm(mono), rel=0.1
+        )
+
+    def test_gaussian_split_potential(self, uniform_particles):
+        from repro.treepm.solver import TreePMSolver
+
+        pos, mass = uniform_particles
+        cfg = TreePMConfig(
+            pm=PMConfig(mesh_size=16), softening=1e-3, split="gaussian"
+        )
+        phi = TreePMSolver(cfg).potential(pos, mass)
+        assert np.all(np.isfinite(phi))
+        assert (mass * phi).sum() < 0  # bound-ish random distribution
+
+    def test_rcut_property(self):
+        from repro.treepm.solver import TreePMSolver
+
+        cfg = TreePMConfig(pm=PMConfig(mesh_size=32), rcut_mesh_units=4.0,
+                           softening=1e-4)
+        assert TreePMSolver(cfg).rcut == pytest.approx(4.0 / 32)
+
+    def test_targets_mask_length_validation(self, uniform_particles):
+        from repro.tree.traversal import TreeSolver
+
+        pos, mass = uniform_particles
+        solver = TreeSolver(periodic=True)
+        with pytest.raises(ValueError, match="targets_mask"):
+            solver.forces(pos, mass, targets_mask=np.ones(3, dtype=bool))
+
+
+class TestCommCorners:
+    def test_allgather_numpy_arrays(self):
+        def fn(comm):
+            return comm.allgather(np.full(2, comm.rank, dtype=np.float64))
+
+        out = run_spmd(3, fn)
+        for got in out:
+            for r, arr in enumerate(got):
+                np.testing.assert_array_equal(arr, np.full(2, r))
+
+    def test_reduce_max_array(self):
+        def fn(comm):
+            v = np.array([comm.rank, -comm.rank], dtype=np.float64)
+            return comm.reduce(v, op="max", root=0)
+
+        out = run_spmd(4, fn)
+        np.testing.assert_array_equal(out[0], [3.0, 0.0])
+
+    def test_recv_invalid_source(self):
+        def fn(comm):
+            comm.recv(source=5)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, fn)
+
+    def test_alltoall_wrong_length(self):
+        def fn(comm):
+            comm.alltoall([1])  # needs comm.size entries
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, fn)
+
+    def test_split_key_stability(self):
+        """Equal keys fall back to rank order (stable)."""
+
+        def fn(comm):
+            sub = comm.split(color=0, key=42)
+            return sub.rank
+
+        assert run_spmd(4, fn) == [0, 1, 2, 3]
+
+    def test_bcast_large_array_integrity(self):
+        rng = np.random.default_rng(0)
+        data = rng.random(10000)
+
+        def fn(comm):
+            got = comm.bcast(data if comm.rank == 0 else None, root=0)
+            return float(np.abs(got - data).max())
+
+        assert all(v == 0.0 for v in run_spmd(5, fn))
+
+
+class TestParallelSimCorners:
+    def test_rank_can_run_out_of_particles(self):
+        """A domain that ends up empty must not crash the pipeline."""
+        from repro.config import DomainConfig
+        from repro.sim.parallel import run_parallel_simulation
+
+        rng = np.random.default_rng(8)
+        # everything in one octant: three of four ranks go (nearly) empty
+        pos = 0.25 * rng.random((64, 3))
+        mom = np.zeros_like(pos)
+        mass = np.full(64, 1.0 / 64)
+        cfg = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(group_size=32),
+                pm=PMConfig(mesh_size=16),
+                softening=5e-3,
+            ),
+            domain=DomainConfig(divisions=(2, 2, 1), sample_rate=0.5),
+        )
+        p, m, w, sims, _ = run_parallel_simulation(
+            cfg, pos, mom, mass, 0.0, 0.02, n_steps=1
+        )
+        assert len(p) == 64
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_multi_step_run(self, rng):
+        from repro.config import DomainConfig
+        from repro.sim.parallel import run_parallel_simulation
+
+        pos = rng.random((48, 3))
+        cfg = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(group_size=32),
+                pm=PMConfig(mesh_size=16),
+                softening=5e-3,
+            ),
+            domain=DomainConfig(divisions=(2, 1, 1), sample_rate=0.5),
+        )
+        _, _, _, sims, _ = run_parallel_simulation(
+            cfg, pos, np.zeros_like(pos), np.full(48, 1 / 48), 0.0, 0.06,
+            n_steps=3,
+        )
+        assert all(s.steps_taken == 3 for s in sims)
+        # 2 PP evaluations per step, so stats accumulated 6+1 bootstrap
+        assert sims[0].stats.interactions > 0
+
+
+class TestReportCorners:
+    def test_single_column_no_footer(self):
+        from repro.perf.model import PAPER_TABLE1
+        from repro.perf.report import format_table1
+
+        txt = format_table1({"only": PAPER_TABLE1[24576]})
+        assert "Total (sec/step)" in txt
+        assert "only" in txt
+
+    def test_partial_columns(self):
+        from repro.perf.report import format_table1
+
+        txt = format_table1(
+            {"a": {"PM/FFT": 1.0}, "b": {"PM/FFT": 2.0, "PP/force calculation": 3.0}}
+        )
+        assert "FFT" in txt
+        assert "force calculation" in txt
+
+
+class TestTimerCorners:
+    def test_phase_records_on_exception(self):
+        from repro.utils.timer import TimingLedger
+
+        led = TimingLedger()
+        with pytest.raises(RuntimeError):
+            with led.phase("x"):
+                raise RuntimeError("boom")
+        assert led.get("x") >= 0.0
+        assert "x" in led.as_dict()
+
+
+class TestExchangeCorners:
+    def test_decomp_size_mismatch(self):
+        from repro.decomp.exchange import exchange_particles
+        from repro.decomp.multisection import MultisectionDecomposition
+
+        decomp = MultisectionDecomposition.uniform((2, 1, 1))
+
+        def fn(comm):
+            exchange_particles(comm, decomp, {"pos": np.zeros((1, 3))})
+
+        with pytest.raises(RuntimeError, match="match"):
+            run_spmd(1, fn)
+
+
+class TestPowerSpectrumCorners:
+    def test_mass_weighted_shot_noise(self, rng):
+        """Unequal masses: the effective tracer count drops."""
+        from repro.analysis.power import particle_power_spectrum
+
+        pos = rng.random((2000, 3))
+        m_eq = np.ones(2000)
+        m_uneq = rng.random(2000) ** 4 + 1e-3
+        _, p_eq, _ = particle_power_spectrum(pos, m_eq, n_mesh=8)
+        _, p_uneq_raw, _ = particle_power_spectrum(
+            pos, m_uneq, n_mesh=8, subtract_shot_noise=False
+        )
+        n_eff = m_uneq.sum() ** 2 / np.sum(m_uneq**2)
+        assert n_eff < 2000  # genuinely unequal
+        # raw unequal-mass power sits near its (larger) shot noise
+        assert p_uneq_raw.mean() == pytest.approx(1.0 / n_eff, rel=0.5)
+
+    def test_tsc_scheme_consistent(self, rng):
+        from repro.analysis.power import particle_power_spectrum
+
+        pos = rng.random((3000, 3))
+        m = np.ones(3000)
+        _, p_cic, _ = particle_power_spectrum(pos, m, n_mesh=8, scheme="cic")
+        _, p_tsc, _ = particle_power_spectrum(pos, m, n_mesh=8, scheme="tsc")
+        # both deconvolved: same answer within sampling noise
+        np.testing.assert_allclose(p_cic, p_tsc, rtol=0.5, atol=2e-4)
+
+
+class TestCliCorners:
+    def test_log_spaced_zero_start_rejected(self):
+        from repro.cli import run_from_config
+
+        with pytest.raises(ValueError, match="log-spaced"):
+            run_from_config(
+                {"kind": "static", "start": 0.0, "end": 0.1, "log_spaced": True},
+                log=lambda *a: None,
+            )

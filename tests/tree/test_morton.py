@@ -1,0 +1,101 @@
+"""Tests of the Morton key machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tree.morton import MORTON_BITS, morton_keys, morton_sort, spread_bits
+
+
+class TestSpreadBits:
+    def test_single_bits(self):
+        for i in range(MORTON_BITS):
+            out = spread_bits(np.array([1 << i], dtype=np.uint64))[0]
+            assert out == 1 << (3 * i)
+
+    def test_all_ones(self):
+        x = np.array([(1 << MORTON_BITS) - 1], dtype=np.uint64)
+        out = spread_bits(x)[0]
+        expected = sum(1 << (3 * i) for i in range(MORTON_BITS))
+        assert out == expected
+
+    @given(st.integers(min_value=0, max_value=(1 << MORTON_BITS) - 1))
+    def test_property_reference_implementation(self, v):
+        out = int(spread_bits(np.array([v], dtype=np.uint64))[0])
+        ref = 0
+        for i in range(MORTON_BITS):
+            if v & (1 << i):
+                ref |= 1 << (3 * i)
+        assert out == ref
+
+
+class TestMortonKeys:
+    def test_origin_is_zero(self):
+        keys = morton_keys(np.array([[0.0, 0.0, 0.0]]))
+        assert keys[0] == 0
+
+    def test_corner_cells_distinct(self):
+        eps = 1e-9
+        pos = np.array(
+            [
+                [eps, eps, eps],
+                [1 - eps, eps, eps],
+                [eps, 1 - eps, eps],
+                [eps, eps, 1 - eps],
+                [1 - eps, 1 - eps, 1 - eps],
+            ]
+        )
+        keys = morton_keys(pos)
+        assert len(set(keys.tolist())) == 5
+        assert keys[4] == max(keys)
+
+    def test_x_is_most_significant(self):
+        kx = morton_keys(np.array([[0.6, 0.0, 0.0]]))[0]
+        ky = morton_keys(np.array([[0.0, 0.6, 0.0]]))[0]
+        kz = morton_keys(np.array([[0.0, 0.0, 0.6]]))[0]
+        assert kx > ky > kz
+
+    def test_outside_cube_rejected(self):
+        with pytest.raises(ValueError):
+            morton_keys(np.array([[1.5, 0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            morton_keys(np.array([[-0.1, 0.0, 0.0]]))
+
+    def test_upper_boundary_clamped(self):
+        keys = morton_keys(np.array([[1.0, 1.0, 1.0]]))
+        assert keys[0] == morton_keys(np.array([[1 - 1e-12, 1 - 1e-12, 1 - 1e-12]]))[0]
+
+    def test_locality(self):
+        """Points in the same octant share the leading 3 bits."""
+        rng = np.random.default_rng(0)
+        pos = rng.random((100, 3)) * 0.5  # all in octant (0,0,0)
+        keys = morton_keys(pos)
+        assert np.all((keys >> np.uint64(3 * MORTON_BITS - 3)) == 0)
+
+    def test_custom_origin_and_size(self):
+        pos = np.array([[10.5, 10.5, 10.5]])
+        keys = morton_keys(pos, origin=10.0, size=1.0)
+        ref = morton_keys(np.array([[0.5, 0.5, 0.5]]))
+        assert keys[0] == ref[0]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            morton_keys(np.zeros((1, 3)), bits=0)
+        with pytest.raises(ValueError):
+            morton_keys(np.zeros((1, 3)), bits=25)
+
+
+class TestMortonSort:
+    def test_sorted_keys_monotone(self, rng):
+        pos = rng.random((200, 3))
+        perm = morton_sort(pos)
+        keys = morton_keys(pos)[perm]
+        assert np.all(np.diff(keys.astype(np.int64)) >= 0)
+
+    def test_is_permutation(self, rng):
+        pos = rng.random((50, 3))
+        perm = morton_sort(pos)
+        assert sorted(perm.tolist()) == list(range(50))

@@ -1,0 +1,76 @@
+"""Tests for the periodic-geometry helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.periodic import minimum_image, periodic_distance, wrap_positions
+
+
+class TestWrapPositions:
+    def test_inside_unchanged(self):
+        pos = np.array([[0.1, 0.5, 0.9]])
+        np.testing.assert_array_equal(wrap_positions(pos), pos)
+
+    def test_wraps_above_and_below(self):
+        pos = np.array([[1.2, -0.3, 2.5]])
+        np.testing.assert_allclose(wrap_positions(pos), [[0.2, 0.7, 0.5]])
+
+    def test_never_returns_box_edge(self):
+        # a value like -1e-18 must wrap to 0, not to box
+        pos = np.array([[-1e-18, 1.0, -0.0]])
+        out = wrap_positions(pos)
+        assert np.all(out >= 0.0)
+        assert np.all(out < 1.0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (10, 3),
+            elements=st.floats(min_value=-100, max_value=100, width=32),
+        )
+    )
+    def test_property_in_range(self, pos):
+        out = wrap_positions(pos, box=1.0)
+        assert np.all(out >= 0.0)
+        assert np.all(out < 1.0)
+
+    def test_custom_box(self):
+        pos = np.array([[5.5, -1.0, 3.0]])
+        np.testing.assert_allclose(wrap_positions(pos, box=2.0), [[1.5, 1.0, 1.0]])
+
+
+class TestMinimumImage:
+    def test_small_displacement_unchanged(self):
+        dx = np.array([0.1, -0.2, 0.3])
+        np.testing.assert_array_equal(minimum_image(dx), dx)
+
+    def test_large_displacement_folded(self):
+        dx = np.array([0.9, -0.8, 0.6])
+        np.testing.assert_allclose(minimum_image(dx), [-0.1, 0.2, -0.4])
+
+    @given(st.floats(min_value=-10, max_value=10))
+    def test_property_half_box_bound(self, x):
+        mi = float(minimum_image(np.array([x]))[0])
+        assert abs(mi) <= 0.5 + 1e-12
+
+
+class TestPeriodicDistance:
+    def test_through_wall(self):
+        a = np.array([[0.05, 0.0, 0.0]])
+        b = np.array([[0.95, 0.0, 0.0]])
+        assert periodic_distance(a, b)[0] == pytest.approx(0.1)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((5, 3)), rng.random((5, 3))
+        np.testing.assert_allclose(periodic_distance(a, b), periodic_distance(b, a))
+
+    def test_max_distance_is_half_diagonal(self):
+        a = np.array([[0.0, 0.0, 0.0]])
+        b = np.array([[0.5, 0.5, 0.5]])
+        assert periodic_distance(a, b)[0] == pytest.approx(np.sqrt(0.75))

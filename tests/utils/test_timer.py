@@ -1,0 +1,89 @@
+"""Tests for Timer and TimingLedger."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer, TimingLedger
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        t = Timer().start()
+        time.sleep(0.01)
+        elapsed = t.stop()
+        assert elapsed >= 0.009
+
+    def test_accumulates_over_restarts(self):
+        t = Timer()
+        t.start(); t.stop()
+        first = t.elapsed
+        t.start(); t.stop()
+        assert t.elapsed >= first
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer().start()
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0
+        assert not t.running
+
+
+class TestTimingLedger:
+    def test_phase_accumulates(self):
+        led = TimingLedger()
+        with led.phase("PP/force calculation"):
+            time.sleep(0.005)
+        with led.phase("PP/force calculation"):
+            time.sleep(0.005)
+        assert led.get("PP/force calculation") >= 0.009
+
+    def test_hierarchical_totals(self):
+        led = TimingLedger()
+        led.add("PP/tree construction", 1.0)
+        led.add("PP/force calculation", 2.0)
+        led.add("PM/FFT", 4.0)
+        assert led.total("PP") == pytest.approx(3.0)
+        assert led.total("PM") == pytest.approx(4.0)
+        assert led.total() == pytest.approx(7.0)
+
+    def test_prefix_does_not_match_partial_names(self):
+        led = TimingLedger()
+        led.add("PP/x", 1.0)
+        led.add("PPX/y", 2.0)
+        assert led.total("PP") == pytest.approx(1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimingLedger().add("x", -1.0)
+
+    def test_merge_and_scale(self):
+        a, b = TimingLedger(), TimingLedger()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        s = a.scaled(2.0)
+        assert s.get("y") == pytest.approx(6.0)
+        assert a.get("y") == pytest.approx(3.0)  # original untouched
+
+    def test_report_contains_phases(self):
+        led = TimingLedger()
+        led.add("PP/force calculation", 1.5)
+        led.add("PM/FFT", 0.5)
+        rep = led.report("step")
+        assert "force calculation" in rep
+        assert "PM" in rep
+        assert "Total" in rep
