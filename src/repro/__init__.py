@@ -33,7 +33,12 @@ from repro.config import (
 )
 from repro.treepm.solver import TreePMSolver
 from repro.sim.serial import SerialSimulation
-from repro.sim.parallel import ParallelSimulation, run_parallel_simulation
+from repro.sim.parallel import (
+    ParallelSimulation,
+    resume_parallel_simulation,
+    run_parallel_simulation,
+)
+from repro.mpi.faults import FaultPlan
 from repro.mpi.runtime import MPIRuntime, run_spmd
 
 __version__ = "1.0.0"
@@ -50,6 +55,8 @@ __all__ = [
     "SerialSimulation",
     "ParallelSimulation",
     "run_parallel_simulation",
+    "resume_parallel_simulation",
+    "FaultPlan",
     "MPIRuntime",
     "run_spmd",
     "__version__",

@@ -93,9 +93,20 @@ def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
     )
 
 
-def run_from_config(config: Dict[str, Any], log=print) -> Dict[str, Any]:
+def run_from_config(
+    config: Dict[str, Any],
+    log=print,
+    checkpoint_every: int = 0,
+    checkpoint_dir=None,
+    resume=None,
+) -> Dict[str, Any]:
     """Run a simulation described by a config dict.
 
+    ``checkpoint_every`` > 0 writes an atomic rolling checkpoint
+    (``checkpoint.npz`` under ``checkpoint_dir``, defaulting to
+    ``output_dir``) every that many steps; ``resume`` restarts from
+    such a checkpoint, validating that the configuration matches and
+    re-entering the same step schedule so the trajectory is unchanged.
     Returns a summary dict (final epoch, snapshot paths, statistics).
     """
     cfg = dict(_DEFAULTS)
@@ -107,20 +118,44 @@ def run_from_config(config: Dict[str, Any], log=print) -> Dict[str, Any]:
         raise ValueError("kind must be 'cosmological' or 'static'")
     if cfg["snapshots"] and not cfg["output_dir"]:
         raise ValueError("snapshots require output_dir")
+    if checkpoint_every and not (checkpoint_dir or cfg["output_dir"]):
+        raise ValueError("--checkpoint-every requires --checkpoint-dir or output_dir")
 
     sim_config = _build_config(cfg)
 
+    from repro.sim.serial import SerialSimulation
+
     if cfg["kind"] == "cosmological":
         from repro.cosmology.params import WMAP7
-        from repro.cosmology.power_spectrum import PowerSpectrum
-        from repro.ic.lpt2 import Lpt2IC
-        from repro.ic.zeldovich import ZeldovichIC
         from repro.integrate.stepper import CosmoStepper
-        from repro.sim.serial import SerialSimulation
 
         start = cfg["start"] if cfg["start"] is not None else 1.0 / 401.0
         end = cfg["end"] if cfg["end"] is not None else 1.0 / 32.0
         log_spaced = cfg["log_spaced"] if cfg["log_spaced"] is not None else True
+        stepper = CosmoStepper(WMAP7)
+    else:
+        start = cfg["start"] if cfg["start"] is not None else 0.0
+        end = cfg["end"] if cfg["end"] is not None else 0.5
+        log_spaced = cfg["log_spaced"] if cfg["log_spaced"] is not None else False
+        stepper = None
+
+    first_step = 0
+    resume_time = None
+    if resume is not None:
+        sim, hdr = SerialSimulation.from_checkpoint(
+            sim_config, resume, stepper=stepper
+        )
+        first_step = int(hdr.step)
+        resume_time = float(hdr.time)
+        log(
+            f"resumed from {resume}: step {first_step}, "
+            f"t = {resume_time:.6g} ({len(sim.pos)} particles)"
+        )
+    elif cfg["kind"] == "cosmological":
+        from repro.cosmology.power_spectrum import PowerSpectrum
+        from repro.ic.lpt2 import Lpt2IC
+        from repro.ic.zeldovich import ZeldovichIC
+
         ps = PowerSpectrum(WMAP7, k_fs=cfg["k_fs"])
         base = ps.in_box_units(cfg["box_mpc_h"])
         boost = float(cfg["amplitude_boost"])
@@ -135,19 +170,12 @@ def run_from_config(config: Dict[str, Any], log=print) -> Dict[str, Any]:
             seed=cfg["seed"],
         )
         pos, mom, mass = ic.generate(a_start=start)
-        sim = SerialSimulation(
-            sim_config, pos, mom, mass, stepper=CosmoStepper(WMAP7)
-        )
+        sim = SerialSimulation(sim_config, pos, mom, mass, stepper=stepper)
         log(
             f"cosmological run: {cfg['n_per_dim']}^3 particles, "
             f"a = {start:.5f} -> {end:.5f}"
         )
     else:
-        from repro.sim.serial import SerialSimulation
-
-        start = cfg["start"] if cfg["start"] is not None else 0.0
-        end = cfg["end"] if cfg["end"] is not None else 0.5
-        log_spaced = cfg["log_spaced"] if cfg["log_spaced"] is not None else False
         rng = np.random.default_rng(cfg["seed"])
         n = cfg["n_particles"]
         pos = rng.random((n, 3))
@@ -194,10 +222,31 @@ def run_from_config(config: Dict[str, Any], log=print) -> Dict[str, Any]:
             written.append(str(path))
             log(f"  wrote {path}")
 
-    maybe_snapshot(start)
-    for t1, t2 in zip(edges[:-1], edges[1:]):
-        sim.step(float(t1), float(t2))
-        maybe_snapshot(float(t2))
+    ckpt_path = None
+    if checkpoint_every:
+        ckpt_path = Path(checkpoint_dir or cfg["output_dir"]) / "checkpoint.npz"
+        ckpt_path.parent.mkdir(parents=True, exist_ok=True)
+
+    if resume is not None:
+        # Snapshot epochs at or before the resume point were already
+        # written by the interrupted run.
+        while pending and pending[0] <= resume_time * (1 + 1e-12):
+            pending.pop(0)
+    else:
+        maybe_snapshot(start)
+    n_steps = cfg["n_steps"]
+    if first_step > n_steps:
+        raise ValueError(
+            f"checkpoint is at step {first_step} but the schedule has "
+            f"only {n_steps} steps"
+        )
+    for i in range(first_step, n_steps):
+        t1, t2 = float(edges[i]), float(edges[i + 1])
+        sim.step(t1, t2)
+        maybe_snapshot(t2)
+        if checkpoint_every and ((i + 1) % checkpoint_every == 0 or i + 1 == n_steps):
+            sim.save_checkpoint(ckpt_path, t2)
+            log(f"  checkpoint at step {i + 1} -> {ckpt_path}")
 
     stats = sim.last_stats
     summary = {
@@ -205,6 +254,8 @@ def run_from_config(config: Dict[str, Any], log=print) -> Dict[str, Any]:
         "final_time": float(edges[-1]),
         "steps": sim.steps_taken,
         "snapshots": written,
+        "checkpoint": str(ckpt_path) if ckpt_path is not None else None,
+        "resumed_from": str(resume) if resume is not None else None,
         "interactions_last_pp": int(stats.interactions) if stats else 0,
         "mean_group_size": float(stats.mean_group_size) if stats else 0.0,
         "mean_list_length": float(stats.mean_list_length) if stats else 0.0,
@@ -229,6 +280,18 @@ def main(argv=None) -> int:
         "--summary", type=Path, default=None,
         help="also write the run summary as JSON",
     )
+    run_p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write an atomic rolling checkpoint every N steps",
+    )
+    run_p.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="directory for checkpoint.npz (default: output_dir)",
+    )
+    run_p.add_argument(
+        "--resume", type=Path, default=None,
+        help="resume from a checkpoint written by --checkpoint-every",
+    )
     info_p = sub.add_parser("info", help="print version and paper reference")
 
     args = parser.parse_args(argv)
@@ -243,7 +306,12 @@ def main(argv=None) -> int:
         return 0
 
     config = json.loads(args.config.read_text())
-    summary = run_from_config(config)
+    summary = run_from_config(
+        config,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     if args.summary:
         args.summary.write_text(json.dumps(summary, indent=2) + "\n")
     return 0

@@ -304,6 +304,26 @@ class SimulationConfig:
 
         return asdict(self)
 
+    def config_hash(self, include_layout: bool = True) -> str:
+        """sha256 fingerprint of this configuration.
+
+        Checkpoint manifests store the hash with
+        ``include_layout=False``, which excludes the ``domain`` and
+        ``relay`` fields: those describe the process layout rather than
+        the physics, and a checkpoint may legitimately be resumed on a
+        different rank count.
+        """
+        import hashlib
+        import json
+
+        d = self.to_dict()
+        if not include_layout:
+            d.pop("domain", None)
+            d.pop("relay", None)
+        return hashlib.sha256(
+            json.dumps(d, sort_keys=True, default=str).encode()
+        ).hexdigest()
+
     @staticmethod
     def from_dict(data: dict) -> "SimulationConfig":
         """Inverse of :meth:`to_dict`; validates on construction."""

@@ -17,13 +17,19 @@ substitute:
 """
 
 from repro.mpi.runtime import MPIRuntime, run_spmd
-from repro.mpi.comm import Comm, Request
+from repro.mpi.comm import Comm, CommAborted, Request
+from repro.mpi.faults import CommTimeout, FaultPlan, InjectedFault, retry_with_backoff
 from repro.mpi.network import TorusNetwork, TrafficLog, PhaseTraffic
 
 __all__ = [
     "MPIRuntime",
     "run_spmd",
     "Comm",
+    "CommAborted",
+    "CommTimeout",
+    "FaultPlan",
+    "InjectedFault",
+    "retry_with_backoff",
     "Request",
     "TorusNetwork",
     "TrafficLog",

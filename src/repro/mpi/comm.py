@@ -7,6 +7,16 @@ implemented on top of point-to-point transfers with realistic message
 patterns (binomial trees for bcast/reduce, pairwise exchange for
 alltoall), so the traffic log reflects what a real MPI would inject
 into the network.
+
+Failure semantics are deadlock-free by construction: every blocking
+receive polls the shared abort flag, optionally enforces a timeout
+(raising :class:`repro.mpi.faults.CommTimeout`), and registers itself
+on a shared *watch board* so the runtime's watchdog can convert a hung
+collective into a clean :class:`CommAborted` naming the originating
+rank and operation.  A :class:`repro.mpi.faults.FaultPlan` attached to
+the job is consulted on every send (drop/delay/corrupt), at every
+collective entry (stalls) and at application ``fault_point`` calls
+(rank kills).
 """
 
 from __future__ import annotations
@@ -14,13 +24,16 @@ from __future__ import annotations
 import pickle
 import queue as _queue
 import threading
+import time
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.mpi.faults import CommTimeout, InjectedFault, corrupt_payload
 from repro.mpi.network import TrafficLog
 
-__all__ = ["Comm", "Request", "CommAborted"]
+__all__ = ["Comm", "Request", "CommAborted", "CommTimeout"]
 
 _POLL_SECONDS = 0.05
 
@@ -29,16 +42,91 @@ class CommAborted(RuntimeError):
     """Raised in surviving ranks when another rank failed."""
 
 
+class _JobControl:
+    """Failure-control state shared by *every* communicator of one job.
+
+    Sub-communicators created with ``split`` get their own
+    :class:`_CommState` (queues, barrier) but share this object, so an
+    abort anywhere reaches ranks blocked in any communicator — including
+    barriers of sub-communicators, which are all registered here and
+    broken on abort.
+    """
+
+    def __init__(self, fault_plan=None, recv_timeout: Optional[float] = None) -> None:
+        self.abort_event = threading.Event()
+        self.fault_plan = fault_plan
+        self.recv_timeout = recv_timeout
+        #: watch-board registration is enabled only when a watchdog runs,
+        #: keeping the per-receive overhead at a single attribute check.
+        self.watching = False
+        self._lock = threading.Lock()
+        self.abort_reason: Optional[str] = None
+        self.abort_origin: Optional[int] = None
+        self._blocked: Dict[int, Tuple[str, str, float]] = {}
+        self._barriers: List[threading.Barrier] = []
+        self._event_seq: Dict[Any, int] = {}
+
+    def register_barrier(self, barrier: threading.Barrier) -> None:
+        with self._lock:
+            self._barriers.append(barrier)
+
+    def abort(self, reason: Optional[str] = None, origin: Optional[int] = None) -> None:
+        """Abort the job; the first recorded reason/origin wins."""
+        with self._lock:
+            if self.abort_reason is None and reason is not None:
+                self.abort_reason = reason
+                self.abort_origin = origin
+            barriers = list(self._barriers)
+        self.abort_event.set()
+        for b in barriers:
+            b.abort()
+
+    # -- watch board (who is blocked where, for the watchdog) -----------------
+
+    def block(self, world_rank: int, op: str, detail: str) -> bool:
+        if not self.watching:
+            return False
+        with self._lock:
+            self._blocked[world_rank] = (op, detail, time.monotonic())
+        return True
+
+    def unblock(self, world_rank: int) -> None:
+        with self._lock:
+            self._blocked.pop(world_rank, None)
+
+    def oldest_blocked(self) -> Optional[Tuple[int, str, str, float]]:
+        """(world_rank, op, detail, since) of the longest-blocked rank."""
+        with self._lock:
+            if not self._blocked:
+                return None
+            rank = min(self._blocked, key=lambda r: self._blocked[r][2])
+            op, detail, since = self._blocked[rank]
+        return rank, op, detail, since
+
+    def next_event_seq(self, key: Any) -> int:
+        """Monotonic per-key sequence counter (fault-event matching)."""
+        with self._lock:
+            seq = self._event_seq.get(key, 0)
+            self._event_seq[key] = seq + 1
+        return seq
+
+
 class _CommState:
     """State shared by all ranks of one communicator."""
 
-    def __init__(self, size: int, world_ranks: Sequence[int], traffic: TrafficLog,
-                 abort_event: threading.Event) -> None:
+    def __init__(
+        self,
+        size: int,
+        world_ranks: Sequence[int],
+        traffic: TrafficLog,
+        control: _JobControl,
+    ) -> None:
         self.size = size
         self.world_ranks = list(world_ranks)
         self.traffic = traffic
-        self.abort_event = abort_event
+        self.control = control
         self.barrier = threading.Barrier(size)
+        control.register_barrier(self.barrier)
         # queues[dst][src]
         self.queues = [
             [_queue.SimpleQueue() for _ in range(size)] for _ in range(size)
@@ -46,9 +134,12 @@ class _CommState:
         self.lock = threading.Lock()
         self.split_registry: Dict[Tuple[int, Any], "_CommState"] = {}
 
-    def abort(self) -> None:
-        self.abort_event.set()
-        self.barrier.abort()
+    @property
+    def abort_event(self) -> threading.Event:
+        return self.control.abort_event
+
+    def abort(self, reason: Optional[str] = None, origin: Optional[int] = None) -> None:
+        self.control.abort(reason, origin)
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -130,6 +221,7 @@ class Comm:
         self._state = state
         self._rank = rank
         self._split_seq = 0
+        self._current_op: Optional[str] = None
 
     # -- identity -------------------------------------------------------------
 
@@ -153,34 +245,128 @@ class Comm:
         by the network model)."""
         return self._state.world_ranks[self._rank]
 
+    # -- fault injection --------------------------------------------------------
+
+    def fault_point(self, step: int) -> None:
+        """Application hook: raise :class:`InjectedFault` if the job's
+        fault plan kills this rank at ``step``.  A no-op (one attribute
+        check) when no plan is attached."""
+        plan = self._state.control.fault_plan
+        if plan is not None and plan.should_kill(self.world_rank, step):
+            raise InjectedFault(
+                f"rank {self.world_rank} killed by fault plan at step {step}"
+            )
+
+    def _abort_reason(self, fallback: str) -> str:
+        return self._state.control.abort_reason or fallback
+
+    @contextmanager
+    def _collective(self, name: str):
+        """Label the current collective (for watchdog reports) and apply
+        any scheduled stall for this rank at this call."""
+        ctl = self._state.control
+        prev = self._current_op
+        self._current_op = name
+        try:
+            plan = ctl.fault_plan
+            if plan is not None:
+                seq = ctl.next_event_seq(("collective", self.world_rank, name))
+                if plan.should_stall(self.world_rank, name, seq):
+                    registered = ctl.block(
+                        self.world_rank, name, "stalled by fault plan"
+                    )
+                    try:
+                        while not ctl.abort_event.is_set():
+                            time.sleep(_POLL_SECONDS)
+                    finally:
+                        if registered:
+                            ctl.unblock(self.world_rank)
+                    raise CommAborted(
+                        self._abort_reason(f"{name} stalled by fault plan")
+                    )
+            yield
+        finally:
+            self._current_op = prev
+
     # -- point to point ---------------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         st = self._state
-        st.traffic.record(
-            st.world_ranks[self._rank], st.world_ranks[dest], _payload_bytes(obj)
-        )
-        st.queues[dest][self._rank].put((tag, _copy(obj)))
+        ctl = st.control
+        src_w = st.world_ranks[self._rank]
+        dst_w = st.world_ranks[dest]
+        st.traffic.record(src_w, dst_w, _payload_bytes(obj))
+        payload = _copy(obj)
+        plan = ctl.fault_plan
+        if plan is not None:
+            drop = False
+            delay = 0.0
+            for ev in plan.message_events(src_w, dst_w):
+                seq = ctl.next_event_seq(("message", id(ev)))
+                if not ev.hits(seq, plan.seed, src_w, dst_w):
+                    continue
+                if ev.kind == "drop":
+                    drop = True
+                elif ev.kind == "delay":
+                    delay += ev.seconds
+                elif ev.kind == "corrupt":
+                    payload = corrupt_payload(payload)
+            if delay > 0.0:
+                deadline = time.monotonic() + delay
+                while time.monotonic() < deadline:
+                    if ctl.abort_event.is_set():
+                        raise CommAborted(self._abort_reason("peer rank failed"))
+                    time.sleep(min(_POLL_SECONDS, delay))
+            if drop:
+                return  # the bytes left this rank but never arrive
+        st.queues[dest][self._rank].put((tag, payload))
 
-    def recv(self, source: int, tag: int = 0) -> Any:
+    def recv(self, source: int, tag: int = 0, timeout: Optional[float] = None) -> Any:
+        """Blocking receive.
+
+        ``timeout`` (seconds) bounds the wait; ``None`` falls back to
+        the job-wide default (``MPIRuntime(recv_timeout=...)``), and a
+        job with neither waits until the message arrives or the job
+        aborts.  Expiry raises :class:`CommTimeout` naming this rank,
+        the awaited source and the enclosing operation — a hung peer
+        can therefore never deadlock the caller.
+        """
         if not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
-        q = self._state.queues[self._rank][source]
-        while True:
-            if self._state.abort_event.is_set():
-                raise CommAborted("peer rank failed")
-            try:
-                got_tag, payload = q.get(timeout=_POLL_SECONDS)
-            except _queue.Empty:
-                continue
-            if got_tag != tag:
-                raise RuntimeError(
-                    f"tag mismatch: expected {tag}, got {got_tag} "
-                    f"(rank {self._rank} <- {source})"
-                )
-            return payload
+        st = self._state
+        ctl = st.control
+        if timeout is None:
+            timeout = ctl.recv_timeout
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        q = st.queues[self._rank][source]
+        me_w = st.world_ranks[self._rank]
+        src_w = st.world_ranks[source]
+        op = self._current_op or "recv"
+        registered = ctl.block(me_w, op, f"from rank {src_w}, tag {tag}")
+        try:
+            while True:
+                if ctl.abort_event.is_set():
+                    raise CommAborted(self._abort_reason("peer rank failed"))
+                if deadline is not None and time.monotonic() > deadline:
+                    raise CommTimeout(
+                        f"rank {me_w}: {op} from rank {src_w} (tag {tag}) "
+                        f"timed out after {timeout:.3g}s"
+                    )
+                try:
+                    got_tag, payload = q.get(timeout=_POLL_SECONDS)
+                except _queue.Empty:
+                    continue
+                if got_tag != tag:
+                    raise RuntimeError(
+                        f"tag mismatch: expected {tag}, got {got_tag} "
+                        f"(rank {self._rank} <- {source})"
+                    )
+                return payload
+        finally:
+            if registered:
+                ctl.unblock(me_w)
 
     def sendrecv(
         self, sendobj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0
@@ -211,10 +397,18 @@ class Comm:
     # -- barriers ----------------------------------------------------------------
 
     def barrier(self) -> None:
+        ctl = self._state.control
+        me_w = self.world_rank
+        registered = ctl.block(me_w, self._current_op or "barrier", "")
         try:
             self._state.barrier.wait()
         except threading.BrokenBarrierError:
-            raise CommAborted("barrier broken by failing rank") from None
+            raise CommAborted(
+                self._abort_reason("barrier broken by failing rank")
+            ) from None
+        finally:
+            if registered:
+                ctl.unblock(me_w)
 
     def traffic_phase(self, name: str) -> None:
         """Start a new named traffic phase (collective: all ranks call).
@@ -231,76 +425,81 @@ class Comm:
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast."""
-        size, rank = self.size, self._rank
-        rel = (rank - root) % size
-        mask = 1
-        while mask < size:
-            if rel < mask:
-                dst = rel + mask
-                if dst < size:
-                    self.send(obj, (dst + root) % size, tag=-2)
-            elif rel < 2 * mask:
-                obj = self.recv(((rel - mask) + root) % size, tag=-2)
-            mask <<= 1
-        return obj
+        with self._collective("bcast"):
+            size, rank = self.size, self._rank
+            rel = (rank - root) % size
+            mask = 1
+            while mask < size:
+                if rel < mask:
+                    dst = rel + mask
+                    if dst < size:
+                        self.send(obj, (dst + root) % size, tag=-2)
+                elif rel < 2 * mask:
+                    obj = self.recv(((rel - mask) + root) % size, tag=-2)
+                mask <<= 1
+            return obj
 
     def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Optional[Any]:
         """Binomial-tree reduction; result valid on root only."""
-        fn = _REDUCE_OPS[op]
-        size, rank = self.size, self._rank
-        rel = (rank - root) % size
-        acc = _copy(value)
-        mask = 1
-        while mask < size:
-            if rel & mask:
-                self.send(acc, ((rel - mask) + root) % size, tag=-3)
-                return None
-            partner = rel | mask
-            if partner < size:
-                other = self.recv((partner + root) % size, tag=-3)
-                acc = fn(acc, other)
-            mask <<= 1
-        return acc if rank == root else None
+        with self._collective("reduce"):
+            fn = _REDUCE_OPS[op]
+            size, rank = self.size, self._rank
+            rel = (rank - root) % size
+            acc = _copy(value)
+            mask = 1
+            while mask < size:
+                if rel & mask:
+                    self.send(acc, ((rel - mask) + root) % size, tag=-3)
+                    return None
+                partner = rel | mask
+                if partner < size:
+                    other = self.recv((partner + root) % size, tag=-3)
+                    acc = fn(acc, other)
+                mask <<= 1
+            return acc if rank == root else None
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         return self.bcast(self.reduce(value, op=op, root=0), root=0)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        if self._rank != root:
-            self.send(obj, root, tag=-4)
-            return None
-        out = [None] * self.size
-        out[root] = _copy(obj)
-        for src in range(self.size):
-            if src != root:
-                out[src] = self.recv(src, tag=-4)
-        return out
+        with self._collective("gather"):
+            if self._rank != root:
+                self.send(obj, root, tag=-4)
+                return None
+            out = [None] * self.size
+            out[root] = _copy(obj)
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=-4)
+            return out
 
     def allgather(self, obj: Any) -> List[Any]:
         return self.bcast(self.gather(obj, root=0), root=0)
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
-        if self._rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError("root must pass one object per rank")
-            for dst in range(self.size):
-                if dst != root:
-                    self.send(objs[dst], dst, tag=-5)
-            return _copy(objs[root])
-        return self.recv(root, tag=-5)
+        with self._collective("scatter"):
+            if self._rank == root:
+                if objs is None or len(objs) != self.size:
+                    raise ValueError("root must pass one object per rank")
+                for dst in range(self.size):
+                    if dst != root:
+                        self.send(objs[dst], dst, tag=-5)
+                return _copy(objs[root])
+            return self.recv(root, tag=-5)
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
         """Pairwise-exchange all-to-all; ``objs[d]`` goes to rank d."""
-        if len(objs) != self.size:
-            raise ValueError("need one object per rank")
-        size, rank = self.size, self._rank
-        out: List[Any] = [None] * size
-        out[rank] = _copy(objs[rank])
-        for step in range(1, size):
-            dst = (rank + step) % size
-            src = (rank - step) % size
-            out[src] = self.sendrecv(objs[dst], dst, src, sendtag=-6, recvtag=-6)
-        return out
+        with self._collective("alltoall"):
+            if len(objs) != self.size:
+                raise ValueError("need one object per rank")
+            size, rank = self.size, self._rank
+            out: List[Any] = [None] * size
+            out[rank] = _copy(objs[rank])
+            for step in range(1, size):
+                dst = (rank + step) % size
+                src = (rank - step) % size
+                out[src] = self.sendrecv(objs[dst], dst, src, sendtag=-6, recvtag=-6)
+            return out
 
     def alltoallv(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
         """All-to-all of numpy arrays (the MPI_Alltoallv workhorse).
@@ -341,7 +540,7 @@ class Comm:
                     len(ranks),
                     [st.world_ranks[r] for r in ranks],
                     st.traffic,
-                    st.abort_event,
+                    st.control,
                 )
             new_state = st.split_registry[reg_key]
         self.barrier()

@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the SPMD runtime.
+
+Production campaigns like the paper's month-long 24576-node run survive
+because the code's failure paths work: a killed process must not corrupt
+the checkpoint set, and a hung collective must surface as an error
+instead of wedging the job.  This module provides a :class:`FaultPlan`
+— a declarative, seedable schedule of failures — that
+:class:`repro.mpi.runtime.MPIRuntime` and :class:`repro.mpi.comm.Comm`
+consult at well-defined points:
+
+* **rank kills** — ``kill_rank(rank, step)`` makes that rank raise
+  :class:`InjectedFault` at its next ``comm.fault_point(step)``;
+* **message faults** — ``drop_messages`` / ``delay_messages`` /
+  ``corrupt_messages`` act on point-to-point sends matching a
+  ``(src, dst)`` filter, by match index (``nth``/``count``) or with a
+  seeded Bernoulli ``probability``;
+* **stalled collectives** — ``stall_collective(op, rank)`` makes that
+  rank hang inside the named collective until the job aborts, which is
+  what the runtime's watchdog is for.
+
+Every decision is a pure function of the plan and a per-event sequence
+number, so a plan with pinned ``src``/``dst`` filters reproduces the
+same failures run after run (wildcard filters match in cross-thread
+arrival order, which is scheduler-dependent).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple, Type
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "CommTimeout",
+    "retry_with_backoff",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised on a rank killed by a :class:`FaultPlan` schedule."""
+
+
+class CommTimeout(RuntimeError):
+    """A blocking receive exceeded its timeout (deadlock-free failure).
+
+    Unlike :class:`repro.mpi.comm.CommAborted` (a *secondary* casualty
+    of some other rank's failure), a timeout is a primary failure of the
+    rank that was waiting, and is reported as such by the runtime.
+    """
+
+
+@dataclass(frozen=True)
+class _MessageFault:
+    """One message-level fault rule (internal)."""
+
+    kind: str  # "drop" | "delay" | "corrupt"
+    src: Optional[int]
+    dst: Optional[int]
+    nth: int
+    count: int
+    seconds: float
+    probability: float
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+    def hits(self, seq: int, seed: int, src: int, dst: int) -> bool:
+        """Does the seq-th matching message trigger this fault?"""
+        if not self.nth <= seq < self.nth + self.count:
+            return False
+        if self.probability >= 1.0:
+            return True
+        draw = np.random.default_rng((seed, self.nth, src, dst, seq)).random()
+        return bool(draw < self.probability)
+
+
+@dataclass(frozen=True)
+class _KillFault:
+    rank: int
+    step: int
+
+
+@dataclass(frozen=True)
+class _StallFault:
+    op: str
+    rank: int
+    nth: int
+
+
+class FaultPlan:
+    """A declarative, reproducible schedule of injected failures.
+
+    Builder methods return ``self`` so plans read as one chained
+    expression::
+
+        plan = (FaultPlan(seed=7)
+                .kill_rank(1, step=2)
+                .drop_messages(src=0, dst=1, nth=0)
+                .stall_collective("bcast", rank=3))
+
+    Pass the plan to :class:`repro.mpi.runtime.MPIRuntime`; ranks and
+    steps refer to *world* ranks and whatever step indices the
+    application passes to ``comm.fault_point``.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._kills: List[_KillFault] = []
+        self._messages: List[_MessageFault] = []
+        self._stalls: List[_StallFault] = []
+
+    # -- builders ---------------------------------------------------------------
+
+    def kill_rank(self, rank: int, step: int) -> "FaultPlan":
+        """Kill ``rank`` when it reaches ``comm.fault_point(step)``."""
+        self._kills.append(_KillFault(int(rank), int(step)))
+        return self
+
+    def _add_message(
+        self,
+        kind: str,
+        src: Optional[int],
+        dst: Optional[int],
+        nth: int,
+        count: int,
+        seconds: float,
+        probability: float,
+    ) -> "FaultPlan":
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if nth < 0:
+            raise ValueError("nth must be >= 0")
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self._messages.append(
+            _MessageFault(kind, src, dst, int(nth), int(count), seconds, probability)
+        )
+        return self
+
+    def drop_messages(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        nth: int = 0,
+        count: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Silently lose matching messages (the receiver never sees them;
+        recover via receive timeouts / the watchdog)."""
+        return self._add_message("drop", src, dst, nth, count, 0.0, probability)
+
+    def delay_messages(
+        self,
+        seconds: float,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        nth: int = 0,
+        count: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Hold matching messages for ``seconds`` before delivery."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        return self._add_message("delay", src, dst, nth, count, seconds, probability)
+
+    def corrupt_messages(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        nth: int = 0,
+        count: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Flip bits in matching payloads (arrays get every byte of
+        their first element inverted; other objects are replaced by a
+        marker string)."""
+        return self._add_message("corrupt", src, dst, nth, count, 0.0, probability)
+
+    def stall_collective(self, op: str, rank: int, nth: int = 0) -> "FaultPlan":
+        """Hang ``rank`` inside its ``nth``-th call of collective ``op``
+        (``"bcast"``, ``"reduce"``, ``"gather"``, ...) until the job
+        aborts.  Pair with the runtime's ``watchdog_timeout`` so the
+        hang is converted into a clean abort."""
+        self._stalls.append(_StallFault(str(op), int(rank), int(nth)))
+        return self
+
+    # -- queries (used by Comm / MPIRuntime) -------------------------------------
+
+    def should_kill(self, rank: int, step: int) -> bool:
+        return any(k.rank == rank and k.step == step for k in self._kills)
+
+    def message_events(self, src: int, dst: int) -> List[_MessageFault]:
+        """All message rules whose filter matches ``src -> dst``."""
+        return [ev for ev in self._messages if ev.matches(src, dst)]
+
+    def should_stall(self, rank: int, op: str, seq: int) -> bool:
+        return any(
+            s.rank == rank and s.op == op and s.nth == seq for s in self._stalls
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not (self._kills or self._messages or self._stalls)
+
+    def describe(self) -> str:
+        """Human-readable summary of the scheduled faults."""
+        lines = [f"FaultPlan(seed={self.seed})"]
+        for k in self._kills:
+            lines.append(f"  kill rank {k.rank} at step {k.step}")
+        for m in self._messages:
+            where = f"{'any' if m.src is None else m.src}->" \
+                    f"{'any' if m.dst is None else m.dst}"
+            extra = f", {m.seconds}s" if m.kind == "delay" else ""
+            prob = f", p={m.probability}" if m.probability < 1.0 else ""
+            lines.append(
+                f"  {m.kind} {where} messages [{m.nth}, {m.nth + m.count}){extra}{prob}"
+            )
+        for s in self._stalls:
+            lines.append(f"  stall {s.op} #{s.nth} on rank {s.rank}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def corrupt_payload(obj: Any) -> Any:
+    """Deterministically damage a message payload (first element's
+    bytes inverted for arrays; non-array objects become a marker
+    string)."""
+    if isinstance(obj, np.ndarray) and obj.size:
+        raw = bytearray(obj.tobytes())
+        span = max(obj.itemsize, 1)
+        for i in range(min(span, len(raw))):
+            raw[i] ^= 0xFF
+        return np.frombuffer(bytes(raw), dtype=obj.dtype).reshape(obj.shape).copy()
+    return "<corrupted payload>"
+
+
+def retry_with_backoff(
+    fn: Callable[[], Any],
+    retries: int = 3,
+    base_delay: float = 0.01,
+    factor: float = 2.0,
+    exceptions: Tuple[Type[BaseException], ...] = (CommTimeout,),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Any:
+    """Call ``fn`` and retry transient failures with exponential backoff.
+
+    Retries up to ``retries`` times (so at most ``retries + 1`` calls),
+    sleeping ``base_delay * factor**attempt`` between attempts, and only
+    on the given ``exceptions`` (default: receive timeouts, the shape an
+    injected transient fault takes).  The final failure propagates.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except exceptions as exc:
+            if attempt >= retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            time.sleep(base_delay * factor**attempt)
+            attempt += 1

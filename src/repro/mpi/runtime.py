@@ -2,17 +2,26 @@
 
 The runtime owns the world communicator state, the shared traffic log,
 and (optionally) a torus network model whose shape defaults to a flat
-1-D torus.  Exceptions in any rank abort the whole job: barriers are
-broken and blocked receives raise :class:`CommAborted`, so failures
-surface instead of deadlocking — the behaviour tests rely on.
+1-D torus.  Failure semantics are deadlock-free: an exception in any
+rank aborts the whole job (barriers break, blocked receives raise
+:class:`CommAborted`), an optional watchdog converts a hung collective
+into a clean abort naming the originating rank and operation, and the
+raised :class:`RuntimeError` carries *every* rank's failure (plus which
+ranks were aborted as secondary casualties) instead of silently keeping
+only one.
+
+Fault injection for tests comes from an attached
+:class:`repro.mpi.faults.FaultPlan`; see ``docs/fault_tolerance.md``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.mpi.comm import Comm, CommAborted, _CommState
+from repro.mpi.comm import Comm, CommAborted, _CommState, _JobControl
+from repro.mpi.faults import FaultPlan
 from repro.mpi.network import TorusNetwork, TrafficLog
 
 __all__ = ["MPIRuntime", "run_spmd"]
@@ -30,6 +39,20 @@ class MPIRuntime:
         Must multiply to ``n_ranks``.
     link_bandwidth, link_latency:
         Parameters of the network performance model.
+    fault_plan:
+        Optional :class:`repro.mpi.faults.FaultPlan` of injected
+        failures (rank kills, message drop/delay/corrupt, stalled
+        collectives), consulted by every communicator of the job.
+    recv_timeout:
+        Job-wide default timeout (seconds) for blocking receives; a
+        receive that exceeds it raises
+        :class:`repro.mpi.faults.CommTimeout` instead of hanging.
+        ``None`` (default) waits until the job aborts.
+    watchdog_timeout:
+        When set, a watchdog thread monitors blocked operations and
+        aborts the job once any rank has been stuck longer than this
+        many seconds, naming the rank and operation in the abort
+        reason.
     """
 
     def __init__(
@@ -38,56 +61,149 @@ class MPIRuntime:
         torus_shape: Optional[Sequence[int]] = None,
         link_bandwidth: float = 5.0e9,
         link_latency: float = 1.0e-6,
+        fault_plan: Optional[FaultPlan] = None,
+        recv_timeout: Optional[float] = None,
+        watchdog_timeout: Optional[float] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
         shape = tuple(torus_shape) if torus_shape else (n_ranks, 1, 1)
         if shape[0] * shape[1] * shape[2] != n_ranks:
             raise ValueError("torus_shape must multiply to n_ranks")
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive")
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive")
         self.n_ranks = int(n_ranks)
         self.traffic = TrafficLog()
         self.network = TorusNetwork(shape, link_bandwidth, link_latency)
+        self.fault_plan = fault_plan
+        self.recv_timeout = recv_timeout
+        self.watchdog_timeout = watchdog_timeout
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
         """Run ``fn(comm, *args, **kwargs)`` on every rank.
 
         Returns the per-rank return values (index = rank).  If any rank
-        raises, the job is aborted and the first exception re-raised.
+        raises, the job is aborted and a :class:`RuntimeError` is
+        raised that names every failing rank (and its thread); the
+        lowest failing rank's exception is the ``__cause__``.  The
+        error also records, as attributes, ``rank_errors`` (dict of
+        rank -> exception), ``aborted_ranks`` (ranks that died with a
+        secondary :class:`CommAborted`) and ``abort_origin`` (the rank
+        whose failure aborted the job first).
         """
-        abort = threading.Event()
+        control = _JobControl(
+            fault_plan=self.fault_plan, recv_timeout=self.recv_timeout
+        )
         state = _CommState(
-            self.n_ranks, list(range(self.n_ranks)), self.traffic, abort
+            self.n_ranks, list(range(self.n_ranks)), self.traffic, control
         )
         results: List[Any] = [None] * self.n_ranks
-        errors: List[Tuple[int, BaseException]] = []
+        failures: List[Tuple[int, BaseException]] = []
+        aborted: List[Tuple[int, CommAborted]] = []
         err_lock = threading.Lock()
 
         def worker(rank: int) -> None:
             comm = Comm(state, rank)
             try:
                 results[rank] = fn(comm, *args, **kwargs)
-            except CommAborted:
-                pass  # secondary failure caused by another rank
+            except CommAborted as exc:
+                # secondary failure caused by another rank: recorded,
+                # not reported as its own error
+                with err_lock:
+                    aborted.append((rank, exc))
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with err_lock:
-                    errors.append((rank, exc))
-                state.abort()
+                    failures.append((rank, exc))
+                control.abort(
+                    reason=f"rank {rank} failed: {type(exc).__name__}: {exc}",
+                    origin=rank,
+                )
 
-        if self.n_ranks == 1:
-            # run inline: keeps tracebacks simple and debugging easy
-            worker(0)
-        else:
-            threads = [
-                threading.Thread(target=worker, args=(r,), name=f"rank-{r}")
-                for r in range(self.n_ranks)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-        if errors:
-            rank, exc = min(errors, key=lambda e: e[0])
-            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        watchdog_stop = threading.Event()
+        watchdog_thread: Optional[threading.Thread] = None
+        if self.watchdog_timeout is not None and self.n_ranks > 1:
+            control.watching = True
+            limit = self.watchdog_timeout
+
+            def watchdog() -> None:
+                poll = max(min(0.05, limit / 4.0), 1e-3)
+                while not control.abort_event.is_set():
+                    entry = control.oldest_blocked()
+                    now = time.monotonic()
+                    if entry is not None and now - entry[3] > limit:
+                        rank_w, op, detail, since = entry
+                        where = f"{op} ({detail})" if detail else op
+                        control.abort(
+                            reason=(
+                                f"watchdog: rank {rank_w} stuck in {where} "
+                                f"for {now - since:.2f}s"
+                            ),
+                            origin=rank_w,
+                        )
+                        return
+                    if watchdog_stop.wait(poll):
+                        return
+
+            watchdog_thread = threading.Thread(
+                target=watchdog, name="mpi-watchdog", daemon=True
+            )
+            watchdog_thread.start()
+
+        try:
+            if self.n_ranks == 1:
+                # run inline: keeps tracebacks simple and debugging easy
+                worker(0)
+            else:
+                # daemon threads: a rank hung beyond every timeout can
+                # never wedge interpreter shutdown
+                threads = [
+                    threading.Thread(
+                        target=worker, args=(r,), name=f"rank-{r}", daemon=True
+                    )
+                    for r in range(self.n_ranks)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        finally:
+            watchdog_stop.set()
+            if watchdog_thread is not None:
+                watchdog_thread.join(timeout=1.0)
+
+        failures.sort(key=lambda e: e[0])
+        aborted_ranks = sorted(r for r, _ in aborted)
+        if failures:
+            rank, exc = failures[0]
+            msg = f"rank {rank} (thread rank-{rank}) failed: {exc!r}"
+            if len(failures) > 1:
+                others = "; ".join(
+                    f"rank {r}: {e!r}" for r, e in failures[1:]
+                )
+                msg += f"; {len(failures) - 1} more rank(s) failed: {others}"
+            if aborted_ranks:
+                msg += (
+                    f"; rank(s) {aborted_ranks} aborted (CommAborted) after "
+                    f"the first failure"
+                )
+            err = RuntimeError(msg)
+            err.rank_errors = dict(failures)
+            err.aborted_ranks = aborted_ranks
+            err.abort_origin = control.abort_origin
+            raise err from exc
+        if aborted:
+            # no rank raised a primary error, yet the job aborted: the
+            # watchdog (or an injected stall) fired
+            reason = control.abort_reason or "communication aborted"
+            err = RuntimeError(
+                f"job aborted: {reason} (CommAborted on rank(s) {aborted_ranks})"
+            )
+            err.rank_errors = {}
+            err.aborted_ranks = aborted_ranks
+            err.abort_origin = control.abort_origin
+            raise err from aborted[0][1]
         return results
 
 

@@ -9,8 +9,18 @@ paper's Table I.
 
 from repro.sim.ghosts import distance_to_domain, exchange_ghosts
 from repro.sim.io import SnapshotHeader, load_snapshot, save_snapshot
+from repro.sim.checkpoint import (
+    CheckpointError,
+    latest_checkpoint,
+    load_distributed_checkpoint,
+    validate_checkpoint,
+)
 from repro.sim.serial import SerialSimulation
-from repro.sim.parallel import ParallelSimulation, run_parallel_simulation
+from repro.sim.parallel import (
+    ParallelSimulation,
+    resume_parallel_simulation,
+    run_parallel_simulation,
+)
 
 __all__ = [
     "distance_to_domain",
@@ -18,7 +28,12 @@ __all__ = [
     "SnapshotHeader",
     "load_snapshot",
     "save_snapshot",
+    "CheckpointError",
+    "latest_checkpoint",
+    "load_distributed_checkpoint",
+    "validate_checkpoint",
     "SerialSimulation",
     "ParallelSimulation",
+    "resume_parallel_simulation",
     "run_parallel_simulation",
 ]

@@ -19,7 +19,8 @@ are exactly Table I's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -31,12 +32,18 @@ from repro.forces.cutoff import get_split
 from repro.integrate.stepper import StaticStepper
 from repro.meshcomm.parallel_pm import ParallelPM
 from repro.mpi.runtime import MPIRuntime
+from repro.sim import checkpoint as _ckpt
+from repro.sim.checkpoint import CheckpointError
 from repro.sim.ghosts import exchange_ghosts
 from repro.tree.traversal import TreeSolver
 from repro.utils.periodic import wrap_positions
 from repro.utils.timer import TimingLedger
 
-__all__ = ["ParallelSimulation", "run_parallel_simulation"]
+__all__ = [
+    "ParallelSimulation",
+    "run_parallel_simulation",
+    "resume_parallel_simulation",
+]
 
 
 @dataclass
@@ -252,10 +259,199 @@ class ParallelSimulation:
         self.mom += self._pm_acc * st.kick_coeff(tm, t2)
         self.steps_taken += 1
 
-    def run(self, t_start: float, t_end: float, n_steps: int) -> None:
+    def run(
+        self,
+        t_start: float,
+        t_end: float,
+        n_steps: int,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        first_step: int = 0,
+    ) -> None:
+        """Integrate ``n_steps`` equal steps from ``t_start`` to
+        ``t_end``, optionally writing a distributed checkpoint every
+        ``checkpoint_every`` completed steps (and after the last one).
+
+        ``first_step`` resumes a stored schedule: the step edges are
+        recomputed from the *full* schedule so a resumed run hits
+        bit-identical step boundaries, then steps before ``first_step``
+        are skipped.  Each step begins with a ``comm.fault_point``, the
+        hook a :class:`repro.mpi.faults.FaultPlan` uses to kill ranks.
+        """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
         edges = np.linspace(t_start, t_end, n_steps + 1)
-        for t1, t2 in zip(edges[:-1], edges[1:]):
-            self.step(float(t1), float(t2))
+        schedule = {
+            "t_start": float(t_start),
+            "t_end": float(t_end),
+            "n_steps": int(n_steps),
+        }
+        for i in range(int(first_step), n_steps):
+            self.comm.fault_point(i)
+            self.step(float(edges[i]), float(edges[i + 1]))
+            if checkpoint_every and (
+                (i + 1) % checkpoint_every == 0 or i + 1 == n_steps
+            ):
+                self.checkpoint(
+                    checkpoint_dir, schedule={**schedule, "next_step": i + 1}
+                )
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def checkpoint(self, checkpoint_dir, schedule: Optional[Dict[str, Any]] = None):
+        """Write a distributed checkpoint set (collective).
+
+        Every rank writes an atomic, checksummed per-rank file; rank 0
+        then writes the manifest (with every file's digest) and flips
+        the ``LATEST`` pointer — in that order, so an interrupted
+        checkpoint can never be mistaken for a complete one.  Returns
+        the step directory.
+        """
+        comm = self.comm
+        next_step = (
+            int(schedule["next_step"]) if schedule and "next_step" in schedule
+            else self.steps_taken
+        )
+        step_name = _ckpt.step_dirname(next_step)
+        checkpoint_dir = Path(checkpoint_dir)
+        step_dir = checkpoint_dir / step_name
+        if comm.rank == 0:
+            step_dir.mkdir(parents=True, exist_ok=True)
+        comm.barrier()
+
+        history = self.decomposer._history._history
+        decomp_flat = self.decomp.flatten()
+        arrays = {
+            "pos": self.pos,
+            "mom": self.mom,
+            "mass": self.mass,
+            "ids": self.ids,
+            "pp_acc": (
+                self._pp_acc if self._pp_acc is not None else np.zeros((0, 3))
+            ),
+            "pm_acc": (
+                self._pm_acc if self._pm_acc is not None else np.zeros((0, 3))
+            ),
+            "decomp": np.asarray(decomp_flat, dtype=np.float64),
+            "history": (
+                np.stack(history)
+                if history
+                else np.zeros((0, len(decomp_flat)))
+            ),
+        }
+        meta = {
+            "rank": comm.rank,
+            "size": comm.size,
+            "steps_taken": self.steps_taken,
+            "pp_cost": self._pp_cost,
+            "decomp_step": self.decomposer._step,
+            "has_pp_acc": self._pp_acc is not None,
+            "has_pm_acc": self._pm_acc is not None,
+        }
+        name = _ckpt.rank_filename(comm.rank, comm.size)
+        digest = _ckpt.write_rank_file(step_dir / name, arrays, meta)
+        entries = comm.gather(
+            {"rank": comm.rank, "name": name, "sha256": digest,
+             "n_particles": len(self.pos)},
+            root=0,
+        )
+        if comm.rank == 0:
+            manifest = {
+                "version": _ckpt.CHECKPOINT_VERSION,
+                "n_ranks": comm.size,
+                "divisions": list(self.config.domain.divisions),
+                "steps_taken": self.steps_taken,
+                "schedule": schedule or {"next_step": next_step},
+                "config_hash": self.config.config_hash(include_layout=False),
+                "config": self.config.to_dict(),
+                "total_particles": int(sum(e["n_particles"] for e in entries)),
+                "files": entries,
+            }
+            _ckpt.write_manifest(step_dir, manifest)
+            _ckpt.update_latest(checkpoint_dir, step_name)
+        # no rank may leave before the manifest exists: a kill after this
+        # barrier always finds a complete set on disk
+        comm.barrier()
+        return step_dir
+
+    @classmethod
+    def restore(cls, comm, config: SimulationConfig, step_dir, stepper=None):
+        """Rebuild per-rank state from a checkpoint set (collective).
+
+        With the checkpoint's original rank count every rank reloads
+        its own file — including force accumulators and the boundary
+        history — so the resumed trajectory is bit-for-bit identical to
+        an uninterrupted run.  With a different rank count the merged,
+        id-ordered particle state is re-scattered and the decomposition
+        bootstraps afresh (forces are then recomputed on the first
+        step).
+        """
+        step_dir = Path(step_dir)
+        manifest = _ckpt.read_manifest(step_dir)
+        want = config.config_hash(include_layout=False)
+        if manifest["config_hash"] != want:
+            raise CheckpointError(
+                f"checkpoint '{step_dir}' was written by a different "
+                f"configuration (hash {manifest['config_hash'][:12]}..., "
+                f"ours {want[:12]}...)"
+            )
+        if int(manifest["n_ranks"]) == comm.size:
+            entry = manifest["files"][comm.rank]
+            path = step_dir / entry["name"]
+            if not path.exists():
+                raise CheckpointError(
+                    f"torn checkpoint '{step_dir}': missing rank file "
+                    f"'{entry['name']}'"
+                )
+            if _ckpt.file_digest(path) != entry["sha256"]:
+                raise CheckpointError(
+                    f"corrupt checkpoint '{step_dir}': digest mismatch for "
+                    f"'{entry['name']}'"
+                )
+            arrays, meta = _ckpt.read_rank_file(path)
+            sim = cls(
+                comm, config, arrays["pos"], arrays["mom"], arrays["mass"],
+                stepper=stepper, ids=arrays["ids"],
+            )
+            sim.steps_taken = int(manifest["steps_taken"])
+            sim._pp_cost = float(meta["pp_cost"])
+            if meta["has_pp_acc"]:
+                sim._pp_acc = arrays["pp_acc"]
+            if meta["has_pm_acc"]:
+                sim._pm_acc = arrays["pm_acc"]
+            sim.decomp = MultisectionDecomposition.unflatten(
+                arrays["decomp"], config.domain.divisions, 1.0
+            )
+            sim.decomposer._step = int(meta["decomp_step"])
+            sim.decomposer._history._history = [
+                h.copy() for h in arrays["history"]
+            ]
+            return sim
+
+        # different rank count: merge (validating the whole set), then
+        # re-scatter contiguous id-ordered slices
+        if comm.rank == 0:
+            merged = _ckpt.load_distributed_checkpoint(step_dir)
+            n = len(merged["ids"])
+            chunks = []
+            for r in range(comm.size):
+                lo = n * r // comm.size
+                hi = n * (r + 1) // comm.size
+                chunks.append(
+                    {k: merged[k][lo:hi] for k in ("pos", "mom", "mass", "ids")}
+                )
+        else:
+            chunks = None
+        part = comm.scatter(chunks, root=0)
+        sim = cls(
+            comm, config, part["pos"], part["mom"], part["mass"],
+            stepper=stepper, ids=part["ids"],
+        )
+        sim.steps_taken = int(manifest["steps_taken"])
+        return sim
 
     # -- output ------------------------------------------------------------------------
 
@@ -287,15 +483,29 @@ def run_parallel_simulation(
     n_steps: int,
     stepper=None,
     torus_shape=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    fault_plan=None,
+    recv_timeout: Optional[float] = None,
+    watchdog_timeout: Optional[float] = None,
 ):
     """Convenience driver: scatter global arrays, run, gather results.
 
     Returns ``(pos, mom, mass, sims, runtime)`` where ``sims`` is the
     list of per-rank :class:`ParallelSimulation` objects (timings,
     statistics) and ``runtime`` exposes the traffic log / network model.
+    ``checkpoint_every``/``checkpoint_dir`` enable distributed
+    checkpoints; ``fault_plan``/``recv_timeout``/``watchdog_timeout``
+    are forwarded to :class:`repro.mpi.runtime.MPIRuntime`.
     """
     n_ranks = config.domain.n_domains
-    runtime = MPIRuntime(n_ranks, torus_shape=torus_shape)
+    runtime = MPIRuntime(
+        n_ranks,
+        torus_shape=torus_shape,
+        fault_plan=fault_plan,
+        recv_timeout=recv_timeout,
+        watchdog_timeout=watchdog_timeout,
+    )
 
     def spmd(comm):
         n = len(pos)
@@ -304,7 +514,64 @@ def run_parallel_simulation(
         sim = ParallelSimulation(
             comm, config, pos[lo:hi], mom[lo:hi], mass[lo:hi], stepper=stepper
         )
-        sim.run(t_start, t_end, n_steps)
+        sim.run(
+            t_start, t_end, n_steps,
+            checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        )
+        return sim, sim.gather_state()
+
+    results = runtime.run(spmd)
+    sims = [r[0] for r in results]
+    state = results[0][1]
+    return state[0], state[1], state[2], sims, runtime
+
+
+def resume_parallel_simulation(
+    config: SimulationConfig,
+    checkpoint_dir,
+    stepper=None,
+    torus_shape=None,
+    checkpoint_every: Optional[int] = None,
+    fault_plan=None,
+    recv_timeout: Optional[float] = None,
+    watchdog_timeout: Optional[float] = None,
+):
+    """Resume the schedule stored in the newest complete checkpoint.
+
+    The rank count comes from ``config.domain.n_domains`` — it may
+    differ from the count the checkpoint was written with, in which
+    case the merged particle state is re-decomposed.  Passing
+    ``checkpoint_every`` keeps checkpointing into the same directory.
+    Returns the same tuple as :func:`run_parallel_simulation`.
+    """
+    step_dir = _ckpt.latest_checkpoint(checkpoint_dir)
+    manifest = _ckpt.read_manifest(step_dir)
+    schedule = manifest["schedule"]
+    for key in ("t_start", "t_end", "n_steps", "next_step"):
+        if key not in schedule:
+            raise CheckpointError(
+                f"checkpoint '{step_dir}' stores no resumable schedule "
+                f"(missing '{key}'); pass the schedule to ParallelSimulation.run"
+            )
+    n_ranks = config.domain.n_domains
+    runtime = MPIRuntime(
+        n_ranks,
+        torus_shape=torus_shape,
+        fault_plan=fault_plan,
+        recv_timeout=recv_timeout,
+        watchdog_timeout=watchdog_timeout,
+    )
+
+    def spmd(comm):
+        sim = ParallelSimulation.restore(comm, config, step_dir, stepper=stepper)
+        sim.run(
+            float(schedule["t_start"]),
+            float(schedule["t_end"]),
+            int(schedule["n_steps"]),
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir if checkpoint_every else None,
+            first_step=int(schedule["next_step"]),
+        )
         return sim, sim.gather_state()
 
     results = runtime.run(spmd)

@@ -93,17 +93,83 @@ class SerialSimulation:
         t_end: float,
         n_steps: int,
         on_step: Optional[Callable[["SerialSimulation", float], None]] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path=None,
+        first_step: int = 0,
     ) -> None:
         """Integrate from ``t_start`` to ``t_end`` in ``n_steps`` equal
         steps (equal in the stepper's independent variable: time for
-        static runs, scale factor for cosmological ones)."""
+        static runs, scale factor for cosmological ones).
+
+        ``checkpoint_every`` writes an atomic rolling checkpoint to
+        ``checkpoint_path`` every that many completed steps (and after
+        the last).  ``first_step`` skips already-completed steps of the
+        same schedule, as stored by :meth:`save_checkpoint` — the edges
+        are recomputed from the full schedule, so a resumed trajectory
+        is bit-for-bit the uninterrupted one.
+        """
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
         edges = np.linspace(t_start, t_end, n_steps + 1)
-        for t1, t2 in zip(edges[:-1], edges[1:]):
-            self.step(float(t1), float(t2))
+        for i in range(int(first_step), n_steps):
+            t1, t2 = float(edges[i]), float(edges[i + 1])
+            self.step(t1, t2)
             if on_step is not None:
-                on_step(self, float(t2))
+                on_step(self, t2)
+            if checkpoint_every and (
+                (i + 1) % checkpoint_every == 0 or i + 1 == n_steps
+            ):
+                self.save_checkpoint(checkpoint_path, t2)
+
+    # -- checkpoint / restore ---------------------------------------------------
+
+    def save_checkpoint(self, path, time: float, extra: Optional[dict] = None) -> None:
+        """Write an atomic, checksummed checkpoint of the current state
+        (a snapshot whose header records the step count and a config
+        hash, so :meth:`from_checkpoint` can refuse mismatched runs)."""
+        from repro.sim.io import SnapshotHeader, save_snapshot
+
+        merged = {"config_hash": self.config.config_hash()}
+        if extra:
+            merged.update(extra)
+        save_snapshot(
+            path,
+            self.pos,
+            self.mom,
+            self.mass,
+            SnapshotHeader(
+                time=float(time),
+                n_particles=len(self.pos),
+                cosmological=bool(self.stepper.cosmological),
+                step=self.steps_taken,
+                extra=merged,
+            ),
+        )
+
+    @classmethod
+    def from_checkpoint(cls, config: SimulationConfig, path, stepper=None):
+        """Rebuild a simulation from :meth:`save_checkpoint` output.
+
+        Returns ``(sim, header)``; raises ``ValueError`` when the
+        checkpoint was written by a different configuration.
+        """
+        from repro.sim.io import load_snapshot
+
+        pos, mom, mass, header = load_snapshot(path)
+        stored = header.extra.get("config_hash")
+        if stored is not None and stored != config.config_hash():
+            raise ValueError(
+                f"checkpoint '{path}' was written by a different "
+                f"configuration (hash {stored[:12]}...)"
+            )
+        sim = cls(config, pos, mom, mass, stepper=stepper)
+        sim.steps_taken = int(header.step)
+        return sim, header
 
     def run_adaptive(
         self,

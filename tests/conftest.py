@@ -2,9 +2,47 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+
+# Per-test wall-clock alarm (pytest-timeout is not a dependency).  The
+# fault-injection tests exercise code paths that, when buggy, hang in a
+# collective; a SIGALRM turns such a hang into a loud failure instead
+# of a wedged CI job.  Individual tests can override the budget with
+# @pytest.mark.timeout(seconds).
+_DEFAULT_TEST_TIMEOUT = 180.0
+
+_ALARMS_SUPPORTED = hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else _DEFAULT_TEST_TIMEOUT
+    use_alarm = (
+        _ALARMS_SUPPORTED
+        and seconds > 0
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded {seconds:.0f}s wall-clock limit (possible "
+                f"deadlock in a collective or recv)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 # A single moderate profile: the suite contains hundreds of tests and
 # several exercise O(N^2) references, so keep example counts modest.

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
-from repro.sim.io import SnapshotHeader, load_snapshot, save_snapshot
+from repro.sim.io import (
+    SnapshotHeader,
+    array_digest,
+    atomic_write,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.sim.serial import SerialSimulation
 
 
@@ -49,8 +57,128 @@ class TestSnapshotRoundtrip:
         pos, mom, mass = _state(rng)
         hdr = SnapshotHeader(time=0.0, n_particles=32)
         save_snapshot(tmp_path / "snap", pos, mom, mass, hdr)
+        assert (tmp_path / "snap.npz").exists()
         p2, _, _, _ = load_snapshot(tmp_path / "snap")
         np.testing.assert_array_equal(p2, pos)
+
+    def test_missing_snapshot_names_both_candidates(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as ei:
+            load_snapshot(tmp_path / "nope")
+        msg = str(ei.value)
+        assert str(tmp_path / "nope") in msg
+        assert str(tmp_path / "nope.npz") in msg
+
+    def test_missing_snapshot_with_suffix(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nope.npz"):
+            load_snapshot(tmp_path / "nope.npz")
+
+
+class TestSnapshotIntegrity:
+    def test_corrupted_array_detected(self, tmp_path, rng):
+        """Tampering with an array after the write must not load."""
+        pos, mom, mass = _state(rng)
+        path = tmp_path / "snap.npz"
+        save_snapshot(
+            path, pos, mom, mass, SnapshotHeader(time=0.0, n_particles=32)
+        )
+        with np.load(path) as data:
+            contents = {name: data[name] for name in data.files}
+        tampered = contents["mom"].copy()
+        tampered[0, 0] += 1e-9
+        contents["mom"] = tampered
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **contents)
+        with pytest.raises(ValueError, match="checksum mismatch for array 'mom'"):
+            load_snapshot(path)
+
+    def test_atomic_write_replaces_and_cleans_up(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old contents")
+        atomic_write(path, lambda fh: fh.write(b"new contents"))
+        assert path.read_bytes() == b"new contents"
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp files
+
+    def test_atomic_write_failure_preserves_original(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old contents")
+
+        def exploding_writer(fh):
+            fh.write(b"half-written")
+            raise OSError("disk on fire")
+
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write(path, exploding_writer)
+        assert path.read_bytes() == b"old contents"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_array_digest_sensitive_to_shape_and_dtype(self):
+        a = np.arange(6, dtype=np.float64)
+        assert array_digest(a) != array_digest(a.reshape(2, 3))
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+        assert array_digest(a) == array_digest(a.copy())
+
+
+class TestSerialCheckpointApi:
+    def _cfg(self):
+        return SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(opening_angle=0.5, group_size=32),
+                pm=PMConfig(mesh_size=16),
+                softening=5e-3,
+            ),
+        )
+
+    def test_save_and_from_checkpoint_roundtrip(self, tmp_path, rng):
+        cfg = self._cfg()
+        pos, mom, mass = _state(rng, 64)
+        sim = SerialSimulation(cfg, pos, mom, mass)
+        sim.run(0.0, 0.1, n_steps=2)
+        path = tmp_path / "ck.npz"
+        sim.save_checkpoint(path, 0.1)
+        sim2, hdr = SerialSimulation.from_checkpoint(cfg, path)
+        assert sim2.steps_taken == 2
+        assert hdr.time == pytest.approx(0.1)
+        np.testing.assert_array_equal(sim2.pos, sim.pos)
+        np.testing.assert_array_equal(sim2.mom, sim.mom)
+
+    def test_from_checkpoint_rejects_config_mismatch(self, tmp_path, rng):
+        cfg = self._cfg()
+        pos, mom, mass = _state(rng, 32)
+        sim = SerialSimulation(cfg, pos, mom, mass)
+        sim.save_checkpoint(tmp_path / "ck.npz", 0.0)
+        other = SimulationConfig(
+            treepm=TreePMConfig(
+                tree=TreeConfig(opening_angle=0.5, group_size=32),
+                pm=PMConfig(mesh_size=16),
+                softening=1e-2,
+            ),
+        )
+        with pytest.raises(ValueError, match="different"):
+            SerialSimulation.from_checkpoint(other, tmp_path / "ck.npz")
+
+    def test_run_writes_rolling_checkpoint(self, tmp_path, rng):
+        cfg = self._cfg()
+        pos, mom, mass = _state(rng, 64)
+        path = tmp_path / "rolling.npz"
+
+        straight = SerialSimulation(cfg, pos, mom, mass)
+        straight.run(0.0, 0.2, n_steps=4)
+
+        sim = SerialSimulation(cfg, pos, mom, mass)
+        sim.run(0.0, 0.2, n_steps=4, checkpoint_every=2, checkpoint_path=path)
+        _, hdr = SerialSimulation.from_checkpoint(cfg, path)
+        assert hdr.step == 4  # last write is after the final step
+
+        # resume from a mid-run (step-2) checkpoint: bit-for-bit
+        edges = np.linspace(0.0, 0.2, 5)
+        mid = SerialSimulation(cfg, pos, mom, mass)
+        for i in range(2):
+            mid.step(float(edges[i]), float(edges[i + 1]))
+        mid.save_checkpoint(path, float(edges[2]))
+        resumed, hdr = SerialSimulation.from_checkpoint(cfg, path)
+        resumed.run(0.0, 0.2, n_steps=4, first_step=hdr.step)
+        np.testing.assert_array_equal(resumed.pos, straight.pos)
+        np.testing.assert_array_equal(resumed.mom, straight.mom)
 
 
 class TestCheckpointResume:

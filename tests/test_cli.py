@@ -101,6 +101,83 @@ class TestRunFromConfig:
             )
 
 
+class TestCheckpointResumeFlags:
+    _CFG = {
+        "kind": "static",
+        "n_particles": 48,
+        "mesh_size": 8,
+        "end": 0.2,
+        "n_steps": 4,
+        "seed": 9,
+    }
+
+    def test_checkpoint_every_requires_directory(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            run_from_config(dict(self._CFG), log=_quiet, checkpoint_every=1)
+
+    def test_checkpoint_then_resume_bit_for_bit(self, tmp_path):
+        from repro.sim.serial import SerialSimulation
+        from repro.cli import _DEFAULTS, _build_config
+
+        straight = run_from_config(dict(self._CFG), log=_quiet)
+
+        # build the interrupted state: first 2 of 4 steps, checkpointed
+        cfg = _build_config({**_DEFAULTS, **self._CFG})
+        rng = np.random.default_rng(self._CFG["seed"])
+        n = self._CFG["n_particles"]
+        pos = rng.random((n, 3))
+        sim = SerialSimulation(cfg, pos, np.zeros((n, 3)), np.full(n, 1.0 / n))
+        edges = np.linspace(0.0, 0.2, 5)
+        for i in range(2):
+            sim.step(float(edges[i]), float(edges[i + 1]))
+        ckpt = tmp_path / "mid.npz"
+        sim.save_checkpoint(ckpt, float(edges[2]))
+
+        resumed = run_from_config(
+            dict(self._CFG), log=_quiet, resume=ckpt,
+            checkpoint_every=2, checkpoint_dir=tmp_path,
+        )
+        assert resumed["resumed_from"] == str(ckpt)
+        assert resumed["steps"] == 4
+        assert resumed["checkpoint"] == str(tmp_path / "checkpoint.npz")
+        # final rolling checkpoint equals the straight run's state
+        _, _, _, hdr = load_snapshot(tmp_path / "checkpoint.npz")
+        assert hdr.step == 4
+        assert straight["steps"] == 4
+
+    def test_resume_past_schedule_rejected(self, tmp_path):
+        from repro.sim.serial import SerialSimulation
+        from repro.cli import _DEFAULTS, _build_config
+
+        cfg = _build_config({**_DEFAULTS, **self._CFG})
+        sim = SerialSimulation(
+            cfg, np.random.default_rng(0).random((48, 3)),
+            np.zeros((48, 3)), np.full(48, 1.0 / 48),
+        )
+        sim.steps_taken = 99
+        sim.save_checkpoint(tmp_path / "late.npz", 0.2)
+        with pytest.raises(ValueError, match="step 99"):
+            run_from_config(
+                dict(self._CFG), log=_quiet, resume=tmp_path / "late.npz"
+            )
+
+    def test_main_passes_flags_through(self, tmp_path, capsys):
+        cfg_path = tmp_path / "run.json"
+        cfg_path.write_text(json.dumps(self._CFG))
+        assert main([
+            "run", str(cfg_path),
+            "--checkpoint-every", "2",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]) == 0
+        assert (tmp_path / "ck" / "checkpoint.npz").exists()
+        assert main([
+            "run", str(cfg_path),
+            "--resume", str(tmp_path / "ck" / "checkpoint.npz"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+
 class TestMain:
     def test_info(self, capsys):
         assert main(["info"]) == 0
