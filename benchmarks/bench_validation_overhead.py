@@ -1,0 +1,73 @@
+"""Overhead of the runtime invariant guardrails (docs/validation.md).
+
+The ``warn`` policy is only worth leaving on if it is nearly free: the
+checkers are vectorised array sweeps and O(ranks²) count matrices, so
+the budget is < 10% wall-clock on the smoke simulation.  This harness
+times the serial smoke sim with validation off and with every
+per-step checker armed at ``warn`` (the energy monitor is excluded —
+its O(N²) potential evaluation is a diagnostic you *opt into*, not
+part of the steady-state overhead), and writes the measured ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import (
+    PMConfig,
+    SimulationConfig,
+    TreeConfig,
+    TreePMConfig,
+    ValidationConfig,
+)
+from repro.sim.serial import SerialSimulation
+
+N_PER_DIM = 12
+N_STEPS = 6
+REPEATS = 3
+OVERHEAD_BUDGET = 0.10
+
+
+def _config(policy: str) -> SimulationConfig:
+    return SimulationConfig(
+        treepm=TreePMConfig(
+            tree=TreeConfig(opening_angle=0.5, group_size=64),
+            pm=PMConfig(mesh_size=16),
+            softening=0.02 / N_PER_DIM,
+        ),
+        validation=ValidationConfig(policy=policy),
+    )
+
+
+def _run_once(policy: str) -> float:
+    rng = np.random.default_rng(42)
+    n = N_PER_DIM**3
+    pos = rng.random((n, 3))
+    mom = 0.01 * rng.standard_normal((n, 3))
+    mass = np.full(n, 1.0 / n)
+    sim = SerialSimulation(_config(policy), pos, mom, mass)
+    t0 = time.perf_counter()
+    sim.run(0.0, 0.05, n_steps=N_STEPS)
+    return time.perf_counter() - t0
+
+
+def _best_of(policy: str) -> float:
+    return min(_run_once(policy) for _ in range(REPEATS))
+
+
+class TestValidationOverhead:
+    def test_warn_overhead_within_budget(self, save_result):
+        base = _best_of("off")
+        guarded = _best_of("warn")
+        overhead = guarded / base - 1.0
+        lines = [
+            f"smoke sim: {N_PER_DIM}^3 particles, {N_STEPS} steps, "
+            f"best of {REPEATS}",
+            f"validation off : {base * 1e3:8.1f} ms",
+            f"validation warn: {guarded * 1e3:8.1f} ms",
+            f"overhead       : {overhead:+8.1%}  (budget {OVERHEAD_BUDGET:.0%})",
+        ]
+        save_result("validation_overhead", "\n".join(lines))
+        assert overhead < OVERHEAD_BUDGET

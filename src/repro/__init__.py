@@ -30,8 +30,10 @@ from repro.config import (
     SimulationConfig,
     TreeConfig,
     TreePMConfig,
+    ValidationConfig,
 )
 from repro.treepm.solver import TreePMSolver
+from repro.validate import InvariantViolation, InvariantWarning, Validator
 from repro.sim.serial import SerialSimulation
 from repro.sim.parallel import (
     ParallelSimulation,
@@ -51,6 +53,10 @@ __all__ = [
     "RelayMeshConfig",
     "MachineConfig",
     "SimulationConfig",
+    "ValidationConfig",
+    "InvariantViolation",
+    "InvariantWarning",
+    "Validator",
     "TreePMSolver",
     "SerialSimulation",
     "ParallelSimulation",

@@ -27,9 +27,17 @@ Config schema (JSON object; every key optional unless noted):
   "amplitude_boost": 1.0,
   "lpt_order": 1,                     // 1 = Zel'dovich, 2 = 2LPT
   "snapshots": [0.01, 0.03125],       // epochs to write
-  "output_dir": "out"                 // required when snapshots given
+  "output_dir": "out",                // required when snapshots given
+  "validate": "off",                  // off | warn | abort | dump
+  "validate_every": 1,                // check sampling interval (steps)
+  "energy_tol": 0.25,                 // relative energy-drift tolerance
+  "energy_every": 0,                  // energy monitor interval (0 = off)
+  "validate_dump_dir": null           // where "dump" writes diagnostics
 }
 ```
+
+The ``--validate``/``--validate-every``/``--energy-tol`` flags override
+the corresponding config keys (see ``docs/validation.md``).
 """
 
 from __future__ import annotations
@@ -42,7 +50,13 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from repro.config import PMConfig, SimulationConfig, TreeConfig, TreePMConfig
+from repro.config import (
+    PMConfig,
+    SimulationConfig,
+    TreeConfig,
+    TreePMConfig,
+    ValidationConfig,
+)
 
 __all__ = ["main", "run_from_config"]
 
@@ -67,6 +81,11 @@ _DEFAULTS: Dict[str, Any] = {
     "lpt_order": 1,
     "snapshots": [],
     "output_dir": None,
+    "validate": "off",
+    "validate_every": 1,
+    "energy_tol": 0.25,
+    "energy_every": 0,
+    "validate_dump_dir": None,
 }
 
 
@@ -90,6 +109,13 @@ def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
         ),
         pp_subcycles=cfg["pp_subcycles"],
         seed=cfg["seed"],
+        validation=ValidationConfig(
+            policy=cfg["validate"],
+            interval=cfg["validate_every"],
+            energy_tol=cfg["energy_tol"],
+            energy_interval=cfg["energy_every"],
+            dump_dir=cfg["validate_dump_dir"],
+        ),
     )
 
 
@@ -292,6 +318,20 @@ def main(argv=None) -> int:
         "--resume", type=Path, default=None,
         help="resume from a checkpoint written by --checkpoint-every",
     )
+    run_p.add_argument(
+        "--validate", choices=("off", "warn", "abort", "dump"), default=None,
+        help="runtime invariant checks: warn, abort on violation, or "
+        "dump a diagnostic checkpoint and abort (see docs/validation.md)",
+    )
+    run_p.add_argument(
+        "--validate-every", type=int, default=None, metavar="N",
+        help="evaluate invariant checks every N steps (default 1)",
+    )
+    run_p.add_argument(
+        "--energy-tol", type=float, default=None, metavar="TOL",
+        help="relative energy-drift tolerance (implies the energy "
+        "monitor: sets energy_every to 1 unless configured)",
+    )
     info_p = sub.add_parser("info", help="print version and paper reference")
 
     args = parser.parse_args(argv)
@@ -306,6 +346,13 @@ def main(argv=None) -> int:
         return 0
 
     config = json.loads(args.config.read_text())
+    if args.validate is not None:
+        config["validate"] = args.validate
+    if args.validate_every is not None:
+        config["validate_every"] = args.validate_every
+    if args.energy_tol is not None:
+        config["energy_tol"] = args.energy_tol
+        config.setdefault("energy_every", 1)
     summary = run_from_config(
         config,
         checkpoint_every=args.checkpoint_every,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Mapping, Optional, Tuple
 
 
 def _check_positive(name: str, value: float) -> None:
@@ -213,6 +213,81 @@ class RelayMeshConfig:
 
 
 @dataclass(frozen=True)
+class ValidationConfig:
+    """Policy of the runtime invariant guardrails (``repro.validate``).
+
+    Attributes
+    ----------
+    policy:
+        What happens when a check fires: ``"off"`` (checks are never
+        evaluated), ``"warn"`` (emit an ``InvariantWarning`` and keep
+        running), ``"abort"`` (raise the ``InvariantViolation``) or
+        ``"dump"`` (write a diagnostic checkpoint first, then raise —
+        so the violation is reproducible offline).
+    interval:
+        Sampling interval: checks run every this many steps, so
+        ``warn`` stays cheap enough to leave on.
+    energy_tol:
+        Relative total-energy drift tolerance of the per-step monitor.
+        Loose by default: cosmological energy is not strictly conserved,
+        so the monitor targets integrator blow-ups, not secular drift.
+    energy_interval:
+        Evaluate the energy monitor every this many steps; ``0``
+        disables it (the total potential is an O(N^2) diagnostic).
+    momentum_tol:
+        Relative total-momentum drift tolerance (against the largest
+        momentum scale seen so far).
+    dump_dir:
+        Directory for ``dump``-policy diagnostic checkpoints
+        (default: ``"diagnostics"`` under the working directory).
+    strict_load:
+        Run a finite-field sweep over particle arrays when restoring
+        any checkpoint, rejecting values corrupted in storage even when
+        checksums were regenerated around them.
+    overrides:
+        Per-check policy overrides, e.g. ``{"energy_drift": "warn"}``;
+        keys are checker names (see ``docs/validation.md``).
+    """
+
+    policy: str = "off"
+    interval: int = 1
+    energy_tol: float = 0.25
+    energy_interval: int = 0
+    momentum_tol: float = 0.25
+    dump_dir: Optional[str] = None
+    strict_load: bool = False
+    overrides: Mapping[str, str] = field(default_factory=dict)
+
+    _POLICIES = ("off", "warn", "abort", "dump")
+
+    def __post_init__(self) -> None:
+        if self.policy not in self._POLICIES:
+            raise ValueError(
+                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
+            )
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1")
+        if self.energy_interval < 0:
+            raise ValueError("energy_interval must be >= 0")
+        _check_positive("energy_tol", self.energy_tol)
+        _check_positive("momentum_tol", self.momentum_tol)
+        for check, policy in dict(self.overrides).items():
+            if policy not in self._POLICIES:
+                raise ValueError(
+                    f"override for {check!r} must be one of "
+                    f"{self._POLICIES}, got {policy!r}"
+                )
+        # normalize to a private dict copy (value semantics; asdict-safe)
+        object.__setattr__(self, "overrides", dict(self.overrides))
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off" or any(
+            p != "off" for p in self.overrides.values()
+        )
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Analytic machine model for performance projection.
 
@@ -282,6 +357,9 @@ class SimulationConfig:
     treepm: TreePMConfig = field(default_factory=TreePMConfig)
     domain: DomainConfig = field(default_factory=DomainConfig)
     relay: RelayMeshConfig = field(default_factory=RelayMeshConfig)
+    #: Runtime invariant guardrails (``repro.validate``); diagnostics
+    #: only — never part of the physics fingerprint.
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
     #: Number of PP + domain-decomposition sub-cycles per PM step
     #: (the paper: "one simulation step was composed by a cycle of the
     #: PM and two cycles of the PP and the domain decomposition").
@@ -311,12 +389,16 @@ class SimulationConfig:
         ``include_layout=False``, which excludes the ``domain`` and
         ``relay`` fields: those describe the process layout rather than
         the physics, and a checkpoint may legitimately be resumed on a
-        different rank count.
+        different rank count.  The ``validation`` policy is always
+        excluded: guardrails are diagnostics, and a checkpoint written
+        with validation off must be loadable with validation on (that is
+        how a diagnostic dump is replayed).
         """
         import hashlib
         import json
 
         d = self.to_dict()
+        d.pop("validation", None)
         if not include_layout:
             d.pop("domain", None)
             d.pop("relay", None)
@@ -340,7 +422,12 @@ class SimulationConfig:
         relay = d.pop("relay", {})
         if isinstance(relay, dict):
             relay = RelayMeshConfig(**relay)
-        return SimulationConfig(treepm=treepm, domain=domain, relay=relay, **d)
+        validation = d.pop("validation", {})
+        if isinstance(validation, dict):
+            validation = ValidationConfig(**validation)
+        return SimulationConfig(
+            treepm=treepm, domain=domain, relay=relay, validation=validation, **d
+        )
 
 
 __all__ = [
@@ -350,5 +437,6 @@ __all__ = [
     "DomainConfig",
     "RelayMeshConfig",
     "MachineConfig",
+    "ValidationConfig",
     "SimulationConfig",
 ]

@@ -3,6 +3,14 @@
 Each rank sends the particles that now fall outside its domain to their
 new owners with one ``alltoallv`` — the paper's "particle exchange" row
 of Table I.
+
+The exchange is guarded by an always-on conservation check: the
+per-destination send counts are allgathered (one small integer matrix
+row per rank) and compared against what actually arrived, so a message
+lost or truncated in flight raises a structured
+:class:`repro.validate.errors.InvariantViolation` naming the sender and
+receiver ranks instead of silently evaporating particles.  Array dtypes
+and row counts of every received payload are checked the same way.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from typing import Dict
 import numpy as np
 
 from repro.decomp.multisection import MultisectionDecomposition
+from repro.validate.errors import InvariantViolation
 
 __all__ = ["exchange_particles"]
 
@@ -20,6 +29,7 @@ def exchange_particles(
     comm,
     decomp: MultisectionDecomposition,
     arrays: Dict[str, np.ndarray],
+    step: int = None,
 ) -> Dict[str, np.ndarray]:
     """Redistribute particles to their owning ranks.
 
@@ -28,9 +38,14 @@ def exchange_particles(
     arrays:
         Per-particle arrays sharing the first dimension; must contain
         ``"pos"`` with shape ``(N, 3)`` (used to determine ownership).
+    step:
+        Optional step index recorded on conservation-failure errors.
 
     Returns the same keys with this rank's new particle population
-    (own particles kept, immigrants appended).
+    (own particles kept, immigrants appended).  Raises
+    :class:`repro.validate.errors.InvariantViolation` when the global
+    particle count is not conserved or a received payload disagrees in
+    dtype/shape with what its sender dispatched.
     """
     if "pos" not in arrays:
         raise ValueError('arrays must contain "pos"')
@@ -45,10 +60,68 @@ def exchange_particles(
     owners = decomp.owner_of(pos) if n else np.zeros(0, dtype=np.int64)
     keys = sorted(arrays)
     sends = []
+    send_counts = np.zeros(comm.size, dtype=np.int64)
     for dst in range(comm.size):
         sel = owners == dst
+        send_counts[dst] = int(sel.sum())
         sends.append({k: np.asarray(arrays[k])[sel] for k in keys})
     received = comm.alltoall(sends)
+
+    # -- conservation guard: what was sent is exactly what arrived ----------
+    # The allgathered count matrix is tiny (size^2 int64) next to the
+    # particle payload, so this stays on even with validation off.
+    count_matrix = np.asarray(comm.allgather(send_counts), dtype=np.int64)
+    rank = comm.rank
+    dtypes = {k: np.asarray(arrays[k]).dtype for k in keys}
+    for src, msg in enumerate(received):
+        if sorted(msg) != keys:
+            raise InvariantViolation(
+                f"payload from rank {src} to rank {rank} carries keys "
+                f"{sorted(msg)}, expected {keys}",
+                check="exchange_payload",
+                stage="decomp/exchange",
+                step=step,
+                rank=rank,
+            )
+        expected = int(count_matrix[src, rank])
+        for k in keys:
+            got = np.asarray(msg[k])
+            if len(got) != expected:
+                raise InvariantViolation(
+                    f"rank {src} sent {expected} particle(s) to rank {rank} "
+                    f"but array {k!r} arrived with {len(got)} row(s)",
+                    check="particle_count",
+                    stage="decomp/exchange",
+                    step=step,
+                    rank=rank,
+                    stats={"src": src, "dst": rank, "expected": expected,
+                           "got": len(got), "array": k},
+                )
+            if got.dtype != dtypes[k]:
+                raise InvariantViolation(
+                    f"array {k!r} from rank {src} to rank {rank} arrived as "
+                    f"dtype {got.dtype}, expected {dtypes[k]}",
+                    check="exchange_payload",
+                    stage="decomp/exchange",
+                    step=step,
+                    rank=rank,
+                    stats={"src": src, "dst": rank, "array": k},
+                )
+    n_before = int(count_matrix.sum())
+    n_after_local = sum(len(np.asarray(msg["pos"])) for msg in received)
+    n_after = int(comm.allreduce(n_after_local, op="sum"))
+    if n_after != n_before:
+        raise InvariantViolation(
+            f"global particle count changed across the exchange: "
+            f"{n_before} sent, {n_after} arrived "
+            f"({n_after - n_before:+d})",
+            check="particle_count",
+            stage="decomp/exchange",
+            step=step,
+            rank=rank,
+            stats={"n_before": n_before, "n_after": n_after},
+        )
+
     return {
         k: np.concatenate([msg[k] for msg in received], axis=0) for k in keys
     }

@@ -121,8 +121,13 @@ class ParallelPencilPM:
         dom_lo,
         dom_hi,
         timing: Optional[TimingLedger] = None,
+        validator=None,
     ) -> np.ndarray:
-        """Long-range accelerations for this rank's particles."""
+        """Long-range accelerations for this rank's particles.
+
+        ``validator`` enables mass-conservation and finite-field checks
+        (collective: every rank must pass the same validator or none).
+        """
         timing = timing if timing is not None else TimingLedger()
         rho_region = self.density_region(dom_lo, dom_hi)
         pot_region = self.potential_region(dom_lo, dom_hi)
@@ -138,10 +143,45 @@ class ParallelPencilPM:
                 / cell_vol
             )
 
+        check_mass = validator is not None and validator.check_enabled(
+            "mass_conservation"
+        )
+        if check_mass:
+            from repro.validate.checks import check_mesh_mass
+
+            totals = self.comm.allreduce(
+                np.array([local_rho.sum() * cell_vol, mass.sum()]), op="sum"
+            )
+            validator.handle(
+                check_mesh_mass(
+                    float(totals[0]),
+                    float(totals[1]),
+                    stage="mesh/assignment",
+                    step=validator.step,
+                    rank=self.comm.rank,
+                )
+            )
+
         self.comm.traffic_phase("pm:mesh_to_pencil")
         with timing.phase("PM/communication"):
             pencil_rho = redistribute(
                 self.comm, local_rho, rho_region, self.pencil_region, combine="add"
+            )
+        if check_mass:
+            pencil_sum = (
+                float(pencil_rho.sum()) * cell_vol if self.is_fft_rank else 0.0
+            )
+            totals = self.comm.allreduce(
+                np.array([pencil_sum, mass.sum()]), op="sum"
+            )
+            validator.handle(
+                check_mesh_mass(
+                    float(totals[0]),
+                    float(totals[1]),
+                    stage="meshcomm/convert",
+                    step=validator.step,
+                    rank=self.comm.rank,
+                )
             )
 
         self.comm.traffic_phase("pm:fft")
@@ -170,6 +210,17 @@ class ParallelPencilPM:
             )
 
         with timing.phase("PM/force interpolation"):
-            return -interpolate_local(
+            acc = -interpolate_local(
                 grad, pos, pot_region, self.box, self.assignment, trim=2
             )
+        if validator is not None and validator.check_enabled("finite_fields"):
+            from repro.validate.checks import check_finite
+
+            validator.handle_collective(
+                self.comm,
+                check_finite(
+                    "pm_acc", acc, stage="treepm/pm",
+                    step=validator.step, rank=self.comm.rank,
+                ),
+            )
+        return acc

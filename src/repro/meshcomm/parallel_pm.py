@@ -169,6 +169,7 @@ class ParallelPM:
         dom_lo,
         dom_hi,
         timing: Optional[TimingLedger] = None,
+        validator=None,
     ) -> np.ndarray:
         """The full PM cycle for this rank's particles.
 
@@ -176,6 +177,12 @@ class ParallelPM:
         inside ``[dom_lo, dom_hi)``.  Returns their long-range
         accelerations.  Phase timings use the paper's Table I row names;
         traffic phases ``pm:*`` are recorded for the network model.
+
+        ``validator`` (a :class:`repro.validate.Validator`) enables mass
+        conservation checks through the assignment and the relay/slab
+        conversion, plus a finite-field sweep of the returned
+        accelerations.  All validator traffic is collective, so every
+        rank must pass the same validator (or none).
         """
         timing = timing if timing is not None else TimingLedger()
         rho_region = self.density_region(dom_lo, dom_hi)
@@ -196,12 +203,47 @@ class ParallelPM:
                 / cell_vol
             )
 
+        check_mass = validator is not None and validator.check_enabled(
+            "mass_conservation"
+        )
+        if check_mass:
+            from repro.validate.checks import check_mesh_mass
+
+            totals = self.comm.allreduce(
+                np.array([local_rho.sum() * cell_vol, mass.sum()]), op="sum"
+            )
+            validator.handle(
+                check_mesh_mass(
+                    float(totals[0]),
+                    float(totals[1]),
+                    stage="mesh/assignment",
+                    step=validator.step,
+                    rank=self.comm.rank,
+                )
+            )
+
         self.comm.traffic_phase("pm:mesh_to_slab")
         with timing.phase("PM/communication"):
             partial = local_to_slab(self.comm_small, local_rho, rho_region, self.slabs)
             complete = None
             if self.is_holder:
                 complete = self.comm_reduce.reduce(partial, op="sum", root=0)
+        if check_mass:
+            # the complete density slabs live on the FFT ranks only; the
+            # allreduce shares the verdict so every rank agrees
+            slab_sum = (
+                float(complete.sum()) * cell_vol if self.is_fft_rank else 0.0
+            )
+            totals = self.comm.allreduce(np.array([slab_sum]), op="sum")
+            validator.handle(
+                check_mesh_mass(
+                    float(totals[0]),
+                    float(self.comm.allreduce(mass.sum(), op="sum")),
+                    stage="meshcomm/convert",
+                    step=validator.step,
+                    rank=self.comm.rank,
+                )
+            )
 
         self.comm.traffic_phase("pm:fft")
         with timing.phase("PM/FFT"):
@@ -233,5 +275,15 @@ class ParallelPM:
         with timing.phase("PM/force interpolation"):
             acc = -interpolate_local(
                 grad, pos, pot_region, self.box, self.assignment, trim=2
+            )
+        if validator is not None and validator.check_enabled("finite_fields"):
+            from repro.validate.checks import check_finite
+
+            validator.handle_collective(
+                self.comm,
+                check_finite(
+                    "pm_acc", acc, stage="treepm/pm",
+                    step=validator.step, rank=self.comm.rank,
+                ),
             )
         return acc

@@ -312,7 +312,7 @@ class Comm:
                 elif ev.kind == "delay":
                     delay += ev.seconds
                 elif ev.kind == "corrupt":
-                    payload = corrupt_payload(payload)
+                    payload = corrupt_payload(payload, key=ev.key)
             if delay > 0.0:
                 deadline = time.monotonic() + delay
                 while time.monotonic() < deadline:

@@ -64,6 +64,7 @@ class _MessageFault:
     count: int
     seconds: float
     probability: float
+    key: Optional[str] = None  # corrupt only this entry of dict payloads
 
     def matches(self, src: int, dst: int) -> bool:
         return (self.src is None or self.src == src) and (
@@ -176,11 +177,25 @@ class FaultPlan:
         nth: int = 0,
         count: int = 1,
         probability: float = 1.0,
+        key: Optional[str] = None,
     ) -> "FaultPlan":
         """Flip bits in matching payloads (arrays get every byte of
         their first element inverted; other objects are replaced by a
-        marker string)."""
-        return self._add_message("corrupt", src, dst, nth, count, 0.0, probability)
+        marker string).  With ``key``, dict payloads have only that
+        entry damaged — the shape of realistic silent data corruption,
+        where a flipped bit garbles one field of a structured message
+        without making the message undeliverable."""
+        plan = self._add_message("corrupt", src, dst, nth, count, 0.0, probability)
+        if key is not None:
+            # dataclass is frozen; rebuild the just-appended rule with the key
+            ev = self._messages.pop()
+            self._messages.append(
+                _MessageFault(
+                    ev.kind, ev.src, ev.dst, ev.nth, ev.count,
+                    ev.seconds, ev.probability, str(key),
+                )
+            )
+        return plan
 
     def stall_collective(self, op: str, rank: int, nth: int = 0) -> "FaultPlan":
         """Hang ``rank`` inside its ``nth``-th call of collective ``op``
@@ -218,8 +233,10 @@ class FaultPlan:
                     f"{'any' if m.dst is None else m.dst}"
             extra = f", {m.seconds}s" if m.kind == "delay" else ""
             prob = f", p={m.probability}" if m.probability < 1.0 else ""
+            field = f", key={m.key!r}" if m.key is not None else ""
             lines.append(
-                f"  {m.kind} {where} messages [{m.nth}, {m.nth + m.count}){extra}{prob}"
+                f"  {m.kind} {where} messages "
+                f"[{m.nth}, {m.nth + m.count}){extra}{prob}{field}"
             )
         for s in self._stalls:
             lines.append(f"  stall {s.op} #{s.nth} on rank {s.rank}")
@@ -229,10 +246,23 @@ class FaultPlan:
         return self.describe()
 
 
-def corrupt_payload(obj: Any) -> Any:
+def corrupt_payload(obj: Any, key: Optional[str] = None) -> Any:
     """Deterministically damage a message payload (first element's
     bytes inverted for arrays; non-array objects become a marker
-    string)."""
+    string).
+
+    With ``key``, a dict payload has only ``obj[key]`` damaged (the
+    message stays structurally valid, its data silently wrong); dicts
+    missing the key — and non-dict payloads — pass through untouched,
+    so a keyed rule targets exactly one kind of structured message.
+    """
+    if key is not None:
+        target = obj.get(key) if isinstance(obj, dict) else None
+        if isinstance(target, np.ndarray) and target.size:
+            out = dict(obj)
+            out[key] = corrupt_payload(target)
+            return out
+        return obj
     if isinstance(obj, np.ndarray) and obj.size:
         raw = bytearray(obj.tobytes())
         span = max(obj.itemsize, 1)

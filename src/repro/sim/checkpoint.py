@@ -61,6 +61,7 @@ __all__ = [
     "validate_checkpoint",
     "latest_checkpoint",
     "load_distributed_checkpoint",
+    "STRICT_FINITE_KEYS",
 ]
 
 CHECKPOINT_VERSION = 1
@@ -111,8 +112,36 @@ def file_digest(path) -> str:
     return hashlib.sha256(Path(path).read_bytes()).hexdigest()
 
 
-def read_rank_file(path) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
-    """Read one rank's state, verifying per-array checksums."""
+#: arrays strict mode sweeps for finite values.  Force accumulators are
+#: deliberately excluded: a ``dump``-policy diagnostic checkpoint may
+#: legitimately hold the garbage that triggered the dump in ``pp_acc``
+#: / ``pm_acc``, and must still load for offline analysis.
+STRICT_FINITE_KEYS = ("pos", "mom", "mass")
+
+
+def _strict_finite_sweep(arrays: Dict[str, np.ndarray], path) -> None:
+    from repro.validate.checks import check_finite
+
+    for name in STRICT_FINITE_KEYS:
+        if name not in arrays:
+            continue
+        violation = check_finite(name, arrays[name], stage="checkpoint/load")
+        if violation is not None:
+            raise CheckpointError(
+                f"corrupt checkpoint '{path}': {violation}"
+            ) from violation
+
+
+def read_rank_file(
+    path, strict: bool = False
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Read one rank's state, verifying per-array checksums.
+
+    ``strict`` additionally sweeps the particle state arrays
+    (:data:`STRICT_FINITE_KEYS`) for non-finite values — checksums catch
+    on-disk corruption, the sweep catches states that were *written*
+    corrupted.
+    """
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"missing checkpoint rank file '{path}'")
@@ -138,6 +167,8 @@ def read_rank_file(path) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         raise
     except Exception as exc:
         raise CheckpointError(f"unreadable checkpoint rank file '{path}': {exc}") from exc
+    if strict:
+        _strict_finite_sweep(arrays, path)
     return arrays, meta
 
 
@@ -226,12 +257,16 @@ def update_latest(ckpt_dir, step_dir_name: str) -> None:
 # -- merged (rank-count independent) load --------------------------------------
 
 
-def load_distributed_checkpoint(step_dir, verify: bool = True) -> Dict[str, Any]:
+def load_distributed_checkpoint(
+    step_dir, verify: bool = True, strict: bool = False
+) -> Dict[str, Any]:
     """Merge a checkpoint set into global id-ordered particle arrays.
 
     Returns ``{"pos", "mom", "mass", "ids", "manifest"}`` with arrays
     sorted by global particle id — the rank-count-independent form used
     to resume on a different decomposition (and by analysis tools).
+    ``strict`` sweeps the particle state of every rank file for
+    non-finite values (see :func:`read_rank_file`).
     """
     step_dir = Path(step_dir)
     manifest = validate_checkpoint(step_dir) if verify else read_manifest(step_dir)
@@ -240,7 +275,7 @@ def load_distributed_checkpoint(step_dir, verify: bool = True) -> Dict[str, Any]
     mass: List[np.ndarray] = []
     ids: List[np.ndarray] = []
     for entry in manifest["files"]:
-        arrays, _meta = read_rank_file(step_dir / entry["name"])
+        arrays, _meta = read_rank_file(step_dir / entry["name"], strict=strict)
         pos.append(arrays["pos"])
         mom.append(arrays["mom"])
         mass.append(arrays["mass"])

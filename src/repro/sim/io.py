@@ -127,13 +127,18 @@ def save_snapshot(
     atomic_write(final, write)
 
 
-def load_snapshot(path) -> Tuple[np.ndarray, np.ndarray, np.ndarray, SnapshotHeader]:
+def load_snapshot(
+    path, strict: bool = False
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, SnapshotHeader]:
     """Read a snapshot written by :func:`save_snapshot`.
 
     ``path`` may omit the ``.npz`` suffix (numpy appends it on write);
     if neither candidate exists a :class:`FileNotFoundError` naming
     both is raised.  Array checksums are verified, so a corrupted or
-    torn snapshot raises instead of loading silently.
+    torn snapshot raises instead of loading silently.  ``strict``
+    additionally sweeps pos/mom/mass for non-finite values — checksums
+    catch corruption *of* the file, the sweep catches a state that was
+    corrupt when written.
     """
     path = Path(path)
     candidate = _with_npz_suffix(path)
@@ -168,4 +173,11 @@ def load_snapshot(path) -> Tuple[np.ndarray, np.ndarray, np.ndarray, SnapshotHea
             arrays[name] = arr
     if len(arrays["pos"]) != header.n_particles:
         raise ValueError("corrupt snapshot: particle count mismatch")
+    if strict:
+        from repro.validate.checks import check_finite
+
+        for name in ("pos", "mom", "mass"):
+            violation = check_finite(name, arrays[name], stage="snapshot/load")
+            if violation is not None:
+                raise ValueError(f"corrupt snapshot '{path}': {violation}")
     return arrays["pos"], arrays["mom"], arrays["mass"], header

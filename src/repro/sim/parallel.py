@@ -38,6 +38,16 @@ from repro.sim.ghosts import exchange_ghosts
 from repro.tree.traversal import TreeSolver
 from repro.utils.periodic import wrap_positions
 from repro.utils.timer import TimingLedger
+from repro.validate import (
+    MomentumDriftMonitor,
+    Validator,
+    check_domain_containment,
+    check_domain_partition,
+    check_finite,
+    check_momentum,
+    check_octree,
+    first_violation,
+)
 
 __all__ = [
     "ParallelSimulation",
@@ -159,13 +169,46 @@ class ParallelSimulation:
         self._pp_cost = 1.0e-6  # last measured PP seconds (for sampling)
         self._pm_acc: Optional[np.ndarray] = None
         self._pp_acc: Optional[np.ndarray] = None
+        self.validator = Validator(
+            config.validation, rank=comm.rank, dump_fn=self._diagnostic_dump
+        )
+        self._mom_monitor = (
+            MomentumDriftMonitor(config.validation.momentum_tol)
+            if self.validator.enabled
+            else None
+        )
+
+    # -- validation hooks --------------------------------------------------------
+
+    def _diagnostic_dump(self, violation) -> str:
+        """``dump``-policy hook: write a distributed diagnostic
+        checkpoint (collective — the Validator invokes it on every rank)
+        recording the violation in the manifest, and return its path."""
+        dump_dir = self.config.validation.dump_dir or "diagnostics"
+        step_dir = self.checkpoint(dump_dir, extra={"violation": violation.summary()})
+        return str(step_dir)
+
+    def _momentum_totals(self) -> np.ndarray:
+        """Local ``[sum(m p), sum(m |p|)]`` as one 4-vector (one
+        allreduce summand for conservation and drift checks)."""
+        mp = self.mass[:, None] * self.mom
+        return np.concatenate([mp.sum(axis=0), [np.abs(mp).sum()]])
 
     # -- pipeline pieces ---------------------------------------------------------
 
     def _domain_update(self) -> None:
         """Sampling method + particle exchange (carrying the PP force)."""
+        v = self.validator
+        check_mom = v.check_enabled("momentum_conservation")
+        before = self._momentum_totals() if check_mom else None
         with self.timing.phase("Domain Decomposition/sampling method"):
             self.decomp = self.decomposer.update(self.comm, self.pos, self._pp_cost)
+        if v.check_enabled("domain_partition"):
+            v.handle(
+                check_domain_partition(
+                    self.decomp, step=v.step, rank=self.comm.rank
+                )
+            )
         with self.timing.phase("Domain Decomposition/particle exchange"):
             payload = {
                 "pos": self.pos,
@@ -175,12 +218,56 @@ class ParallelSimulation:
             }
             if self._pp_acc is not None:
                 payload["pp_acc"] = self._pp_acc
-            out = exchange_particles(self.comm, self.decomp, payload)
+            out = exchange_particles(
+                self.comm, self.decomp, payload, step=self.steps_taken
+            )
         self.pos = out["pos"]
         self.mom = out["mom"]
         self.mass = out["mass"]
         self.ids = out["ids"]
         self._pp_acc = out.get("pp_acc")
+        if check_mom:
+            # one allreduce carries before+after; the broadcast result is
+            # bit-identical everywhere, so every rank reaches the same
+            # verdict and the serial handle path is collective-safe
+            totals = self.comm.allreduce(
+                np.concatenate([before, self._momentum_totals()]), op="sum"
+            )
+            v.handle(
+                check_momentum(
+                    totals[0:3],
+                    totals[4:7],
+                    stage="decomp/exchange",
+                    scale=max(float(totals[3]), 1.0e-300),
+                    step=v.step,
+                    rank=self.comm.rank,
+                )
+            )
+        if v.check_enabled("domain_containment"):
+            v.handle_collective(
+                self.comm,
+                check_domain_containment(
+                    self.pos, self.decomp, self.comm.rank, step=v.step
+                ),
+            )
+        if v.check_enabled("finite_fields"):
+            v.handle_collective(
+                self.comm,
+                first_violation(
+                    check_finite(
+                        "pos", self.pos, stage="decomp/exchange",
+                        step=v.step, rank=self.comm.rank,
+                    ),
+                    check_finite(
+                        "mom", self.mom, stage="decomp/exchange",
+                        step=v.step, rank=self.comm.rank,
+                    ),
+                    check_finite(
+                        "mass", self.mass, stage="decomp/exchange",
+                        step=v.step, rank=self.comm.rank,
+                    ),
+                ),
+            )
 
     def _pp_force(self) -> np.ndarray:
         """Ghost exchange + local tree + kernel; updates ``_pp_cost``."""
@@ -200,24 +287,58 @@ class ParallelSimulation:
         all_mass = np.concatenate([self.mass, gmass])
         mask = np.zeros(len(all_pos), dtype=bool)
         mask[: len(self.pos)] = True
+        v = self.validator
+        tree = None
         if len(all_pos) == 0:
             self._pp_cost = 1.0e-6
-            return np.zeros((0, 3))
-        with self.timing.phase("PP/tree construction"):
-            tree = self.tree.build(all_pos, all_mass)
-        acc, stats = self.tree.forces(
-            all_pos, all_mass, tree=tree, targets_mask=mask, ledger=self.timing
-        )
-        self.stats.interactions += stats.interactions
-        if stats.counter.group_sizes:
-            self.stats.group_sizes.append(stats.mean_group_size)
-            self.stats.list_lengths.append(stats.mean_list_length)
-        self._pp_cost = max(_time.perf_counter() - t_start, 1.0e-9)
-        return acc[: len(self.pos)]
+            acc_local = np.zeros((0, 3))
+        else:
+            with self.timing.phase("PP/tree construction"):
+                tree = self.tree.build(all_pos, all_mass)
+            acc, stats = self.tree.forces(
+                all_pos, all_mass, tree=tree, targets_mask=mask, ledger=self.timing
+            )
+            self.stats.interactions += stats.interactions
+            if stats.counter.group_sizes:
+                self.stats.group_sizes.append(stats.mean_group_size)
+                self.stats.list_lengths.append(stats.mean_list_length)
+            self._pp_cost = max(_time.perf_counter() - t_start, 1.0e-9)
+            acc_local = acc[: len(self.pos)]
+        # collective verdicts even when this rank is empty — every rank
+        # must enter the same allgathers or the job deadlocks
+        if v.check_enabled("finite_fields"):
+            v.handle_collective(
+                self.comm,
+                first_violation(
+                    check_finite(
+                        "ghost_pos", gpos, stage="pp/ghosts",
+                        step=v.step, rank=self.comm.rank,
+                    ),
+                    check_finite(
+                        "ghost_mass", gmass, stage="pp/ghosts",
+                        step=v.step, rank=self.comm.rank,
+                    ),
+                    check_finite(
+                        "pp_acc", acc_local, stage="treepm/pp",
+                        step=v.step, rank=self.comm.rank,
+                    ),
+                ),
+            )
+        if v.check_enabled("octree_moments"):
+            v.handle_collective(
+                self.comm,
+                check_octree(tree, step=v.step, rank=self.comm.rank)
+                if tree is not None
+                else None,
+            )
+        return acc_local
 
     def _pm_force(self) -> np.ndarray:
         lo, hi = self.decomp.domain_bounds(self.comm.rank)
-        return self.pm.forces(self.pos, self.mass, lo, hi, timing=self.timing)
+        return self.pm.forces(
+            self.pos, self.mass, lo, hi, timing=self.timing,
+            validator=self.validator if self.validator.enabled else None,
+        )
 
     # -- the step -------------------------------------------------------------------
 
@@ -229,6 +350,7 @@ class ParallelSimulation:
 
     def step(self, t1: float, t2: float) -> None:
         """One full step: 1 PM cycle + ``pp_subcycles`` PP/DD cycles."""
+        self.validator.begin_step(self.steps_taken)
         if self._pm_acc is None:
             self.initialize_forces()
         st = self.stepper
@@ -258,6 +380,18 @@ class ParallelSimulation:
         self._pm_acc = self._pm_force()
         self.mom += self._pm_acc * st.kick_coeff(tm, t2)
         self.steps_taken += 1
+        if self._mom_monitor is not None and self.validator.check_enabled(
+            "momentum_drift"
+        ):
+            totals = self.comm.allreduce(self._momentum_totals(), op="sum")
+            self.validator.handle(
+                self._mom_monitor.update(
+                    totals[:3],
+                    float(totals[3]),
+                    step=self.steps_taken,
+                    rank=self.comm.rank,
+                )
+            )
 
     def run(
         self,
@@ -301,14 +435,20 @@ class ParallelSimulation:
 
     # -- checkpoint / restore -----------------------------------------------------
 
-    def checkpoint(self, checkpoint_dir, schedule: Optional[Dict[str, Any]] = None):
+    def checkpoint(
+        self,
+        checkpoint_dir,
+        schedule: Optional[Dict[str, Any]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ):
         """Write a distributed checkpoint set (collective).
 
         Every rank writes an atomic, checksummed per-rank file; rank 0
         then writes the manifest (with every file's digest) and flips
         the ``LATEST`` pointer — in that order, so an interrupted
-        checkpoint can never be mistaken for a complete one.  Returns
-        the step directory.
+        checkpoint can never be mistaken for a complete one.  ``extra``
+        entries are merged into the manifest (diagnostic dumps record
+        the triggering violation there).  Returns the step directory.
         """
         comm = self.comm
         next_step = (
@@ -370,6 +510,8 @@ class ParallelSimulation:
                 "total_particles": int(sum(e["n_particles"] for e in entries)),
                 "files": entries,
             }
+            if extra:
+                manifest.update(extra)
             _ckpt.write_manifest(step_dir, manifest)
             _ckpt.update_latest(checkpoint_dir, step_name)
         # no rank may leave before the manifest exists: a kill after this
@@ -411,7 +553,9 @@ class ParallelSimulation:
                     f"corrupt checkpoint '{step_dir}': digest mismatch for "
                     f"'{entry['name']}'"
                 )
-            arrays, meta = _ckpt.read_rank_file(path)
+            arrays, meta = _ckpt.read_rank_file(
+                path, strict=config.validation.strict_load
+            )
             sim = cls(
                 comm, config, arrays["pos"], arrays["mom"], arrays["mass"],
                 stepper=stepper, ids=arrays["ids"],
@@ -434,7 +578,9 @@ class ParallelSimulation:
         # different rank count: merge (validating the whole set), then
         # re-scatter contiguous id-ordered slices
         if comm.rank == 0:
-            merged = _ckpt.load_distributed_checkpoint(step_dir)
+            merged = _ckpt.load_distributed_checkpoint(
+                step_dir, strict=config.validation.strict_load
+            )
             n = len(merged["ids"])
             chunks = []
             for r in range(comm.size):

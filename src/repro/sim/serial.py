@@ -16,6 +16,16 @@ from repro.integrate.leapfrog import TwoLevelKDK
 from repro.integrate.stepper import StaticStepper
 from repro.treepm.solver import TreePMSolver
 from repro.utils.timer import TimingLedger
+from repro.validate import (
+    EnergyDriftMonitor,
+    LayzerIrvineMonitor,
+    MomentumDriftMonitor,
+    Validator,
+    check_finite,
+    check_mesh_mass,
+    check_octree,
+    first_violation,
+)
 
 __all__ = ["SerialSimulation"]
 
@@ -59,33 +69,133 @@ class SerialSimulation:
             n_sub=config.pp_subcycles,
         )
         self.steps_taken = 0
+        self._last_time = 0.0
+        self.validator = Validator(
+            config.validation, dump_fn=self._diagnostic_dump
+        )
+        if self.validator.enabled:
+            self.solver.validator = self.validator
+            # comoving energy drifts under a perfect integrator, so
+            # cosmological runs are judged by the Layzer-Irvine equation
+            self.energy_monitor = (
+                LayzerIrvineMonitor(config.validation.energy_tol)
+                if self.stepper.cosmological
+                else EnergyDriftMonitor(config.validation.energy_tol)
+            )
+            self._mom_monitor = MomentumDriftMonitor(
+                config.validation.momentum_tol
+            )
+        else:
+            self.energy_monitor = None
+            self._mom_monitor = None
+
+    def _diagnostic_dump(self, violation) -> str:
+        """``dump``-policy hook: checkpoint the current state with the
+        violation in the header; returns the written path."""
+        from pathlib import Path
+
+        dump_dir = Path(self.config.validation.dump_dir or "diagnostics")
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        path = dump_dir / f"violation_step_{self.steps_taken:05d}.npz"
+        self.save_checkpoint(
+            path, self._last_time, extra={"violation": violation.summary()}
+        )
+        return str(path)
 
     def _pm_force(self, pos: np.ndarray) -> np.ndarray:
+        v = self.validator
         rho = None
         with self.timing.phase("PM/density assignment"):
             rho = self.solver.pm.density_mesh(pos, self.mass)
+        if v.check_enabled("mass_conservation"):
+            cell_vol = (self.solver.box / self.solver.pm.n) ** 3
+            v.handle(
+                check_mesh_mass(
+                    float(rho.sum() * cell_vol),
+                    float(self.mass.sum()),
+                    stage="mesh/assignment",
+                    step=v.step,
+                )
+            )
         with self.timing.phase("PM/FFT"):
             phi = self.solver.pm.potential_mesh(rho)
         with self.timing.phase("PM/acceleration on mesh"):
             amesh = self.solver.pm.acceleration_mesh(phi)
         with self.timing.phase("PM/force interpolation"):
-            return self.solver.pm.interpolate(amesh, pos)
+            acc = self.solver.pm.interpolate(amesh, pos)
+        if v.check_enabled("finite_fields"):
+            v.handle(
+                check_finite("pm_acc", acc, stage="treepm/pm", step=v.step)
+            )
+        return acc
 
     def _pp_force(self, pos: np.ndarray) -> np.ndarray:
+        v = self.validator
         with self.timing.phase("PP/tree construction"):
             tree = self.solver.tree.build(pos, self.mass)
+        if v.check_enabled("octree_moments"):
+            v.handle(check_octree(tree, step=v.step))
         acc, stats = self.solver.tree.forces(
             pos, self.mass, tree=tree, ledger=self.timing
         )
         self.last_stats = stats
+        if v.check_enabled("finite_fields"):
+            v.handle(
+                check_finite("pp_acc", acc, stage="treepm/pp", step=v.step)
+            )
         return acc
 
     def step(self, t1: float, t2: float) -> None:
         """Advance one full PM step."""
+        self.validator.begin_step(self.steps_taken)
+        self._last_time = t1
         with self.timing.phase("Domain Decomposition/position update"):
             pass  # serial run: bookkeeping row kept for report parity
         self.pos, self.mom = self._kdk.step(self.pos, self.mom, t1, t2)
         self.steps_taken += 1
+        self._last_time = t2
+        self._post_step_monitors(t2)
+
+    def _post_step_monitors(self, t: float) -> None:
+        """Momentum/energy drift monitors after a completed step.
+
+        The energy monitor costs an O(N^2) potential evaluation, so it
+        runs only every ``validation.energy_interval`` steps (0 = off);
+        the momentum monitor is O(N) and follows the ordinary sampling
+        interval.
+        """
+        v = self.validator
+        if self._mom_monitor is not None and v.check_enabled("momentum_drift"):
+            mp = self.mass[:, None] * self.mom
+            v.handle(
+                self._mom_monitor.update(
+                    mp.sum(axis=0),
+                    float(np.abs(mp).sum()),
+                    step=self.steps_taken,
+                )
+            )
+        every = self.config.validation.energy_interval
+        if (
+            self.energy_monitor is not None
+            and every > 0
+            and self.steps_taken % every == 0
+            and v.policy_for("energy_drift") != "off"
+        ):
+            if self.stepper.cosmological:
+                v.handle(
+                    self.energy_monitor.update(
+                        t,
+                        self.kinetic_energy(t),
+                        self.potential_energy(),
+                        step=self.steps_taken,
+                    )
+                )
+            else:
+                v.handle(
+                    self.energy_monitor.update(
+                        self.total_energy(), step=self.steps_taken
+                    )
+                )
 
     def run(
         self,
@@ -160,7 +270,9 @@ class SerialSimulation:
         """
         from repro.sim.io import load_snapshot
 
-        pos, mom, mass, header = load_snapshot(path)
+        pos, mom, mass, header = load_snapshot(
+            path, strict=config.validation.strict_load
+        )
         stored = header.extra.get("config_hash")
         if stored is not None and stored != config.config_hash():
             raise ValueError(

@@ -169,8 +169,30 @@ class Octree:
             self.node_com = (cmx[hi] - cmx[lo]) / self.node_mass[:, None]
         # empty nodes never exist (children with zero particles are not
         # created), but a zero-total-mass node can: park its com at the
-        # geometric center.
+        # geometric center.  Only zero-mass nodes get the fallback — a
+        # non-finite com on a massive node means the particle data
+        # itself is corrupt (NaN positions or masses), which must
+        # surface instead of being silently parked.
         bad = ~np.isfinite(self.node_com).all(axis=1)
+        zero_mass = self.node_mass == 0.0
+        corrupt = bad & ~zero_mass
+        if corrupt.any():
+            from repro.validate.errors import InvariantViolation, array_stats
+
+            idx = int(np.flatnonzero(corrupt)[0])
+            raise InvariantViolation(
+                f"{int(corrupt.sum())} node(s) with nonzero mass have a "
+                f"non-finite center of mass (first: node {idx}, mass "
+                f"{self.node_mass[idx]!r}) — particle positions or masses "
+                f"contain non-finite values",
+                check="octree_moments",
+                stage="tree/moments",
+                stats={
+                    "pos": array_stats(self.pos_sorted, "pos"),
+                    "mass": array_stats(self.mass_sorted, "mass"),
+                    "first_node": idx,
+                },
+            )
         self.node_com[bad] = self.node_center[bad]
 
         if self.has_quadrupole:

@@ -63,10 +63,13 @@ class TreePMSolver:
         box: float = 1.0,
         G: float = 1.0,
         use_fast_rsqrt: bool = False,
+        validator=None,
     ) -> None:
         self.config = config if config is not None else TreePMConfig()
         self.box = float(box)
         self.G = float(G)
+        #: optional repro.validate.Validator consulted by :meth:`forces`
+        self.validator = validator
         cfg = self.config
         self.split = get_split(cfg.split, cfg.rcut * box)
         self.pm = PMSolver(
@@ -106,9 +109,20 @@ class TreePMSolver:
         pos = np.asarray(pos, dtype=np.float64)
         mass = np.asarray(mass, dtype=np.float64)
         timing = TimingLedger()
+        v = self.validator
 
         with timing.phase("PM/density assignment"):
             rho = self.pm.density_mesh(pos, mass)
+        if v is not None and v.check_enabled("mass_conservation"):
+            from repro.validate.checks import check_mesh_mass
+
+            cell_vol = (self.box / self.pm.n) ** 3
+            v.handle(
+                check_mesh_mass(
+                    float(rho.sum() * cell_vol), float(mass.sum()),
+                    stage="mesh/assignment", step=v.step,
+                )
+            )
         with timing.phase("PM/FFT"):
             phi = self.pm.potential_mesh(rho)
         with timing.phase("PM/acceleration on mesh"):
@@ -118,8 +132,21 @@ class TreePMSolver:
 
         with timing.phase("PP/tree construction"):
             tree = self.tree.build(pos, mass)
+        if v is not None and v.check_enabled("octree_moments"):
+            from repro.validate.checks import check_octree
+
+            v.handle(check_octree(tree, step=v.step))
         with timing.phase("PP/force calculation"):
             a_short, stats = self.tree.forces(pos, mass, tree=tree)
+        if v is not None and v.check_enabled("finite_fields"):
+            from repro.validate.checks import check_finite, first_violation
+
+            v.handle(
+                first_violation(
+                    check_finite("pm_acc", a_long, stage="treepm/pm", step=v.step),
+                    check_finite("pp_acc", a_short, stage="treepm/pp", step=v.step),
+                )
+            )
 
         return TreePMForces(
             total=a_short + a_long,

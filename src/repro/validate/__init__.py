@@ -1,0 +1,68 @@
+"""Runtime invariant guardrails: health checks, corruption detection,
+diagnostic dumps.
+
+The paper's trillion-particle campaign can only trust a week-long
+integration because every pipeline stage conserves what it must:
+particle count across the 3-D multisection exchange, mass through mesh
+assignment and the relay/slab conversions, momentum and energy across
+the TreePM force split.  This package turns those conservation laws
+into *runtime guardrails*:
+
+* :mod:`repro.validate.checks` — composable, vectorized invariant
+  checkers (finite-field sweeps, count/momentum/mass conservation,
+  octree moment consistency, domain partition coverage);
+* :mod:`repro.validate.monitor` — per-step energy and momentum drift
+  monitors with configurable tolerances;
+* :mod:`repro.validate.errors` — the structured
+  :class:`InvariantViolation` every checker raises, carrying step,
+  rank, stage and offending-array statistics;
+* :mod:`repro.validate.runtime` — the :class:`Validator` policy engine
+  (``off | warn | abort | dump``, per-check overrides, sampling
+  interval) that the simulations consult; ``dump`` writes a diagnostic
+  checkpoint through the fault-tolerance machinery before aborting, so
+  every violation is reproducible offline.
+
+See ``docs/validation.md`` for the invariant catalogue and the
+"violation -> diagnostic dump -> offline repro" workflow.
+"""
+
+from repro.validate.checks import (
+    check_domain_containment,
+    check_domain_partition,
+    check_finite,
+    check_in_box,
+    check_mesh_mass,
+    check_momentum,
+    check_octree,
+    check_particle_count,
+    check_positive,
+    first_violation,
+)
+from repro.validate.errors import InvariantViolation, InvariantWarning, array_stats
+from repro.validate.monitor import (
+    EnergyDriftMonitor,
+    LayzerIrvineMonitor,
+    MomentumDriftMonitor,
+)
+from repro.validate.runtime import POLICIES, Validator
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantWarning",
+    "array_stats",
+    "check_finite",
+    "check_positive",
+    "check_in_box",
+    "check_particle_count",
+    "check_momentum",
+    "check_mesh_mass",
+    "check_octree",
+    "check_domain_partition",
+    "check_domain_containment",
+    "first_violation",
+    "EnergyDriftMonitor",
+    "LayzerIrvineMonitor",
+    "MomentumDriftMonitor",
+    "Validator",
+    "POLICIES",
+]

@@ -1,0 +1,206 @@
+"""Per-step drift monitors: energy and momentum over a whole run.
+
+Unlike the stage checkers in :mod:`repro.validate.checks` (which test
+invariants that hold *exactly*, to summation noise), these track
+quantities that drift slowly under a healthy integrator — total energy
+and total momentum — and fire only when the drift exceeds a configured
+tolerance.  A pathologically large timestep, a corrupted force
+accumulator or a broken kick coefficient all show up here within a few
+steps, long before the particle distribution visibly disintegrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.validate.errors import InvariantViolation
+
+__all__ = [
+    "EnergyDriftMonitor",
+    "LayzerIrvineMonitor",
+    "MomentumDriftMonitor",
+]
+
+
+class EnergyDriftMonitor:
+    """Relative total-energy drift against the first recorded value.
+
+    Cosmological energy is not strictly conserved (expansion does work),
+    so the default tolerance is loose — it catches integrator blow-ups
+    (orders of magnitude in one step), not percent-level secular drift.
+    """
+
+    def __init__(self, tol: float) -> None:
+        if not tol > 0:
+            raise ValueError("energy tolerance must be positive")
+        self.tol = float(tol)
+        self.e0: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def update(
+        self,
+        energy: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+        stage: str = "integrate/energy",
+    ) -> Optional[InvariantViolation]:
+        """Record one total-energy sample; returns a violation when the
+        relative drift from the first sample exceeds the tolerance."""
+        energy = float(energy)
+        self.last = energy
+        if not np.isfinite(energy):
+            return InvariantViolation(
+                f"total energy is not finite ({energy!r})",
+                check="energy_drift",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={"energy": energy, "e0": self.e0},
+            )
+        if self.e0 is None:
+            self.e0 = energy
+            return None
+        scale = max(abs(self.e0), 1.0e-300)
+        drift = abs(energy - self.e0) / scale
+        if drift > self.tol:
+            return InvariantViolation(
+                f"relative energy drift {drift:.4g} exceeds tolerance "
+                f"{self.tol:.4g} (E0 = {self.e0:.6g}, E = {energy:.6g})",
+                check="energy_drift",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={"e0": self.e0, "energy": energy, "drift": drift},
+            )
+        return None
+
+
+class LayzerIrvineMonitor:
+    """Cosmological energy check through the Layzer-Irvine equation.
+
+    In comoving coordinates the expansion does work on the system, so
+    ``K + W`` drifts even under a perfect integrator and naive drift
+    monitoring is the wrong invariant.  What a healthy cosmological
+    integration *does* conserve is the Layzer-Irvine residual
+    ``[a (K + W)] + int K da`` (see :mod:`repro.analysis.energy`); this
+    monitor accumulates per-step ``(a, K, W_c)`` samples and fires when
+    the relative violation of that equation exceeds the tolerance.
+    """
+
+    def __init__(self, tol: float) -> None:
+        if not tol > 0:
+            raise ValueError("energy tolerance must be positive")
+        from repro.analysis.energy import LayzerIrvineTracker
+
+        self.tol = float(tol)
+        self.tracker = LayzerIrvineTracker()
+
+    def update(
+        self,
+        a: float,
+        kinetic: float,
+        comoving_potential: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+        stage: str = "integrate/energy",
+    ) -> Optional[InvariantViolation]:
+        """Record one ``(a, K, W_c)`` sample; returns a violation when
+        the Layzer-Irvine equation is broken beyond the tolerance."""
+        if not (np.isfinite(a) and np.isfinite(kinetic)
+                and np.isfinite(comoving_potential)):
+            return InvariantViolation(
+                f"non-finite energy sample (a={a!r}, K={kinetic!r}, "
+                f"W_c={comoving_potential!r})",
+                check="energy_drift",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={"a": a, "kinetic": kinetic,
+                       "comoving_potential": comoving_potential},
+            )
+        self.tracker.record(a, kinetic, comoving_potential)
+        if self.tracker.n_samples < 2:
+            return None
+        violation = self.tracker.relative_violation()
+        if violation > self.tol:
+            return InvariantViolation(
+                f"Layzer-Irvine violation {violation:.4g} exceeds "
+                f"tolerance {self.tol:.4g} over a = "
+                f"{self.tracker.a[0]:.4g} .. {self.tracker.a[-1]:.4g} "
+                f"(residual {self.tracker.residual():.6g})",
+                check="energy_drift",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={
+                    "violation": violation,
+                    "residual": self.tracker.residual(),
+                    "a_first": self.tracker.a[0],
+                    "a_last": self.tracker.a[-1],
+                    "n_samples": self.tracker.n_samples,
+                },
+            )
+        return None
+
+
+class MomentumDriftMonitor:
+    """Drift of the total momentum vector against the first sample.
+
+    The drift is measured relative to the largest momentum *scale* seen
+    so far (the global ``sum(m |p|)``), so a cold start (zero total
+    momentum, growing thermal momenta) does not divide by zero and a hot
+    system is not held to an absolute threshold.
+    """
+
+    def __init__(self, tol: float) -> None:
+        if not tol > 0:
+            raise ValueError("momentum tolerance must be positive")
+        self.tol = float(tol)
+        self.p0: Optional[np.ndarray] = None
+        self.scale = 0.0
+
+    def update(
+        self,
+        momentum: np.ndarray,
+        scale: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+        stage: str = "integrate/momentum",
+    ) -> Optional[InvariantViolation]:
+        """Record ``(total momentum vector, sum(m |p|))`` for one step."""
+        momentum = np.asarray(momentum, dtype=np.float64)
+        if not np.isfinite(momentum).all() or not np.isfinite(scale):
+            return InvariantViolation(
+                f"total momentum is not finite ({momentum.tolist()})",
+                check="momentum_drift",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={"momentum": momentum.tolist()},
+            )
+        self.scale = max(self.scale, float(scale), 1.0e-300)
+        if self.p0 is None:
+            self.p0 = momentum.copy()
+            return None
+        drift = float(np.linalg.norm(momentum - self.p0)) / self.scale
+        if drift > self.tol:
+            return InvariantViolation(
+                f"relative momentum drift {drift:.4g} exceeds tolerance "
+                f"{self.tol:.4g} (P0 = {self.p0.tolist()}, "
+                f"P = {momentum.tolist()})",
+                check="momentum_drift",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={
+                    "p0": self.p0.tolist(),
+                    "momentum": momentum.tolist(),
+                    "drift": drift,
+                },
+            )
+        return None

@@ -1,0 +1,145 @@
+"""The validation policy engine: decides *what happens* when a check fires.
+
+A :class:`Validator` binds a :class:`repro.config.ValidationConfig` to
+one simulation (serial) or one rank of an SPMD job (parallel) and
+routes every detected :class:`~repro.validate.errors.InvariantViolation`
+through the configured policy:
+
+* ``off``   — the check is never evaluated;
+* ``warn``  — emit an :class:`~repro.validate.errors.InvariantWarning`
+  and keep running (cheap enough to leave on: checks are vectorized and
+  evaluated every ``interval`` steps only);
+* ``abort`` — raise the violation;
+* ``dump``  — write a diagnostic checkpoint through the supplied dump
+  hook (the PR-1 checkpoint machinery), attach its path to the
+  violation, then raise — so a violation is always reproducible offline.
+
+Per-check overrides let a production run keep e.g. finite-field sweeps
+at ``abort`` while sampling the expensive energy monitor at ``warn``.
+
+In SPMD jobs checks must be *collective-safe*: a violation detected on
+one rank only (a corrupted point-to-point payload, say) must still
+produce a coordinated dump and a clean job-wide abort instead of a
+deadlock.  :meth:`Validator.handle_collective` therefore allgathers the
+per-rank verdicts so every rank takes the same branch.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Optional
+
+from repro.validate.errors import InvariantViolation, InvariantWarning
+
+__all__ = ["Validator", "POLICIES"]
+
+POLICIES = ("off", "warn", "abort", "dump")
+
+
+class Validator:
+    """Policy router for invariant checks.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.config.ValidationConfig`.
+    rank:
+        World rank of the owning simulation (``None`` for serial).
+    dump_fn:
+        Called under the ``dump`` policy with the violation; must write
+        a diagnostic checkpoint and return its path.  In SPMD jobs the
+        hook is invoked on *every* rank (collectively), so a distributed
+        checkpoint write is safe.
+    """
+
+    def __init__(
+        self,
+        config,
+        rank: Optional[int] = None,
+        dump_fn: Optional[Callable[[InvariantViolation], object]] = None,
+    ) -> None:
+        self.config = config
+        self.rank = rank
+        self.dump_fn = dump_fn
+        self.step = 0  # set by begin_step; lets deep call sites skip plumbing
+
+    # -- gating -----------------------------------------------------------------
+
+    def begin_step(self, step: int) -> None:
+        """Record the current step index (used when ``active`` /
+        ``check_enabled`` are called without one, e.g. deep inside the
+        PM pipeline where the step is not threaded through)."""
+        self.step = int(step)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any check can fire (global policy or an override)."""
+        if self.config.policy != "off":
+            return True
+        return any(p != "off" for p in self.config.overrides.values())
+
+    def active(self, step: Optional[int] = None) -> bool:
+        """Should checks run at this step?  (Sampling interval gate —
+        deterministic in ``step``, so every rank agrees.)"""
+        if step is None:
+            step = self.step
+        return self.enabled and step % self.config.interval == 0
+
+    def policy_for(self, check: str) -> str:
+        """Effective policy for a named check (override or global)."""
+        return self.config.overrides.get(check, self.config.policy)
+
+    def check_enabled(self, check: str, step: Optional[int] = None) -> bool:
+        return self.active(step) and self.policy_for(check) != "off"
+
+    # -- serial handling ---------------------------------------------------------
+
+    def handle(self, violation: Optional[InvariantViolation]) -> None:
+        """Apply the policy to one (possibly absent) violation."""
+        if violation is None:
+            return
+        policy = self.policy_for(violation.check)
+        if policy == "off":
+            return
+        if policy == "warn":
+            warnings.warn(str(violation), InvariantWarning, stacklevel=2)
+            return
+        if policy == "dump" and self.dump_fn is not None:
+            violation.dump_path = self.dump_fn(violation)
+        raise violation
+
+    # -- collective handling ------------------------------------------------------
+
+    def handle_collective(
+        self, comm, violation: Optional[InvariantViolation]
+    ) -> None:
+        """Apply the policy across an SPMD job (collective: every rank
+        calls, with its local verdict or ``None``).
+
+        The per-rank verdicts are allgathered; if any rank detected a
+        violation, every rank takes the same policy branch — warning
+        locally, or (for ``dump``) writing the distributed diagnostic
+        checkpoint together before all ranks raise.  The lowest
+        detecting rank's violation is the one re-raised everywhere, so
+        the job-level error names the true origin.
+        """
+        reports = comm.allgather(
+            violation.summary() if violation is not None else None
+        )
+        origin = next((r for r in reports if r is not None), None)
+        if origin is None:
+            return
+        policy = self.policy_for(str(origin["check"]))
+        if policy == "off":
+            return
+        if policy == "warn":
+            if violation is not None:
+                warnings.warn(str(violation), InvariantWarning, stacklevel=2)
+            return
+        # abort / dump: reconstruct the origin violation on silent ranks
+        mine = violation if violation is not None else (
+            InvariantViolation.from_summary(origin)
+        )
+        if policy == "dump" and self.dump_fn is not None:
+            mine.dump_path = self.dump_fn(mine)
+        raise mine

@@ -1,0 +1,135 @@
+"""Tests of the always-on particle-exchange conservation guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decomp.exchange import exchange_particles
+from repro.decomp.multisection import MultisectionDecomposition
+from repro.mpi.runtime import run_spmd
+from repro.validate import InvariantViolation
+
+pytestmark = [pytest.mark.timeout(60)]
+
+
+def _local_arrays(rank, n=24, seed=11):
+    rng = np.random.default_rng(seed + rank)
+    return {
+        "pos": rng.random((n, 3)),
+        "mom": 0.01 * rng.standard_normal((n, 3)),
+        "mass": np.full(n, 1.0, dtype=np.float64),
+    }
+
+
+class _TamperComm:
+    """Comm wrapper that lets a test damage alltoall results in flight."""
+
+    def __init__(self, comm, mutate):
+        self._comm = comm
+        self._mutate = mutate
+
+    def __getattr__(self, name):
+        return getattr(self._comm, name)
+
+    def alltoall(self, sends):
+        received = self._comm.alltoall(sends)
+        return self._mutate(received, self._comm.rank)
+
+
+def _run_exchange(n_ranks, mutate=None, step=None):
+    def spmd(comm):
+        decomp = MultisectionDecomposition.uniform((n_ranks, 1, 1))
+        arrays = _local_arrays(comm.rank)
+        c = comm if mutate is None else _TamperComm(comm, mutate)
+        out = exchange_particles(c, decomp, arrays, step=step)
+        return {k: len(v) for k, v in out.items()}, len(arrays["pos"])
+
+    return run_spmd(n_ranks, spmd)
+
+
+class TestCleanExchange:
+    def test_conserves_global_count(self):
+        results = _run_exchange(2)
+        n_after = sum(counts["pos"] for counts, _ in results)
+        n_before = sum(n for _, n in results)
+        assert n_after == n_before
+
+    def test_all_arrays_share_length(self):
+        for counts, _ in _run_exchange(2):
+            assert counts["pos"] == counts["mom"] == counts["mass"]
+
+
+class TestTamperedExchange:
+    def _rank_violation(self, excinfo, rank=1):
+        err = excinfo.value.rank_errors[rank]
+        assert isinstance(err, InvariantViolation)
+        return err
+
+    def test_lost_rows_name_sender_and_receiver(self):
+        def drop_rows(received, rank):
+            if rank == 1:
+                msg = dict(received[0])
+                msg = {k: np.asarray(v)[:-1] for k, v in msg.items()}
+                received = list(received)
+                received[0] = msg
+            return received
+
+        with pytest.raises(RuntimeError) as ei:
+            _run_exchange(2, mutate=drop_rows, step=7)
+        v = self._rank_violation(ei)
+        assert v.check == "particle_count"
+        assert v.stage == "decomp/exchange"
+        assert v.step == 7
+        assert "rank 0" in str(v) and "rank 1" in str(v)
+        assert v.stats["src"] == 0 and v.stats["dst"] == 1
+
+    def test_dtype_disagreement_detected(self):
+        def downcast(received, rank):
+            if rank == 1:
+                msg = dict(received[0])
+                msg["mass"] = np.asarray(msg["mass"], dtype=np.float32)
+                received = list(received)
+                received[0] = msg
+            return received
+
+        with pytest.raises(RuntimeError) as ei:
+            _run_exchange(2, mutate=downcast)
+        v = self._rank_violation(ei)
+        assert v.check == "exchange_payload"
+        assert "float32" in str(v) and "rank 0" in str(v)
+
+    def test_missing_key_detected(self):
+        def strip_key(received, rank):
+            if rank == 1:
+                msg = {k: v for k, v in received[0].items() if k != "mom"}
+                received = list(received)
+                received[0] = msg
+            return received
+
+        with pytest.raises(RuntimeError) as ei:
+            _run_exchange(2, mutate=strip_key)
+        v = self._rank_violation(ei)
+        assert v.check == "exchange_payload"
+        assert "mom" in str(v)
+
+
+class TestInputValidation:
+    def test_requires_pos(self):
+        def spmd(comm):
+            decomp = MultisectionDecomposition.uniform((1, 1, 1))
+            with pytest.raises(ValueError, match="pos"):
+                exchange_particles(comm, decomp, {"mass": np.ones(3)})
+            return True
+
+        assert run_spmd(1, spmd) == [True]
+
+    def test_rejects_length_mismatch(self):
+        def spmd(comm):
+            decomp = MultisectionDecomposition.uniform((1, 1, 1))
+            arrays = {"pos": np.random.rand(4, 3), "mass": np.ones(3)}
+            with pytest.raises(ValueError, match="mass"):
+                exchange_particles(comm, decomp, arrays)
+            return True
+
+        assert run_spmd(1, spmd) == [True]

@@ -158,6 +158,87 @@ class TestDecompositionProperties:
         assert d.domain_volumes().sum() == pytest.approx(1.0, rel=1e-9)
 
 
+class TestValidationProperties:
+    """Injected corruptions fire exactly the right checker — and clean
+    inputs never fire any."""
+
+    @given(
+        st.integers(1, 200),
+        st.integers(0, 10**6),
+        st.sampled_from([np.nan, np.inf, -np.inf]),
+        st.integers(0, 20),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_nan_injection_fires_finite_check(self, n, seed, bad, step, rank):
+        from repro.validate import check_finite
+
+        arr = _positions(n, seed)
+        assert check_finite("pos", arr, stage="decomp/exchange") is None
+        idx = seed % n
+        arr[idx, seed % 3] = bad
+        v = check_finite(
+            "pos", arr, stage="decomp/exchange", step=step, rank=rank
+        )
+        assert v is not None
+        assert v.check == "finite_fields"
+        assert v.stage == "decomp/exchange" and v.step == step and v.rank == rank
+        assert v.stats["first_bad_index"] == idx * 3 + seed % 3
+
+    @given(st.integers(0, 10**6), st.integers(-5, 5), st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_particle_loss_fires_count_check(self, n, delta, step):
+        from repro.validate import check_particle_count
+
+        v = check_particle_count(
+            n, n + delta, stage="decomp/exchange", step=step, rank=0
+        )
+        if delta == 0:
+            assert v is None
+        else:
+            assert v is not None and v.check == "particle_count"
+            assert v.step == step and v.rank == 0
+
+    @given(
+        st.floats(0.1, 100.0),
+        st.floats(-0.5, 0.5),
+        st.floats(1e-6, 1e-2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mass_skew_fires_conservation_check(self, total, skew, tol):
+        from repro.validate import check_mesh_mass
+
+        v = check_mesh_mass(
+            total * (1.0 + skew), total, stage="mesh/assignment", rel_tol=tol
+        )
+        if abs(skew) > tol:
+            assert v is not None and v.check == "mass_conservation"
+            assert v.stage == "mesh/assignment"
+        elif abs(skew) < tol * 0.5:
+            assert v is None
+
+    @given(st.integers(2, 64), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_clean_octree_never_fires(self, n, seed):
+        from repro.validate import check_octree
+
+        pos = _positions(n, seed)
+        mass = np.random.default_rng(seed + 1).random(n) + 0.1
+        assert check_octree(Octree(pos, mass)) is None
+
+    @given(st.integers(4, 64), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_corrupted_octree_mass_always_caught(self, n, seed):
+        from repro.validate import check_octree
+
+        pos = _positions(n, seed)
+        tree = Octree(pos, np.ones(n))
+        tree.node_mass[0] += 0.5 * n  # skew far beyond tolerance
+        v = check_octree(tree, step=3, rank=1)
+        assert v is not None and v.check == "octree_moments"
+        assert v.step == 3 and v.rank == 1
+
+
 class TestCommProperties:
     @given(st.integers(1, 6), st.integers(0, 1000))
     @settings(max_examples=10, deadline=None)

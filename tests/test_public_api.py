@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.perf",
     "repro.utils",
+    "repro.validate",
 ]
 
 
