@@ -61,14 +61,41 @@ def gp3m_cutoff(xi: np.ndarray) -> np.ndarray:
     and exactly 0 for xi > 2.
     """
     xi = np.asarray(xi, dtype=np.float64)
-    zeta = np.maximum(0.0, xi - 1.0)
-    # Horner evaluation of the paper's nested form (FMA-shaped).
-    g = 1.0 + xi**3 * (
-        -8.0 / 5.0
-        + xi**2 * (8.0 / 5.0 + xi * (-0.5 + xi * (-12.0 / 35.0 + xi * (3.0 / 20.0))))
-    )
-    g = g - zeta**6 * (3.0 / 35.0 + xi * (18.0 / 35.0 + xi * (1.0 / 5.0)))
-    return np.where(xi >= 2.0, 0.0, g)
+    scalar = xi.ndim == 0
+    if scalar:
+        xi = xi.reshape(1)
+    # Horner evaluation of the paper's nested form (FMA-shaped), run
+    # in-place on a handful of scratch arrays: this sits on the force
+    # kernel's hot path and is otherwise allocation-bound.  The powers
+    # are expanded into explicit multiply chains (xi2 = xi*xi,
+    # xi3 = xi*xi2, zeta6 = (z2*z2)*z2) so the whole function is a
+    # fixed sequence of individually rounded IEEE operations that the
+    # native plan-sweep kernel reproduces bitwise.
+    g = xi * (3.0 / 20.0)
+    g += -12.0 / 35.0
+    g *= xi
+    g += -0.5
+    g *= xi
+    g += 8.0 / 5.0
+    xi2 = xi * xi
+    g *= xi2
+    g += -8.0 / 5.0
+    xi2 *= xi  # xi3
+    g *= xi2
+    g += 1.0
+    q = xi * (1.0 / 5.0)
+    q += 18.0 / 35.0
+    q *= xi
+    q += 3.0 / 35.0
+    zeta = xi - 1.0
+    np.maximum(zeta, 0.0, out=zeta)
+    zeta *= zeta  # z2
+    z6 = zeta * zeta
+    z6 *= zeta
+    q *= z6
+    g -= q
+    np.copyto(g, 0.0, where=xi >= 2.0)
+    return g.reshape(()) if scalar else g
 
 
 def _build_potential_pieces():
@@ -193,6 +220,10 @@ class S2ForceSplit:
     """
 
     name = "s2"
+    #: ``short_range_factor`` returns exactly 0.0 for any r past
+    #: ``cutoff_radius`` — consumers may skip those pairs entirely
+    #: without changing a bit of the result.
+    exact_cutoff = True
 
     def __init__(self, rcut: float) -> None:
         if rcut <= 0:
@@ -228,6 +259,8 @@ class GaussianForceSplit:
     """
 
     name = "gaussian"
+    #: the factor is clamped to exactly 0.0 beyond ``cutoff_radius``
+    exact_cutoff = True
 
     def __init__(self, rs: float, tail_eps: float = 1.0e-5) -> None:
         if rs <= 0:

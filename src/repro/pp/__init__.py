@@ -14,6 +14,7 @@ from repro.pp.kernel import (
     InteractionCounter,
     pp_forces,
 )
+from repro.pp.plan import InteractionPlan, PlanExecutor
 from repro.pp.celllist import CellList, p3m_short_range_forces
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "rsqrt_relative_error",
     "PPKernel",
     "InteractionCounter",
+    "InteractionPlan",
+    "PlanExecutor",
     "pp_forces",
     "CellList",
     "p3m_short_range_forces",

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.pp.kernel import InteractionCounter, PPKernel
+from repro.pp.plan import InteractionPlan, PlanExecutor
 
 __all__ = ["PhantomGrape"]
 
@@ -45,6 +46,11 @@ class PhantomGrape:
     jmemsize:
         Capacity of the j-particle (source) memory, mirroring the
         hardware's finite board memory; exceeding it raises.
+    precision:
+        ``"double"`` (default) runs the exact float64 kernel;
+        ``"single"`` runs the pair arithmetic in float32 through the
+        plan executor, matching the real Phantom-GRAPE's
+        single-precision pipelines.
     """
 
     def __init__(
@@ -54,7 +60,11 @@ class PhantomGrape:
         G: float = 1.0,
         use_fast_rsqrt: bool = False,
         jmemsize: int = 2**20,
+        precision: str = "double",
     ) -> None:
+        if precision not in ("double", "single"):
+            raise ValueError("precision must be 'double' or 'single'")
+        self.precision = precision
         self.counter = InteractionCounter()
         self._kernel = PPKernel(
             split=split,
@@ -62,6 +72,9 @@ class PhantomGrape:
             G=G,
             use_fast_rsqrt=use_fast_rsqrt,
             counter=self.counter,
+        )
+        self._executor = (
+            PlanExecutor(dtype=np.float32) if precision == "single" else None
         )
         self.jmemsize = int(jmemsize)
         self._xj: Optional[np.ndarray] = None
@@ -109,8 +122,36 @@ class PhantomGrape:
         """Fire the pipeline (GRAPE: g5_run)."""
         if self._xj is None or self._xi is None:
             raise RuntimeError("set_n/set_xmj and set_ip must precede run")
-        self._acc = self._kernel.accumulate(self._xi, self._xj, self._mj)
+        if self.precision == "single":
+            self._acc = self._run_single()
+        else:
+            self._acc = self._kernel.accumulate(self._xi, self._xj, self._mj)
         self._ran = True
+
+    def _run_single(self) -> np.ndarray:
+        """Float32 pipeline: one-group interaction plan over the loaded
+        boards, executed by the shared batched engine."""
+        ni = len(self._xi)
+        pos = np.vstack([self._xi, self._xj])
+        mass = np.concatenate([np.zeros(ni), self._mj])
+        plan = InteractionPlan(
+            group_nodes=np.zeros(1, dtype=np.int64),
+            group_lo=np.zeros(1, dtype=np.int64),
+            group_hi=np.full(1, ni, dtype=np.int64),
+            part_ptr=np.array([0, self._nj], dtype=np.int64),
+            part_idx=np.arange(ni, ni + self._nj, dtype=np.int64),
+            node_ptr=np.zeros(2, dtype=np.int64),
+            node_idx=np.empty(0, dtype=np.int64),
+        )
+        out = self._executor.execute(
+            plan,
+            self._kernel,
+            pos,
+            mass,
+            np.empty((0, 3)),
+            np.empty(0),
+        )
+        return out[:ni]
 
     def get_force(self) -> np.ndarray:
         """Read back accelerations (GRAPE: g5_get_force)."""

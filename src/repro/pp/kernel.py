@@ -12,12 +12,13 @@ operations per interaction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.constants import FLOPS_PER_INTERACTION
 from repro.pp.rsqrt import fast_rsqrt
+from repro.utils.periodic import minimum_image
 
 __all__ = ["InteractionCounter", "PPKernel", "pp_forces"]
 
@@ -26,21 +27,33 @@ __all__ = ["InteractionCounter", "PPKernel", "pp_forces"]
 class InteractionCounter:
     """Counts particle-particle interactions and derived flops.
 
-    ``list_lengths`` records the interaction-list length per group call,
-    from which the paper's ``<Nj>`` statistic is computed; ``group_sizes``
-    records targets per call for ``<Ni>``.
+    The paper's ``<Ni>``/``<Nj>`` statistics are per-call means of the
+    target count and interaction-list length.  Only streaming sums are
+    kept — integer sums are exact (well below 2**53), so the means are
+    identical to averaging a per-call log, without the unbounded memory
+    growth such a log shows over a long run.
     """
 
     interactions: int = 0
     calls: int = 0
-    group_sizes: list = field(default_factory=list)
-    list_lengths: list = field(default_factory=list)
+    sum_group_size: int = 0
+    sum_list_length: int = 0
 
     def record(self, n_targets: int, n_sources: int) -> None:
         self.interactions += n_targets * n_sources
         self.calls += 1
-        self.group_sizes.append(n_targets)
-        self.list_lengths.append(n_sources)
+        self.sum_group_size += n_targets
+        self.sum_list_length += n_sources
+
+    def record_many(self, n_targets: np.ndarray, n_sources: np.ndarray) -> None:
+        """Record one call per row of ``n_targets``/``n_sources`` at once
+        (the plan executor's whole-evaluation form)."""
+        n_targets = np.asarray(n_targets, dtype=np.int64)
+        n_sources = np.asarray(n_sources, dtype=np.int64)
+        self.interactions += int(np.dot(n_targets, n_sources))
+        self.calls += len(n_targets)
+        self.sum_group_size += int(n_targets.sum())
+        self.sum_list_length += int(n_sources.sum())
 
     @property
     def flops(self) -> int:
@@ -50,24 +63,24 @@ class InteractionCounter:
     @property
     def mean_group_size(self) -> float:
         """The paper's <Ni>: average number of particles per group."""
-        return float(np.mean(self.group_sizes)) if self.group_sizes else 0.0
+        return self.sum_group_size / self.calls if self.calls else 0.0
 
     @property
     def mean_list_length(self) -> float:
         """The paper's <Nj>: average interaction-list length."""
-        return float(np.mean(self.list_lengths)) if self.list_lengths else 0.0
+        return self.sum_list_length / self.calls if self.calls else 0.0
 
     def reset(self) -> None:
         self.interactions = 0
         self.calls = 0
-        self.group_sizes.clear()
-        self.list_lengths.clear()
+        self.sum_group_size = 0
+        self.sum_list_length = 0
 
     def merge(self, other: "InteractionCounter") -> None:
         self.interactions += other.interactions
         self.calls += other.calls
-        self.group_sizes.extend(other.group_sizes)
-        self.list_lengths.extend(other.list_lengths)
+        self.sum_group_size += other.sum_group_size
+        self.sum_list_length += other.sum_list_length
 
 
 class PPKernel:
@@ -164,7 +177,7 @@ class PPKernel:
 
         dx = sources[None, :, :] - targets[:, None, :]  # (T, S, 3)
         if self.box is not None:
-            dx -= self.box * np.round(dx / self.box)
+            minimum_image(dx, self.box, out=dx)
         r2 = np.einsum("tsk,tsk->ts", dx, dx)
         r2s = r2 + self.eps * self.eps
         if self.eps == 0.0:
@@ -196,7 +209,7 @@ class PPKernel:
         masses = np.asarray(masses, dtype=np.float64)
         dx = sources[None, :, :] - targets[:, None, :]
         if self.box is not None:
-            dx -= self.box * np.round(dx / self.box)
+            minimum_image(dx, self.box, out=dx)
         r2 = np.einsum("tsk,tsk->ts", dx, dx)
         r2s = r2 + self.eps * self.eps
         zero = r2 == 0.0

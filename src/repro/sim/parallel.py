@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.forces.cutoff import get_split
 from repro.integrate.stepper import StaticStepper
 from repro.meshcomm.parallel_pm import ParallelPM
 from repro.mpi.runtime import MPIRuntime
+from repro.pp.kernel import InteractionCounter
 from repro.sim import checkpoint as _ckpt
 from repro.sim.checkpoint import CheckpointError
 from repro.sim.ghosts import exchange_ghosts
@@ -58,19 +59,27 @@ __all__ = [
 
 @dataclass
 class StepStatistics:
-    """Per-rank accumulated statistics over the run."""
+    """Per-rank accumulated statistics over the run.
 
-    interactions: int = 0
-    group_sizes: List[float] = field(default_factory=list)
-    list_lengths: List[float] = field(default_factory=list)
+    Streams the per-evaluation :class:`InteractionCounter` sums instead
+    of keeping per-step lists, so memory stays constant over a long run;
+    the resulting ``<Ni>``/``<Nj>`` are the per-kernel-call means over
+    all evaluations (each call weighted equally).
+    """
+
+    counter: InteractionCounter = field(default_factory=InteractionCounter)
+
+    @property
+    def interactions(self) -> int:
+        return self.counter.interactions
 
     @property
     def mean_group_size(self) -> float:
-        return float(np.mean(self.group_sizes)) if self.group_sizes else 0.0
+        return self.counter.mean_group_size
 
     @property
     def mean_list_length(self) -> float:
-        return float(np.mean(self.list_lengths)) if self.list_lengths else 0.0
+        return self.counter.mean_list_length
 
 
 class ParallelSimulation:
@@ -129,6 +138,8 @@ class ParallelSimulation:
             G=1.0,
             periodic=True,
             use_quadrupole=tp.tree.use_quadrupole,
+            use_plan=tp.tree.use_plan,
+            plan_float32=tp.tree.plan_float32,
         )
         if tp.pm.fft_backend == "pencil":
             from repro.meshcomm.parallel_pencil_pm import ParallelPencilPM
@@ -298,10 +309,7 @@ class ParallelSimulation:
             acc, stats = self.tree.forces(
                 all_pos, all_mass, tree=tree, targets_mask=mask, ledger=self.timing
             )
-            self.stats.interactions += stats.interactions
-            if stats.counter.group_sizes:
-                self.stats.group_sizes.append(stats.mean_group_size)
-                self.stats.list_lengths.append(stats.mean_list_length)
+            self.stats.counter.merge(stats.counter)
             self._pp_cost = max(_time.perf_counter() - t_start, 1.0e-9)
             acc_local = acc[: len(self.pos)]
         # collective verdicts even when this rank is empty — every rank

@@ -13,28 +13,20 @@ of the 2009-2010 Gordon Bell codes).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.pp.kernel import InteractionCounter, PPKernel
+from repro.pp.plan import InteractionPlan, PlanExecutor, multi_arange
 from repro.tree.octree import Octree
 from repro.utils.periodic import minimum_image
 
 __all__ = ["TraversalStats", "TreeSolver", "tree_forces"]
 
-
-def _multi_arange(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
-    """Concatenation of ``arange(lo[i], hi[i])`` without a Python loop."""
-    lens = hi - lo
-    total = int(lens.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
-    return np.arange(total, dtype=np.int64) - np.repeat(starts, lens) + np.repeat(
-        lo, lens
-    )
+_multi_arange = multi_arange
 
 
 @dataclass
@@ -91,6 +83,25 @@ class TreeSolver:
         Add the tabulated Ewald image-lattice correction to every pair
         interaction — the exact-periodic pure-tree configuration
         (GADGET-style).  Requires ``periodic=True`` and no force split.
+    use_plan:
+        Evaluate forces through the flat interaction-plan engine
+        (default): one traversal pass emits a CSR plan for all groups,
+        then a batched executor sweeps it.  ``False`` selects the legacy
+        interleaved per-group path (kept for A/B comparison); in float64
+        mode both produce bitwise-identical forces.
+    plan_float32:
+        Run the plan executor's pair arithmetic in single precision,
+        mirroring the paper's float32 Phantom-GRAPE kernel (plan mode
+        only; forces are then approximate at the 1e-7 level).
+    plan_pair_budget:
+        Target pair count per executor batch.  The default keeps every
+        scratch board cache-resident, which dominates throughput on the
+        memory-bound sweep.
+    plan_native:
+        Allow the plan executor to sweep through the compiled
+        plan-sweep kernel when one is available (bitwise identical to
+        the numpy pipeline; see :mod:`repro.pp.native`).  ``False``
+        pins the pure-numpy executor, e.g. for A/B timing.
     """
 
     def __init__(
@@ -106,6 +117,10 @@ class TreeSolver:
         use_quadrupole: bool = False,
         use_fast_rsqrt: bool = False,
         ewald_correction: bool = False,
+        use_plan: bool = True,
+        plan_float32: bool = False,
+        plan_pair_budget: int = 1 << 17,
+        plan_native: bool = True,
     ) -> None:
         if theta <= 0:
             raise ValueError("theta must be positive")
@@ -119,6 +134,13 @@ class TreeSolver:
         self.periodic = bool(periodic)
         self.use_quadrupole = bool(use_quadrupole)
         self.use_fast_rsqrt = bool(use_fast_rsqrt)
+        self.use_plan = bool(use_plan)
+        self.plan_float32 = bool(plan_float32)
+        self._executor = PlanExecutor(
+            dtype=np.float32 if plan_float32 else np.float64,
+            pair_budget=plan_pair_budget,
+            use_native=plan_native,
+        )
         if split is not None and periodic and split.cutoff_radius > box / 2:
             raise ValueError("cutoff radius must be < box/2 for periodic runs")
         self._ewald_table = None
@@ -193,18 +215,252 @@ class TreeSolver:
                 raise ValueError("targets_mask length mismatch")
             mask_sorted = targets_mask[tree.perm]
         acc_sorted = np.zeros_like(tree.pos_sorted)
-        for g in tree.group_nodes(self.group_size):
-            if mask_sorted is not None:
-                glo, ghi = tree.node_lo[g], tree.node_hi[g]
-                if not mask_sorted[glo:ghi].any():
-                    continue
-            self._group_force(tree, g, kernel, acc_sorted, stats, ledger)
-            stats.n_groups += 1
+        if self.use_plan:
+            if ledger is not None:
+                t0 = time.perf_counter()
+            plan = self.build_plan(tree, mask_sorted=mask_sorted, stats=stats)
+            if ledger is not None:
+                t1 = time.perf_counter()
+                ledger.add("PP/tree traversal", t1 - t0)
+            self._executor.execute(
+                plan,
+                kernel,
+                tree.pos_sorted,
+                tree.mass_sorted,
+                tree.node_com,
+                tree.node_mass,
+                out=acc_sorted,
+            )
+            if self.use_quadrupole:
+                self._plan_quadrupole(tree, plan, acc_sorted)
+            if ledger is not None:
+                ledger.add("PP/force calculation", time.perf_counter() - t1)
+        else:
+            for g in tree.group_nodes(self.group_size):
+                if mask_sorted is not None:
+                    glo, ghi = tree.node_lo[g], tree.node_hi[g]
+                    if not mask_sorted[glo:ghi].any():
+                        continue
+                self._group_force(tree, g, kernel, acc_sorted, stats, ledger)
+                stats.n_groups += 1
         if mask_sorted is not None:
             acc_sorted[~mask_sorted] = 0.0
         acc = np.empty_like(acc_sorted)
         acc[tree.perm] = acc_sorted
         return acc, stats
+
+    # -- the interaction plan ----------------------------------------------------
+
+    def build_plan(
+        self,
+        tree: Octree,
+        mask_sorted: Optional[np.ndarray] = None,
+        stats: Optional[TraversalStats] = None,
+    ) -> InteractionPlan:
+        """Traverse every group once and emit the flat interaction plan.
+
+        Groups containing no masked target are omitted entirely (the
+        ghost-as-source-only case of the distributed driver).  For
+        periodic solvers the plan carries per-entry image shifts and the
+        per-group ``no_wrap`` certificate the executor uses to drop the
+        per-pair minimum-image round where it is provably a no-op.
+        """
+        if stats is None:
+            stats = TraversalStats()
+        rcut = self.split.cutoff_radius if self.split is not None else None
+        groups = np.array(tree.group_nodes(self.group_size), dtype=np.int64)
+        groups = groups[np.argsort(tree.node_lo[groups], kind="stable")]
+        if mask_sorted is not None:
+            cs = np.concatenate([[0], np.cumsum(mask_sorted)])
+            has = cs[tree.node_hi[groups]] - cs[tree.node_lo[groups]] > 0
+            groups = groups[has]
+
+        (part_ptr, part_idx, node_ptr, node_idx,
+         part_shift, node_shift) = self._traverse_all(tree, groups, rcut, stats)
+
+        tcnt = tree.node_hi[groups] - tree.node_lo[groups]
+        stats.n_groups += len(groups)
+        stats.pp_from_particles += int(np.dot(np.diff(part_ptr), tcnt))
+        stats.pp_from_nodes += int(np.dot(np.diff(node_ptr), tcnt))
+
+        plan = InteractionPlan(
+            group_nodes=groups,
+            group_lo=tree.node_lo[groups],
+            group_hi=tree.node_hi[groups],
+            part_ptr=part_ptr,
+            part_idx=part_idx,
+            node_ptr=node_ptr,
+            node_idx=node_idx,
+            part_shift=part_shift,
+            node_shift=node_shift,
+        )
+        if self.periodic and plan.n_groups:
+            plan.no_wrap = self._certify_no_wrap(tree, plan)
+        return plan
+
+    def _traverse_all(self, tree, groups, rcut, stats):
+        """One batched breadth-first sweep over ``(group, node)`` pairs
+        for every group at once.
+
+        Each pair's cull / accept / dump-leaf / open decision is the
+        same elementwise arithmetic as :meth:`_traverse`, and the final
+        stable regrouping by group index restores each group's exact
+        BFS emission order, so the resulting plan is bit-identical to
+        running the per-group traversal in a Python loop — at a small
+        fraction of the interpreter overhead.
+        """
+        Gn = len(groups)
+        want_shift = self.periodic
+        empty_idx = np.empty(0, dtype=np.int64)
+        empty_shift = np.empty((0, 3)) if want_shift else None
+        if Gn == 0:
+            zp = np.zeros(1, dtype=np.int64)
+            return zp, empty_idx, zp.copy(), empty_idx.copy(), empty_shift, empty_shift
+
+        sqrt3 = np.sqrt(3.0)
+        gcenters = tree.node_center[groups]
+        gradii = tree.node_half[groups] * sqrt3
+        gidx = np.arange(Gn, dtype=np.int64)
+        nodes = np.zeros(Gn, dtype=np.int64)  # every group starts at the root
+
+        acc_g, acc_n, acc_s = [], [], []
+        leaf_g, leaf_lo, leaf_hi, leaf_s = [], [], [], []
+        while nodes.size:
+            stats.nodes_visited += nodes.size
+            dx = tree.node_com[nodes] - gcenters[gidx]
+            shift = None
+            if self.periodic:
+                if want_shift:
+                    shift = np.round(dx / self.box)
+                    shift *= self.box
+                    dx -= shift
+                else:
+                    minimum_image(dx, self.box, out=dx)
+            dist = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+            half = tree.node_half[nodes]
+            gr = gradii[gidx]
+            keep = np.ones(nodes.size, dtype=bool)
+            if rcut is not None:
+                keep = dist - gr - half * sqrt3 <= rcut
+            gap = dist - gr
+            accept = keep & (gap > 0) & (2.0 * half < self.theta * gap)
+            rest = keep & ~accept
+            is_leaf = rest & tree.node_is_leaf[nodes]
+            to_open = rest & ~tree.node_is_leaf[nodes]
+
+            if accept.any():
+                acc_g.append(gidx[accept])
+                acc_n.append(nodes[accept])
+                if want_shift:
+                    acc_s.append(shift[accept])
+            if is_leaf.any():
+                nl = nodes[is_leaf]
+                leaf_g.append(gidx[is_leaf])
+                leaf_lo.append(tree.node_lo[nl])
+                leaf_hi.append(tree.node_hi[nl])
+                if want_shift:
+                    leaf_s.append(shift[is_leaf])
+            if to_open.any():
+                kids = tree.node_children[nodes[to_open]]
+                gk = np.repeat(gidx[to_open], kids.shape[1])
+                kk = kids.ravel()
+                sel = kk >= 0
+                nodes = kk[sel]
+                gidx = gk[sel]
+            else:
+                nodes = empty_idx
+                gidx = empty_idx
+
+        if acc_n:
+            ag = np.concatenate(acc_g)
+            an = np.concatenate(acc_n)
+            ncounts = np.bincount(ag, minlength=Gn)
+            order = np.argsort(ag, kind="stable")
+            node_idx = an[order]
+            node_shift = np.concatenate(acc_s)[order] if want_shift else None
+        else:
+            node_idx = empty_idx
+            ncounts = np.zeros(Gn, dtype=np.int64)
+            node_shift = empty_shift
+        if leaf_lo:
+            lg = np.concatenate(leaf_g)
+            llo = np.concatenate(leaf_lo)
+            lhi = np.concatenate(leaf_hi)
+            # integer leaf lengths are exact as float weights (< 2**53)
+            pcounts = np.bincount(lg, weights=lhi - llo, minlength=Gn)
+            pcounts = pcounts.astype(np.int64)
+            order = np.argsort(lg, kind="stable")
+            llo = llo[order]
+            lhi = lhi[order]
+            part_idx = _multi_arange(llo, lhi)
+            if want_shift:
+                # a dumped leaf's particles all use the leaf's image
+                ls = np.concatenate(leaf_s)[order]
+                part_shift = np.repeat(ls, lhi - llo, axis=0)
+            else:
+                part_shift = None
+        else:
+            part_idx = empty_idx
+            pcounts = np.zeros(Gn, dtype=np.int64)
+            part_shift = empty_shift
+
+        part_ptr = np.concatenate([[0], np.cumsum(pcounts)]).astype(np.int64)
+        node_ptr = np.concatenate([[0], np.cumsum(ncounts)]).astype(np.int64)
+        return part_ptr, part_idx, node_ptr, node_idx, part_shift, node_shift
+
+    def _certify_no_wrap(self, tree: Octree, plan: InteractionPlan) -> np.ndarray:
+        """Per-group proof that every pair displacement fits in box/2.
+
+        Compares each group's exact target bounding box against the
+        bounding box of its (unshifted) list entries; when the extreme
+        displacement stays within ``box/2`` minus a safety margin, the
+        per-pair ``np.round`` returns exactly zero and can be skipped
+        without changing a single bit.
+        """
+        G = plan.n_groups
+        tcnt = plan.target_counts
+        tpos = tree.pos_sorted[multi_arange(plan.group_lo, plan.group_hi)]
+        tptr = np.concatenate([[0], np.cumsum(tcnt)])
+        tmin = np.minimum.reduceat(tpos, tptr[:-1], axis=0)
+        tmax = np.maximum.reduceat(tpos, tptr[:-1], axis=0)
+
+        smin = np.full((G, 3), np.inf)
+        smax = np.full((G, 3), -np.inf)
+        for vals, ptr in (
+            (tree.pos_sorted[plan.part_idx], plan.part_ptr),
+            (tree.node_com[plan.node_idx], plan.node_ptr),
+        ):
+            if not len(vals):
+                continue
+            counts = np.diff(ptr)
+            nz = np.flatnonzero(counts > 0)
+            if not len(nz):
+                continue
+            starts = ptr[:-1][nz]
+            smin[nz] = np.minimum(smin[nz], np.minimum.reduceat(vals, starts, axis=0))
+            smax[nz] = np.maximum(smax[nz], np.maximum.reduceat(vals, starts, axis=0))
+        # margin absorbs the few-ulp rounding of the bound arithmetic
+        half_box_safe = 0.5 * self.box - 1e-9 * self.box
+        ok = (smax - tmin <= half_box_safe) & (tmax - smin <= half_box_safe)
+        empty = (np.diff(plan.part_ptr) + np.diff(plan.node_ptr)) == 0
+        return np.all(ok, axis=1) | empty
+
+    def _plan_quadrupole(
+        self, tree: Octree, plan: InteractionPlan, acc_sorted: np.ndarray
+    ) -> None:
+        """Per-group quadrupole corrections for the plan path (optional
+        mode; identical arithmetic to the legacy loop)."""
+        for i in range(plan.n_groups):
+            nlo, nhi = plan.node_ptr[i], plan.node_ptr[i + 1]
+            if nhi == nlo:
+                continue
+            glo, ghi = plan.group_lo[i], plan.group_hi[i]
+            nidx = plan.node_idx[nlo:nhi]
+            acc_sorted[glo:ghi] += self._quadrupole_acc(
+                tree.pos_sorted[glo:ghi],
+                tree.node_com[nidx],
+                tree.node_quad[nidx],
+            )
 
     # -- internals --------------------------------------------------------------
 
@@ -217,18 +473,16 @@ class TreeSolver:
         stats: TraversalStats,
         ledger=None,
     ) -> None:
-        import time as _time
-
         glo, ghi = tree.node_lo[g], tree.node_hi[g]
         gc = tree.node_center[g]
         gr = tree.node_half[g] * np.sqrt(3.0)
         rcut = self.split.cutoff_radius if self.split is not None else None
 
-        t0 = _time.perf_counter()
-        part_idx, node_idx = self._traverse(tree, gc, gr, rcut, stats)
-        t1 = _time.perf_counter()
         if ledger is not None:
-            ledger.add("PP/tree traversal", t1 - t0)
+            t0 = time.perf_counter()
+        part_idx, node_idx, _, _ = self._traverse(tree, gc, gr, rcut, stats)
+        if ledger is not None:
+            ledger.add("PP/tree traversal", time.perf_counter() - t0)
 
         targets = tree.pos_sorted[glo:ghi]
         src_pos = tree.pos_sorted[part_idx]
@@ -242,28 +496,43 @@ class TreeSolver:
         all_mass = np.concatenate([src_mass, node_mass])
         # periodicity is handled per pair inside the kernel (box set on
         # the kernel when self.periodic)
-        t2 = _time.perf_counter()
+        if ledger is not None:
+            t2 = time.perf_counter()
         acc_sorted[glo:ghi] += kernel.accumulate(targets, all_pos, all_mass)
         if self.use_quadrupole and len(node_idx):
             acc_sorted[glo:ghi] += self._quadrupole_acc(
                 targets, node_pos, tree.node_quad[node_idx]
             )
         if ledger is not None:
-            ledger.add("PP/force calculation", _time.perf_counter() - t2)
+            ledger.add("PP/force calculation", time.perf_counter() - t2)
 
-    def _traverse(self, tree, gc, gr, rcut, stats):
+    def _traverse(self, tree, gc, gr, rcut, stats, want_shift=False):
         """Breadth-first vectorized traversal: the whole frontier is
-        classified (cull / accept / dump leaf / open) with array ops."""
+        classified (cull / accept / dump leaf / open) with array ops.
+
+        With ``want_shift`` (plan construction in a periodic box) the
+        periodic image shift applied to each accepted node / dumped leaf
+        is also returned, per resulting list entry.
+        """
         node_parts: list = []
+        node_shifts: list = []
         leaf_lo: list = []
         leaf_hi: list = []
+        leaf_shifts: list = []
         frontier = np.array([0], dtype=np.int64)
         sqrt3 = np.sqrt(3.0)
+        want_shift = want_shift and self.periodic
         while frontier.size:
             stats.nodes_visited += frontier.size
             dx = tree.node_com[frontier] - gc
+            shift = None
             if self.periodic:
-                dx -= self.box * np.round(dx / self.box)
+                if want_shift:
+                    shift = np.round(dx / self.box)
+                    shift *= self.box
+                    dx -= shift
+                else:
+                    minimum_image(dx, self.box, out=dx)
             dist = np.sqrt(np.einsum("ij,ij->i", dx, dx))
             half = tree.node_half[frontier]
             keep = np.ones(frontier.size, dtype=bool)
@@ -277,9 +546,13 @@ class TreeSolver:
 
             if accept.any():
                 node_parts.append(frontier[accept])
+                if want_shift:
+                    node_shifts.append(shift[accept])
             if is_leaf.any():
                 leaf_lo.append(tree.node_lo[frontier[is_leaf]])
                 leaf_hi.append(tree.node_hi[frontier[is_leaf]])
+                if want_shift:
+                    leaf_shifts.append(shift[is_leaf])
             if to_open.any():
                 kids = tree.node_children[frontier[to_open]].ravel()
                 frontier = kids[kids >= 0]
@@ -297,7 +570,21 @@ class TreeSolver:
             part_idx = _multi_arange(lo, hi)
         else:
             part_idx = np.empty(0, dtype=np.int64)
-        return part_idx, node_idx
+        part_shift = node_shift = None
+        if want_shift:
+            node_shift = (
+                np.concatenate(node_shifts)
+                if node_shifts
+                else np.empty((0, 3))
+            )
+            if leaf_lo:
+                # a dumped leaf's particles all use the leaf's image
+                part_shift = np.repeat(
+                    np.concatenate(leaf_shifts), hi - lo, axis=0
+                )
+            else:
+                part_shift = np.empty((0, 3))
+        return part_idx, node_idx, part_shift, node_shift
 
     def _quadrupole_acc(
         self, targets: np.ndarray, node_pos: np.ndarray, quads: np.ndarray
@@ -305,20 +592,24 @@ class TreeSolver:
         """Quadrupole correction (traceless Q convention):
 
         ``a = G [ (Q r) / r^5 - (5/2) (r.Q.r) r / r^7 ]`` with
-        ``r = target - node`` and an extra factor of the split's
-        short-range cutoff when one is attached.
+        ``r = target - node``, Plummer-softened denominators, and an
+        extra factor of the split's short-range cutoff when one is
+        attached.  The cutoff is evaluated at the *unsoftened*
+        separation, matching the monopole kernel — evaluating it at the
+        softened radius (a former bug) under-weighted the correction
+        whenever ``eps`` is comparable to ``rcut``.
         """
         r = targets[:, None, :] - node_pos[None, :, :]  # (T, S, 3)
         if self.periodic:
-            r -= self.box * np.round(r / self.box)
-        r2 = np.einsum("tsk,tsk->ts", r, r) + self.eps**2
-        r1 = np.sqrt(r2)
-        inv5 = r2**-2.5
+            minimum_image(r, self.box, out=r)
+        r2 = np.einsum("tsk,tsk->ts", r, r)
+        r2s = r2 + self.eps**2
+        inv5 = r2s**-2.5
         qr = np.einsum("sab,tsb->tsa", quads, r)
         rqr = np.einsum("tsa,tsa->ts", qr, r)
-        acc = qr * inv5[..., None] - 2.5 * (rqr * inv5 / r2)[..., None] * r
+        acc = qr * inv5[..., None] - 2.5 * (rqr * inv5 / r2s)[..., None] * r
         if self.split is not None:
-            acc = acc * self.split.short_range_factor(r1)[..., None]
+            acc = acc * self.split.short_range_factor(np.sqrt(r2))[..., None]
         return self.G * np.sum(acc, axis=1)
 
 
@@ -335,6 +626,8 @@ def tree_forces(
     leaf_size: int = 8,
     use_quadrupole: bool = False,
     ewald_correction: bool = False,
+    use_plan: bool = True,
+    plan_float32: bool = False,
 ) -> Tuple[np.ndarray, TraversalStats]:
     """One-shot convenience wrapper around :class:`TreeSolver`."""
     solver = TreeSolver(
@@ -348,5 +641,7 @@ def tree_forces(
         periodic=periodic,
         use_quadrupole=use_quadrupole,
         ewald_correction=ewald_correction,
+        use_plan=use_plan,
+        plan_float32=plan_float32,
     )
     return solver.forces(pos, mass)

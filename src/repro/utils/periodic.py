@@ -21,9 +21,26 @@ def wrap_positions(pos: np.ndarray, box: float = 1.0) -> np.ndarray:
     return out
 
 
-def minimum_image(dx: np.ndarray, box: float = 1.0) -> np.ndarray:
-    """Apply the minimum-image convention to displacement vectors."""
-    return dx - box * np.round(dx / box)
+def minimum_image(
+    dx: np.ndarray, box: float = 1.0, out: np.ndarray = None
+) -> np.ndarray:
+    """Apply the minimum-image convention to displacement vectors.
+
+    This is the single definition of the periodic wrap used by the tree
+    traversal, the PP kernel and the quadrupole evaluation, so every
+    layer resolves the ``box/2`` tie the same way: ``np.round`` rounds
+    half to even, so a displacement of exactly ``+box/2`` stays
+    ``+box/2`` while ``3*box/2`` wraps to ``-box/2``.
+
+    ``out`` may alias ``dx`` for an in-place update (the hot-path form);
+    the arithmetic is bitwise-identical either way.
+    """
+    shift = np.round(dx / box)
+    shift *= box
+    if out is None:
+        return dx - shift
+    np.subtract(dx, shift, out=out)
+    return out
 
 
 def periodic_distance(a: np.ndarray, b: np.ndarray, box: float = 1.0) -> np.ndarray:

@@ -104,3 +104,35 @@ class TestProtocolErrors:
             g5.set_xmj(0, np.zeros((2, 2)), np.ones(2))
         with pytest.raises(ValueError):
             g5.set_ip(np.zeros((2, 4)))
+
+
+class TestSinglePrecision:
+    def _loaded(self, precision):
+        rng = np.random.default_rng(13)
+        xj = rng.random((256, 3))
+        mj = rng.random(256) / 256
+        xi = rng.random((64, 3))
+        g5 = PhantomGrape(eps=1e-3, precision=precision)
+        g5.set_n(len(xj))
+        g5.set_xmj(0, xj, mj)
+        g5.set_ip(xi)
+        g5.run()
+        return g5.get_force()
+
+    def test_single_close_to_double(self):
+        a32 = self._loaded("single")
+        a64 = self._loaded("double")
+        np.testing.assert_allclose(a32, a64, rtol=1e-3, atol=1e-7)
+        assert not np.array_equal(a32, a64)  # genuinely lower precision
+
+    def test_single_counts_interactions(self):
+        g5 = PhantomGrape(precision="single")
+        g5.set_n(8)
+        g5.set_xmj(0, np.random.default_rng(0).random((8, 3)), np.ones(8))
+        g5.set_ip(np.zeros((4, 3)))
+        g5.run()
+        assert g5.counter.interactions == 32
+
+    def test_rejects_unknown_precision(self):
+        with pytest.raises(ValueError):
+            PhantomGrape(precision="half")

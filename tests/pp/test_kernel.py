@@ -109,6 +109,58 @@ class TestInteractionCounter:
         assert a.interactions == 0
         assert a.mean_group_size == 0.0
 
+    def test_streaming_memory_is_constant(self):
+        """Regression: the counter must not grow with the call count
+        (it used to append per-call Python lists without bound)."""
+        import sys
+
+        c = InteractionCounter()
+        c.record(1, 1)
+        size_small = sys.getsizeof(c) + sum(
+            sys.getsizeof(v) for v in vars(c).values()
+        )
+        for _ in range(10_000):
+            c.record(100, 2300)
+        size_large = sys.getsizeof(c) + sum(
+            sys.getsizeof(v) for v in vars(c).values()
+        )
+        assert size_large <= size_small + 64  # int widening only
+        assert c.calls == 10_001
+
+    def test_streaming_means_match_per_call_log(self):
+        """The streamed <Ni>/<Nj> equal averaging an explicit log
+        exactly (integer sums are exact below 2**53)."""
+        rng = np.random.default_rng(5)
+        ni = rng.integers(1, 200, size=500)
+        nj = rng.integers(1, 4000, size=500)
+        c = InteractionCounter()
+        for a, b in zip(ni, nj):
+            c.record(int(a), int(b))
+        assert c.mean_group_size == np.mean(ni)
+        assert c.mean_list_length == np.mean(nj)
+        assert c.interactions == int(np.dot(ni, nj))
+
+    def test_record_many_equals_record_loop(self):
+        rng = np.random.default_rng(6)
+        ni = rng.integers(0, 100, size=64)
+        nj = rng.integers(0, 3000, size=64)
+        loop, batch = InteractionCounter(), InteractionCounter()
+        for a, b in zip(ni, nj):
+            loop.record(int(a), int(b))
+        batch.record_many(ni, nj)
+        assert loop == batch
+
+    def test_merge_after_streaming_conversion(self):
+        """merge still composes: combined means weight every call once."""
+        a, b = InteractionCounter(), InteractionCounter()
+        a.record(10, 100)
+        a.record(20, 200)
+        b.record(30, 300)
+        a.merge(b)
+        assert a.calls == 3
+        assert a.mean_group_size == pytest.approx(20.0)
+        assert a.mean_list_length == pytest.approx(200.0)
+
 
 class TestPPKernelPotential:
     def test_potential_matches_force_gradient(self):

@@ -58,6 +58,32 @@ class TestMinimumImage:
         mi = float(minimum_image(np.array([x]))[0])
         assert abs(mi) <= 0.5 + 1e-12
 
+    def test_half_box_tie_is_bankers_rounded(self):
+        """Pin the exact box/2 tie: np.round rounds half to even, so
+        +box/2 stays put (round(0.5)=0) while 3*box/2 wraps to -box/2
+        (round(1.5)=2).  Every layer that inlined its own wrap now goes
+        through this helper, so the tie resolves identically everywhere.
+        """
+        dx = np.array([0.5, -0.5, 1.5, -1.5, 2.5])
+        out = minimum_image(dx)
+        np.testing.assert_array_equal(out, [0.5, -0.5, -0.5, 0.5, 0.5])
+
+    def test_out_aliasing_matches_pure_form(self):
+        rng = np.random.default_rng(1)
+        dx = rng.uniform(-3, 3, size=(50, 3))
+        expect = minimum_image(dx.copy())
+        buf = dx.copy()
+        got = minimum_image(buf, out=buf)
+        assert got is buf
+        np.testing.assert_array_equal(got, expect)
+
+    def test_out_separate_buffer(self):
+        dx = np.array([[0.9, -0.8, 0.6]])
+        out = np.empty_like(dx)
+        got = minimum_image(dx, out=out)
+        assert got is out
+        np.testing.assert_allclose(out, [[-0.1, 0.2, -0.4]])
+
 
 class TestPeriodicDistance:
     def test_through_wall(self):
