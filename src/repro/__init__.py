@@ -40,7 +40,9 @@ from repro.sim.parallel import (
     resume_parallel_simulation,
     run_parallel_simulation,
 )
-from repro.mpi.faults import FaultPlan
+from repro.sim.elastic import ElasticRunner, run_elastic_simulation
+from repro.mpi.faults import FaultPlan, PeerFailure
+from repro.mpi.recovery import RecoveryError, RecoveryEvent
 from repro.mpi.runtime import MPIRuntime, run_spmd
 
 __version__ = "1.0.0"
@@ -62,7 +64,12 @@ __all__ = [
     "ParallelSimulation",
     "run_parallel_simulation",
     "resume_parallel_simulation",
+    "ElasticRunner",
+    "run_elastic_simulation",
     "FaultPlan",
+    "PeerFailure",
+    "RecoveryError",
+    "RecoveryEvent",
     "MPIRuntime",
     "run_spmd",
     "__version__",

@@ -294,6 +294,55 @@ def run_from_config(
     return summary
 
 
+def _describe_manifest(step_dir: Path, manifest: Dict[str, Any], log=print) -> None:
+    schedule = manifest.get("schedule", {})
+    log(f"checkpoint: {step_dir}")
+    log(
+        f"  ranks: {manifest['n_ranks']}, particles: "
+        f"{manifest.get('total_particles', '?')}, steps taken: "
+        f"{manifest['steps_taken']}"
+    )
+    if "next_step" in schedule:
+        log(
+            f"  schedule: resume at step {schedule['next_step']}"
+            + (
+                f" of {schedule['n_steps']} "
+                f"(t = {schedule['t_start']} -> {schedule['t_end']})"
+                if "n_steps" in schedule
+                else ""
+            )
+        )
+    log(f"  config hash: {manifest['config_hash'][:12]}...")
+
+
+def _ckpt_command(args) -> int:
+    """`repro ckpt ...`: operator tooling for the distributed
+    checkpoint sets the elastic disk-fallback restores from."""
+    from repro.sim import checkpoint as _ckpt
+    from repro.sim.checkpoint import CheckpointError
+
+    try:
+        if args.ckpt_command == "latest":
+            step_dir = _ckpt.latest_checkpoint(args.dir)
+            manifest = _ckpt.read_manifest(step_dir)
+            _describe_manifest(step_dir, manifest)
+            return 0
+        # validate: accept either a checkpoint root or a bare step dir
+        target = Path(args.dir)
+        step_dir = (
+            target
+            if (target / _ckpt.MANIFEST_NAME).exists()
+            else _ckpt.latest_checkpoint(target)
+        )
+        manifest = _ckpt.validate_checkpoint(step_dir)
+    except CheckpointError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    _describe_manifest(step_dir, manifest)
+    print(f"OK: {manifest['n_ranks']} rank file(s) verified")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -333,8 +382,28 @@ def main(argv=None) -> int:
         "monitor: sets energy_every to 1 unless configured)",
     )
     info_p = sub.add_parser("info", help="print version and paper reference")
+    ckpt_p = sub.add_parser(
+        "ckpt",
+        help="inspect distributed checkpoint sets (the elastic-recovery "
+        "disk-fallback state)",
+    )
+    ckpt_sub = ckpt_p.add_subparsers(dest="ckpt_command", required=True)
+    ckpt_val = ckpt_sub.add_parser(
+        "validate",
+        help="verify a checkpoint set: manifest, per-rank files, digests",
+    )
+    ckpt_val.add_argument(
+        "dir", type=Path,
+        help="checkpoint directory (or one step_* directory)",
+    )
+    ckpt_latest = ckpt_sub.add_parser(
+        "latest", help="resolve and describe the newest complete checkpoint"
+    )
+    ckpt_latest.add_argument("dir", type=Path, help="checkpoint directory")
 
     args = parser.parse_args(argv)
+    if args.command == "ckpt":
+        return _ckpt_command(args)
     if args.command == "info":
         from repro import __version__
 

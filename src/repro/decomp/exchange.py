@@ -65,7 +65,9 @@ def exchange_particles(
         sel = owners == dst
         send_counts[dst] = int(sel.sum())
         sends.append({k: np.asarray(arrays[k])[sel] for k in keys})
-    received = comm.alltoall(sends)
+    # reliable: absorbs injected transient drops/delays by per-pair
+    # retransmission (bounded by the runtime's per-step retry budget)
+    received = comm.alltoall(sends, reliable=True)
 
     # -- conservation guard: what was sent is exactly what arrived ----------
     # The allgathered count matrix is tiny (size^2 int64) next to the

@@ -12,7 +12,39 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["MultisectionDecomposition", "weighted_split"]
+__all__ = ["MultisectionDecomposition", "divisions_for_ranks", "weighted_split"]
+
+
+def divisions_for_ranks(n: int) -> Tuple[int, int, int]:
+    """A near-cubic ``(dx, dy, dz)`` with ``dx * dy * dz == n``.
+
+    Used when the rank count changes mid-run (elastic shrink after a
+    failure, resume on a different partition): the multisection method
+    works for any division triple, so the only freedom is choosing the
+    most compact factorization — compact domains minimize the ghost
+    surface the PP phase exchanges.  Deterministic; factors are sorted
+    ``dx >= dy >= dz`` to match the row-major rank layout.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    best: Tuple[int, int, int] = (n, 1, 1)
+    best_score = float("inf")
+    for dz in range(1, int(round(n ** (1.0 / 3.0))) + 2):
+        if n % dz:
+            continue
+        m = n // dz
+        for dy in range(dz, int(np.sqrt(m)) + 1):
+            if m % dy:
+                continue
+            dx = m // dy
+            if dx < dy:
+                continue
+            # proxy for total domain surface at unit volume
+            score = dx * dy + dy * dz + dz * dx
+            if score < best_score:
+                best_score = score
+                best = (dx, dy, dz)
+    return best
 
 
 def weighted_split(

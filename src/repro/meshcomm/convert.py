@@ -69,7 +69,9 @@ def local_to_slab(
                 meta = (s - t - a, y_idx, z_idx)
                 sends[dst].append((meta, block))
 
-    received = comm.alltoall(sends)
+    # reliable: transient injected drops/delays are retransmitted
+    # instead of failing the PM cycle
+    received = comm.alltoall(sends, reliable=True)
 
     if comm.rank >= slabs.n_slabs:
         return None
@@ -118,7 +120,7 @@ def slab_to_local(
                 block = slab[ix[:, None, None], y_idx[None, :, None], z_idx[None, None, :]]
                 sends[dst].append((s - xlo, block))
 
-    received = comm.alltoall(sends)
+    received = comm.alltoall(sends, reliable=True)
 
     if region is None:
         return None

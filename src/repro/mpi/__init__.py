@@ -18,8 +18,22 @@ substitute:
 
 from repro.mpi.runtime import MPIRuntime, run_spmd
 from repro.mpi.comm import Comm, CommAborted, Request
-from repro.mpi.faults import CommTimeout, FaultPlan, InjectedFault, retry_with_backoff
+from repro.mpi.faults import (
+    CommTimeout,
+    FaultPlan,
+    InjectedFault,
+    MessageDropped,
+    PeerFailure,
+    RankDeath,
+    retry_with_backoff,
+)
 from repro.mpi.network import TorusNetwork, TrafficLog, PhaseTraffic
+from repro.mpi.recovery import (
+    BuddyStore,
+    RecoveryError,
+    RecoveryEvent,
+    shrink_after_failure,
+)
 
 __all__ = [
     "MPIRuntime",
@@ -29,7 +43,14 @@ __all__ = [
     "CommTimeout",
     "FaultPlan",
     "InjectedFault",
+    "MessageDropped",
+    "PeerFailure",
+    "RankDeath",
     "retry_with_backoff",
+    "BuddyStore",
+    "RecoveryError",
+    "RecoveryEvent",
+    "shrink_after_failure",
     "Request",
     "TorusNetwork",
     "TrafficLog",

@@ -30,12 +30,25 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.mpi.faults import CommTimeout, InjectedFault, corrupt_payload
+from repro.mpi.faults import (
+    CommTimeout,
+    InjectedFault,
+    MessageDropped,
+    PeerFailure,
+    corrupt_payload,
+    retry_with_backoff,
+)
 from repro.mpi.network import TrafficLog
 
-__all__ = ["Comm", "Request", "CommAborted", "CommTimeout"]
+__all__ = ["Comm", "Request", "CommAborted", "CommTimeout", "PeerFailure"]
 
 _POLL_SECONDS = 0.05
+
+#: retry caps of the "reliable" transport path (per individual call);
+#: the per-rank, per-step total is bounded by ``_JobControl.retry_budget``.
+_RELIABLE_SEND_RETRIES = 3
+_RELIABLE_RECV_RETRIES = 2
+_RETRY_BASE_DELAY = 0.002
 
 
 class CommAborted(RuntimeError):
@@ -52,19 +65,47 @@ class _JobControl:
     broken on abort.
     """
 
-    def __init__(self, fault_plan=None, recv_timeout: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        fault_plan=None,
+        recv_timeout: Optional[float] = None,
+        elastic: bool = False,
+        world_size: Optional[int] = None,
+        retry_budget: int = 16,
+    ) -> None:
         self.abort_event = threading.Event()
         self.fault_plan = fault_plan
         self.recv_timeout = recv_timeout
         #: watch-board registration is enabled only when a watchdog runs,
         #: keeping the per-receive overhead at a single attribute check.
         self.watching = False
-        self._lock = threading.Lock()
+        # RLock: abort()/register_barrier() are reachable from code paths
+        # that already hold the lock (consensus, shrunk-state creation)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
         self.abort_reason: Optional[str] = None
         self.abort_origin: Optional[int] = None
         self._blocked: Dict[int, Tuple[str, str, float]] = {}
         self._barriers: List[threading.Barrier] = []
         self._event_seq: Dict[Any, int] = {}
+        # -- elastic recovery state (see repro.mpi.recovery) ------------------
+        #: survivable death is opt-in; without it a RankDeath aborts the job
+        self.elastic = bool(elastic)
+        self.world_size = world_size
+        #: world ranks that died (monotonically growing; never resurrected)
+        self.dead_ranks: set = set()
+        self.dead_errors: Dict[int, BaseException] = {}
+        #: current epoch: bumped by each sealed consensus round
+        self.epoch = 0
+        self._consensus_votes: Dict[int, set] = {}
+        self._consensus_result: Dict[int, Tuple[frozenset, Tuple[int, ...]]] = {}
+        #: one shared _CommState per post-recovery epoch
+        self.epoch_states: Dict[int, "_CommState"] = {}
+        #: last step each world rank passed to ``comm.fault_point``
+        self.rank_step: Dict[int, int] = {}
+        #: per-rank, per-step cap on reliable-path retransmissions
+        self.retry_budget = int(retry_budget)
+        self._retry_left: Dict[int, Tuple[int, int]] = {}
 
     def register_barrier(self, barrier: threading.Barrier) -> None:
         with self._lock:
@@ -77,9 +118,144 @@ class _JobControl:
                 self.abort_reason = reason
                 self.abort_origin = origin
             barriers = list(self._barriers)
+            self._cond.notify_all()
         self.abort_event.set()
         for b in barriers:
             b.abort()
+
+    # -- elastic death tracking ------------------------------------------------
+
+    def mark_dead(self, world_rank: int, exc: BaseException) -> None:
+        """Record a rank death (elastic mode) and wake every blocked rank.
+
+        Unlike :meth:`abort` the job keeps running: barriers are broken
+        so survivors blocked in them observe the death *now*, but the
+        abort flag stays clear — survivors turn the resulting
+        :class:`PeerFailure` into a consensus round instead of dying.
+        """
+        with self._lock:
+            self.dead_ranks.add(int(world_rank))
+            self.dead_errors[int(world_rank)] = exc
+            barriers = list(self._barriers)
+            self._cond.notify_all()
+        for b in barriers:
+            b.abort()
+
+    def new_dead(self, known: frozenset) -> frozenset:
+        """Dead world ranks not in ``known`` (snapshot under the lock)."""
+        with self._lock:
+            return frozenset(self.dead_ranks - known)
+
+    def record_step(self, world_rank: int, step: int) -> None:
+        with self._lock:
+            self.rank_step[world_rank] = int(step)
+
+    def step_of(self, world_rank: int) -> Optional[int]:
+        with self._lock:
+            return self.rank_step.get(world_rank)
+
+    # -- reliable-path retry budget --------------------------------------------
+
+    def try_consume_retry(self, world_rank: int) -> bool:
+        """Take one retransmission from this rank's per-step budget.
+
+        The budget resets whenever the rank's recorded step advances, so
+        a long run cannot starve later steps, while a pathological storm
+        of injected faults within one step is bounded instead of retried
+        forever.  Returns ``False`` when the budget is exhausted.
+        """
+        with self._lock:
+            step = self.rank_step.get(world_rank, -1)
+            entry = self._retry_left.get(world_rank)
+            left = self.retry_budget if entry is None or entry[0] != step else entry[1]
+            if left <= 0:
+                return False
+            self._retry_left[world_rank] = (step, left - 1)
+            return True
+
+    # -- survivor consensus ------------------------------------------------------
+
+    def survivor_consensus(
+        self, world_rank: int, timeout: float = 30.0
+    ) -> Tuple[set, List[int], int]:
+        """One ULFM-``agree``-style round: block until every live rank
+        has voted, then return the agreed ``(dead set, survivor world
+        ranks, new epoch)`` — identical on every caller.
+
+        The round targeting epoch ``current + 1`` seals when the set of
+        voters covers every rank not currently marked dead; the sealing
+        rank records the result and bumps the epoch, late arrivals read
+        the cached result.  A rank that dies mid-round shrinks the
+        expected voter set, so the round re-evaluates rather than hangs.
+        Expiry of ``timeout`` aborts the whole job (a survivor that
+        never joins is indistinguishable from a hang).
+        """
+        if self.world_size is None:
+            raise RuntimeError("survivor consensus needs a job world size")
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            rnd = self.epoch + 1
+            votes = self._consensus_votes.setdefault(rnd, set())
+            votes.add(int(world_rank))
+            self._cond.notify_all()
+            while True:
+                cached = self._consensus_result.get(rnd)
+                if cached is not None:
+                    dead, survivors = cached
+                    return set(dead), list(survivors), rnd
+                dead = set(self.dead_ranks)
+                expected = set(range(self.world_size)) - dead
+                if expected and expected <= votes:
+                    survivors = tuple(sorted(expected))
+                    self._consensus_result[rnd] = (frozenset(dead), survivors)
+                    self.epoch = rnd
+                    self._cond.notify_all()
+                    return set(dead), list(survivors), rnd
+                if self.abort_event.is_set():
+                    raise CommAborted(
+                        self.abort_reason or "job aborted during survivor consensus"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.abort(
+                        reason=(
+                            f"survivor consensus for epoch {rnd} timed out "
+                            f"after {timeout:.3g}s on rank {world_rank} "
+                            f"({len(votes)}/{len(expected)} votes)"
+                        ),
+                        origin=world_rank,
+                    )
+                    raise CommAborted(self.abort_reason)
+                self._cond.wait(min(remaining, _POLL_SECONDS))
+
+    def shrunk_state(
+        self,
+        epoch: int,
+        survivor_world_ranks: Sequence[int],
+        dead: Sequence[int],
+        traffic: TrafficLog,
+    ) -> "_CommState":
+        """Create-or-get the shared communicator state of ``epoch``.
+
+        The first survivor to arrive builds it (fresh queues, fresh
+        barrier, ``known_dead`` frozen to the agreed dead set); the rest
+        reuse it.  Old-epoch queues are simply abandoned — any straggler
+        message parked there is never routed into the new state, and the
+        epoch stamp on every message rejects cross-state leaks.
+        """
+        with self._lock:
+            st = self.epoch_states.get(epoch)
+            if st is None:
+                st = _CommState(
+                    len(survivor_world_ranks),
+                    list(survivor_world_ranks),
+                    traffic,
+                    self,
+                    epoch=epoch,
+                    known_dead=frozenset(dead),
+                )
+                self.epoch_states[epoch] = st
+            return st
 
     # -- watch board (who is blocked where, for the watchdog) -----------------
 
@@ -120,11 +296,19 @@ class _CommState:
         world_ranks: Sequence[int],
         traffic: TrafficLog,
         control: _JobControl,
+        epoch: int = 0,
+        known_dead: frozenset = frozenset(),
     ) -> None:
         self.size = size
         self.world_ranks = list(world_ranks)
         self.traffic = traffic
         self.control = control
+        #: epoch stamp carried by every message sent through this state;
+        #: receives reject other-epoch stragglers instead of delivering them
+        self.epoch = int(epoch)
+        #: deaths this state already excludes — only *new* deaths beyond
+        #: this set raise PeerFailure on its members
+        self.known_dead = frozenset(known_dead)
         self.barrier = threading.Barrier(size)
         control.register_barrier(self.barrier)
         # queues[dst][src]
@@ -188,10 +372,15 @@ class Request:
             return True, self._payload
         st = self._comm._state
         q = st.queues[self._comm.rank][self._source]
-        try:
-            got_tag, payload = q.get_nowait()
-        except _queue.Empty:
-            return False, None
+        while True:
+            try:
+                got_epoch, got_tag, payload = q.get_nowait()
+            except _queue.Empty:
+                return False, None
+            if got_epoch != st.epoch:
+                self._comm.stale_rejected += 1
+                continue
+            break
         if got_tag != self._tag:
             raise RuntimeError(
                 f"tag mismatch: expected {self._tag}, got {got_tag}"
@@ -222,6 +411,8 @@ class Comm:
         self._rank = rank
         self._split_seq = 0
         self._current_op: Optional[str] = None
+        #: stragglers from another epoch this rank discarded on receive
+        self.stale_rejected = 0
 
     # -- identity -------------------------------------------------------------
 
@@ -245,16 +436,45 @@ class Comm:
         by the network model)."""
         return self._state.world_ranks[self._rank]
 
+    @property
+    def epoch(self) -> int:
+        """Recovery epoch of this communicator (0 before any failure)."""
+        return self._state.epoch
+
     # -- fault injection --------------------------------------------------------
 
     def fault_point(self, step: int) -> None:
         """Application hook: raise :class:`InjectedFault` if the job's
         fault plan kills this rank at ``step``.  A no-op (one attribute
-        check) when no plan is attached."""
-        plan = self._state.control.fault_plan
+        check) when no plan is attached.
+
+        Also records ``step`` as this rank's current application step —
+        the value structured :class:`CommTimeout` errors carry and the
+        boundary at which the reliable-path retry budget refills.
+        """
+        ctl = self._state.control
+        ctl.record_step(self.world_rank, step)
+        plan = ctl.fault_plan
         if plan is not None and plan.should_kill(self.world_rank, step):
             raise InjectedFault(
                 f"rank {self.world_rank} killed by fault plan at step {step}"
+            )
+
+    def _check_peer_failure(self) -> None:
+        """Elastic mode: surface deaths this communicator does not
+        already exclude as :class:`PeerFailure` (cheap: one attribute
+        test on the common path)."""
+        st = self._state
+        ctl = st.control
+        if not ctl.elastic:
+            return
+        delta = ctl.new_dead(st.known_dead)
+        if delta:
+            raise PeerFailure(
+                f"rank {self.world_rank}: peer rank(s) {sorted(delta)} died "
+                f"(epoch {st.epoch})",
+                dead_ranks=ctl.new_dead(frozenset()),
+                epoch=st.epoch,
             )
 
     def _abort_reason(self, fallback: str) -> str:
@@ -290,9 +510,10 @@ class Comm:
 
     # -- point to point ---------------------------------------------------------
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        if not 0 <= dest < self.size:
-            raise ValueError(f"invalid destination rank {dest}")
+    def _send_attempt(self, obj: Any, dest: int, tag: int) -> bool:
+        """One transmission attempt; returns ``False`` when the fault
+        plan dropped the message (the bytes left this rank but never
+        arrive)."""
         st = self._state
         ctl = st.control
         src_w = st.world_ranks[self._rank]
@@ -320,8 +541,55 @@ class Comm:
                         raise CommAborted(self._abort_reason("peer rank failed"))
                     time.sleep(min(_POLL_SECONDS, delay))
             if drop:
-                return  # the bytes left this rank but never arrive
-        st.queues[dest][self._rank].put((tag, payload))
+                return False
+        st.queues[dest][self._rank].put((st.epoch, tag, payload))
+        return True
+
+    def send(self, obj: Any, dest: int, tag: int = 0, reliable: bool = False) -> None:
+        """Send ``obj`` to ``dest``.
+
+        With ``reliable=True`` the send models transport-level
+        retransmission: an injected drop is *observed at the sender*
+        (this runtime's stand-in for a missing ack) and the transfer is
+        retried with exponential backoff, consuming one unit of the
+        job's per-rank, per-step retry budget per retransmission.  Each
+        retry consults the fault plan afresh, so a finite drop rule is
+        absorbed; a persistent one (or an exhausted budget) raises
+        :class:`repro.mpi.faults.MessageDropped`.
+        """
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        if not reliable:
+            self._send_attempt(obj, dest, tag)
+            return
+        st = self._state
+        ctl = st.control
+        me_w = st.world_ranks[self._rank]
+        dst_w = st.world_ranks[dest]
+
+        def attempt() -> None:
+            if not self._send_attempt(obj, dest, tag):
+                raise MessageDropped(
+                    f"rank {me_w}: send to rank {dst_w} (tag {tag}) dropped "
+                    f"by fault plan",
+                    rank=me_w,
+                    source=dst_w,
+                    tag=tag,
+                    step=ctl.step_of(me_w),
+                    op="send",
+                )
+
+        def on_retry(attempt_idx: int, exc: BaseException) -> None:
+            if not ctl.try_consume_retry(me_w):
+                raise exc  # budget exhausted: surface the drop now
+
+        retry_with_backoff(
+            attempt,
+            retries=_RELIABLE_SEND_RETRIES,
+            base_delay=_RETRY_BASE_DELAY,
+            exceptions=(MessageDropped,),
+            on_retry=on_retry,
+        )
 
     def recv(self, source: int, tag: int = 0, timeout: Optional[float] = None) -> Any:
         """Blocking receive.
@@ -331,7 +599,11 @@ class Comm:
         job with neither waits until the message arrives or the job
         aborts.  Expiry raises :class:`CommTimeout` naming this rank,
         the awaited source and the enclosing operation — a hung peer
-        can therefore never deadlock the caller.
+        can therefore never deadlock the caller.  In an elastic job a
+        peer death raises :class:`PeerFailure` instead of letting the
+        wait run out.  Messages stamped with another epoch (stragglers
+        of a pre-recovery send) are discarded, counted in
+        ``self.stale_rejected``.
         """
         if not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
@@ -339,7 +611,8 @@ class Comm:
         ctl = st.control
         if timeout is None:
             timeout = ctl.recv_timeout
-        deadline = time.monotonic() + timeout if timeout is not None else None
+        t0 = time.monotonic()
+        deadline = t0 + timeout if timeout is not None else None
         q = st.queues[self._rank][source]
         me_w = st.world_ranks[self._rank]
         src_w = st.world_ranks[source]
@@ -347,16 +620,35 @@ class Comm:
         registered = ctl.block(me_w, op, f"from rank {src_w}, tag {tag}")
         try:
             while True:
-                if ctl.abort_event.is_set():
-                    raise CommAborted(self._abort_reason("peer rank failed"))
-                if deadline is not None and time.monotonic() > deadline:
-                    raise CommTimeout(
-                        f"rank {me_w}: {op} from rank {src_w} (tag {tag}) "
-                        f"timed out after {timeout:.3g}s"
-                    )
+                # drain the queue before looking at failure signals: a
+                # message that was already delivered must win over a
+                # concurrent peer-death mark (otherwise a survivor could
+                # spuriously lose e.g. its buddy copy to a PeerFailure
+                # raised while the data sat in its queue)
                 try:
-                    got_tag, payload = q.get(timeout=_POLL_SECONDS)
+                    got_epoch, got_tag, payload = q.get_nowait()
                 except _queue.Empty:
+                    if ctl.abort_event.is_set():
+                        raise CommAborted(self._abort_reason("peer rank failed"))
+                    self._check_peer_failure()
+                    if deadline is not None and time.monotonic() > deadline:
+                        elapsed = time.monotonic() - t0
+                        raise CommTimeout(
+                            f"rank {me_w}: {op} from rank {src_w} (tag {tag}) "
+                            f"timed out after {timeout:.3g}s",
+                            rank=me_w,
+                            source=src_w,
+                            tag=tag,
+                            step=ctl.step_of(me_w),
+                            elapsed=elapsed,
+                            op=op,
+                        )
+                    try:
+                        got_epoch, got_tag, payload = q.get(timeout=_POLL_SECONDS)
+                    except _queue.Empty:
+                        continue
+                if got_epoch != st.epoch:
+                    self.stale_rejected += 1
                     continue
                 if got_tag != tag:
                     raise RuntimeError(
@@ -367,6 +659,27 @@ class Comm:
         finally:
             if registered:
                 ctl.unblock(me_w)
+
+    def _recv_reliable(self, source: int, tag: int = 0) -> Any:
+        """Receive with timeout-absorbing retries (the delay-fault
+        counterpart of ``send(reliable=True)``): each expired wait costs
+        one unit of the per-step retry budget and re-enters the wait, so
+        a transiently delayed message is delivered instead of failing
+        the step."""
+        ctl = self._state.control
+        me_w = self.world_rank
+
+        def on_retry(attempt_idx: int, exc: BaseException) -> None:
+            if not ctl.try_consume_retry(me_w):
+                raise exc
+
+        return retry_with_backoff(
+            lambda: self.recv(source, tag=tag),
+            retries=_RELIABLE_RECV_RETRIES,
+            base_delay=0.0,
+            exceptions=(CommTimeout,),
+            on_retry=on_retry,
+        )
 
     def sendrecv(
         self, sendobj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0
@@ -403,6 +716,9 @@ class Comm:
         try:
             self._state.barrier.wait()
         except threading.BrokenBarrierError:
+            # elastic death breaks barriers without aborting the job:
+            # classify before reporting a (fatal) CommAborted
+            self._check_peer_failure()
             raise CommAborted(
                 self._abort_reason("barrier broken by failing rank")
             ) from None
@@ -487,8 +803,15 @@ class Comm:
                 return _copy(objs[root])
             return self.recv(root, tag=-5)
 
-    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
-        """Pairwise-exchange all-to-all; ``objs[d]`` goes to rank d."""
+    def alltoall(self, objs: Sequence[Any], reliable: bool = False) -> List[Any]:
+        """Pairwise-exchange all-to-all; ``objs[d]`` goes to rank d.
+
+        ``reliable=True`` routes every pairwise transfer through the
+        retransmitting send / retrying receive path, so transient
+        injected drops and delays are absorbed (within the per-step
+        retry budget) instead of failing the collective — the mode the
+        particle exchange and the relay-mesh conversions run in.
+        """
         with self._collective("alltoall"):
             if len(objs) != self.size:
                 raise ValueError("need one object per rank")
@@ -498,7 +821,13 @@ class Comm:
             for step in range(1, size):
                 dst = (rank + step) % size
                 src = (rank - step) % size
-                out[src] = self.sendrecv(objs[dst], dst, src, sendtag=-6, recvtag=-6)
+                if reliable:
+                    self.send(objs[dst], dst, tag=-6, reliable=True)
+                    out[src] = self._recv_reliable(src, tag=-6)
+                else:
+                    out[src] = self.sendrecv(
+                        objs[dst], dst, src, sendtag=-6, recvtag=-6
+                    )
             return out
 
     def alltoallv(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
@@ -541,6 +870,8 @@ class Comm:
                     [st.world_ranks[r] for r in ranks],
                     st.traffic,
                     st.control,
+                    epoch=st.epoch,
+                    known_dead=st.known_dead,
                 )
             new_state = st.split_registry[reg_key]
         self.barrier()

@@ -34,13 +34,28 @@ import numpy as np
 
 __all__ = [
     "FaultPlan",
+    "RankDeath",
     "InjectedFault",
     "CommTimeout",
+    "MessageDropped",
+    "PeerFailure",
     "retry_with_backoff",
 ]
 
 
-class InjectedFault(RuntimeError):
+class RankDeath(RuntimeError):
+    """A rank is dead and will never execute another statement.
+
+    Under ``MPIRuntime(elastic=True)`` a death is *survivable*: the
+    runtime marks the rank dead instead of aborting the job, and the
+    surviving ranks observe a :class:`PeerFailure` from their next
+    blocking operation.  In a non-elastic job it is an ordinary fatal
+    rank failure.  Applications may raise it deliberately to simulate a
+    node loss; the fault plan's :class:`InjectedFault` subclasses it.
+    """
+
+
+class InjectedFault(RankDeath):
     """Raised on a rank killed by a :class:`FaultPlan` schedule."""
 
 
@@ -50,7 +65,69 @@ class CommTimeout(RuntimeError):
     Unlike :class:`repro.mpi.comm.CommAborted` (a *secondary* casualty
     of some other rank's failure), a timeout is a primary failure of the
     rank that was waiting, and is reported as such by the runtime.
+
+    Structured fields (all ``None`` when unknown) let recovery code and
+    test assertions dispatch without parsing the message string:
+
+    ``rank``
+        World rank of the waiting (failing) rank.
+    ``source``
+        World rank of the peer that never delivered.
+    ``tag``
+        Message tag of the expected transfer.
+    ``step``
+        Application step (the last ``comm.fault_point(step)`` value
+        this rank passed), if the application reports steps.
+    ``elapsed``
+        Seconds actually spent waiting when the timeout fired.
+    ``op``
+        The enclosing operation label (``"recv"``, ``"alltoall"``, ...).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: Optional[int] = None,
+        source: Optional[int] = None,
+        tag: Optional[int] = None,
+        step: Optional[int] = None,
+        elapsed: Optional[float] = None,
+        op: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.step = step
+        self.elapsed = elapsed
+        self.op = op
+
+
+class MessageDropped(CommTimeout):
+    """A reliable send exhausted its retry budget against injected drops.
+
+    Subclasses :class:`CommTimeout` because at the application level a
+    lost message and an expired wait are the same failure shape: the
+    data never made it, and the same recovery path (elastic rollback or
+    job abort) applies.
+    """
+
+
+class PeerFailure(RuntimeError):
+    """A peer rank died while this rank was communicating with it.
+
+    Raised (elastic mode only) from blocking receives, barriers and
+    collectives when the shared dead-set gained members this
+    communicator does not already exclude.  Carries the world ranks of
+    *all* known-dead peers at detection time — the input to the
+    survivor-consensus round in :mod:`repro.mpi.recovery`.
+    """
+
+    def __init__(self, message: str, dead_ranks=(), epoch: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.dead_ranks = frozenset(int(r) for r in dead_ranks)
+        self.epoch = epoch
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,316 @@
+"""Elastic shrink-and-continue recovery: consensus, buddies, shrunk comms.
+
+The paper's headline runs occupy up to 82944 nodes for many hours — a
+regime where losing a rank is an expected event, not an anomaly.  GreeM's
+sampling-based multisection decomposition recomputes domains every step
+anyway, which is exactly what makes *continuing on fewer ranks* cheap:
+nothing about the decomposition is tied to the original rank count.
+This module provides the runtime half of that ULFM-style protocol for
+``MPIRuntime(elastic=True)`` jobs:
+
+* **Survivor consensus** — after a death surfaces (as
+  :class:`~repro.mpi.faults.PeerFailure` from a blocking operation, or
+  :class:`~repro.mpi.faults.CommTimeout` when a message silently never
+  arrived), every live rank calls :func:`shrink_after_failure`.  The
+  shared consensus board (the in-process analog of ``MPIX_Comm_agree``)
+  blocks until all live ranks voted, then returns the identical
+  ``(dead set, survivors, epoch)`` everywhere.
+* **Shrunk communicator** — the survivors get a fresh communicator
+  state for the new epoch: new queues, a new barrier, ranks renumbered
+  ``0..len(survivors)-1`` in world-rank order.  Every message carries
+  its epoch, so a straggler sent before the failure can never be
+  delivered into post-recovery traffic (it is counted in
+  ``comm.stale_rejected`` instead).
+* **Buddy replication** — :class:`BuddyStore` keeps, in memory, a
+  checksummed copy of each rank's particle block on its ring successor
+  (refreshed every K steps at the exchange boundary), plus each rank's
+  own snapshot of the same boundary.  After a failure the survivors
+  roll back to that consistent boundary and the dead rank's particles
+  are recovered from the buddy copy without touching disk; only when
+  owner *and* buddy died does recovery fall back to the distributed
+  disk checkpoint.
+
+The simulation-level wiring (re-decomposition over the survivor set,
+step re-execution, the post-recovery validation sweep) lives in
+:mod:`repro.sim.elastic`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpi.comm import Comm
+from repro.mpi.faults import PeerFailure
+
+__all__ = [
+    "RecoveryError",
+    "RecoveryEvent",
+    "BuddySnapshot",
+    "BuddyStore",
+    "shrink_after_failure",
+    "BUDDY_TAG",
+]
+
+#: message tag of the buddy-replication ring exchange
+BUDDY_TAG = -17
+
+
+class RecoveryError(RuntimeError):
+    """In-run recovery is impossible (or produced an invalid state).
+
+    Raised when the in-memory path cannot proceed — buddy and owner
+    both dead, inconsistent snapshot steps, a checksum mismatch, or a
+    failed post-recovery validation sweep — so the caller can fall back
+    to the disk checkpoint, or give up loudly."""
+
+
+@dataclass
+class RecoveryEvent:
+    """One completed recovery, as reported by the elastic run loop."""
+
+    epoch: int
+    dead_ranks: Tuple[int, ...]
+    n_survivors: int
+    #: ``"buddy"`` (in-memory), ``"disk"`` (checkpoint fallback) or
+    #: ``"rollback"`` (no deaths — a transient failure exhausted its
+    #: retries; same consistent boundary, same rank count)
+    mode: str
+    #: step the survivors resumed from (the rolled-back boundary)
+    resumed_step: int
+    #: step at which the failure surfaced on this rank
+    failed_step: int
+    #: wall-clock seconds from failure detection to a validated state
+    duration: float
+    detail: str = ""
+
+
+def _digest(arr: np.ndarray) -> str:
+    """sha256 over dtype, shape and bytes (buddy-copy integrity)."""
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class BuddySnapshot:
+    """One rank's particle block frozen at a step boundary."""
+
+    owner_world_rank: int
+    step: int
+    epoch: int
+    arrays: Dict[str, np.ndarray]
+    checksums: Dict[str, str]
+    #: global conservation reference of the snapshot boundary
+    #: (identical on every rank: computed by one allreduce)
+    reference: Dict[str, Any] = field(default_factory=dict)
+
+    def verify(self) -> bool:
+        """Recompute every array digest against the stored checksums."""
+        if set(self.checksums) != set(self.arrays):
+            return False
+        return all(
+            _digest(self.arrays[k]) == want for k, want in self.checksums.items()
+        )
+
+
+class BuddyStore:
+    """In-memory buddy replication over a ring.
+
+    Every ``refresh`` (collective) freezes this rank's particle block —
+    its *self copy*, the rollback boundary — and ships a checksummed
+    duplicate to the ring successor ``(rank + 1) % size`` while
+    receiving the predecessor's.  After a rank dies, its block survives
+    on its buddy; :meth:`plan_recovery` decides collectively whether
+    every dead rank is covered by a live, checksum-clean, step-consistent
+    copy, and :meth:`recovered_arrays` hands each survivor its rollback
+    block (with any adopted dead-rank particles appended).
+
+    The refresh cadence K trades overhead for staleness: each refresh
+    costs one ring message of the full particle block (plus one small
+    allreduce for the conservation reference), and a failure loses at
+    most K steps of progress — exactly a checkpoint-interval trade-off,
+    but at memory speed and without touching the filesystem.
+    """
+
+    #: keys every snapshot must carry (the exchange payload minus the
+    #: force accumulators, which are recomputed after recovery anyway)
+    REQUIRED_KEYS = ("pos", "mom", "mass", "ids")
+
+    def __init__(self) -> None:
+        self.self_copy: Optional[BuddySnapshot] = None
+        self.peer_copy: Optional[BuddySnapshot] = None
+
+    @property
+    def step(self) -> Optional[int]:
+        return None if self.self_copy is None else self.self_copy.step
+
+    def refresh(self, comm: Comm, arrays: Dict[str, np.ndarray], step: int) -> None:
+        """Collective: snapshot ``arrays`` at boundary ``step`` and
+        exchange buddy copies around the ring."""
+        for key in self.REQUIRED_KEYS:
+            if key not in arrays:
+                raise ValueError(f"buddy snapshot needs array {key!r}")
+        mass = np.asarray(arrays["mass"], dtype=np.float64)
+        mom = np.asarray(arrays["mom"], dtype=np.float64)
+        mp = mass[:, None] * mom if len(mass) else np.zeros((0, 3))
+        totals = comm.allreduce(
+            np.array(
+                [
+                    float(len(mass)),
+                    float(mass.sum()),
+                    *mp.sum(axis=0),
+                    float(np.abs(mp).sum()),
+                ]
+            ),
+            op="sum",
+        )
+        reference = {
+            "count": int(round(totals[0])),
+            "mass": float(totals[1]),
+            "momentum": totals[2:5].copy(),
+            "mom_scale": float(totals[5]),
+        }
+        copies = {k: np.array(arrays[k], copy=True) for k in arrays}
+        snap = BuddySnapshot(
+            owner_world_rank=comm.world_rank,
+            step=int(step),
+            epoch=comm.epoch,
+            arrays=copies,
+            checksums={k: _digest(a) for k, a in copies.items()},
+            reference=reference,
+        )
+        self.self_copy = snap
+        if comm.size == 1:
+            self.peer_copy = None
+            return
+        succ = (comm.rank + 1) % comm.size
+        pred = (comm.rank - 1) % comm.size
+        comm.send(snap, succ, tag=BUDDY_TAG, reliable=True)
+        self.peer_copy = comm.recv(pred, tag=BUDDY_TAG)
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _peer_report(self) -> Dict[str, Any]:
+        peer = self.peer_copy
+        return {
+            "self_step": self.step,
+            "peer_owner": None if peer is None else peer.owner_world_rank,
+            "peer_step": None if peer is None else peer.step,
+            "peer_valid": peer is not None and peer.verify(),
+        }
+
+    def plan_recovery(
+        self, new_comm: Comm, dead_ranks: Sequence[int]
+    ) -> Tuple[bool, int, str]:
+        """Collective (on the shrunk comm): can the dead set be
+        recovered in memory?
+
+        Returns ``(feasible, boundary_step, reason)`` — identical on
+        every survivor, because the verdict is a pure function of the
+        allgathered per-rank reports.
+        """
+        reports = new_comm.allgather(self._peer_report())
+        steps = {r["self_step"] for r in reports}
+        if None in steps:
+            return False, -1, "a survivor holds no self snapshot"
+        if len(steps) != 1:
+            return False, -1, f"survivor snapshots disagree on the boundary: {sorted(steps)}"
+        boundary = int(steps.pop())
+        for d in sorted(int(r) for r in dead_ranks):
+            holders = [
+                r
+                for r in reports
+                if r["peer_owner"] == d and r["peer_step"] == boundary
+            ]
+            if not holders:
+                return False, boundary, (
+                    f"no live buddy holds rank {d}'s block at step {boundary} "
+                    f"(owner and buddy both lost)"
+                )
+            if not any(r["peer_valid"] for r in holders):
+                return False, boundary, (
+                    f"buddy copy of rank {d}'s block failed its checksum"
+                )
+        return True, boundary, ""
+
+    def recovered_arrays(
+        self, dead_ranks: Sequence[int]
+    ) -> Tuple[Dict[str, np.ndarray], List[int]]:
+        """This survivor's rollback block: its own snapshot, plus the
+        particles of any dead rank whose buddy copy it holds.  Returns
+        ``(arrays, adopted_dead_ranks)``.  The first post-recovery
+        domain update redistributes everything, so *where* the adopted
+        block lands does not matter — only that exactly one survivor
+        contributes it.
+        """
+        if self.self_copy is None:
+            raise RecoveryError("no self snapshot to roll back to")
+        if not self.self_copy.verify():
+            raise RecoveryError("own rollback snapshot failed its checksum")
+        arrays = {k: a.copy() for k, a in self.self_copy.arrays.items()}
+        adopted: List[int] = []
+        peer = self.peer_copy
+        dead = {int(r) for r in dead_ranks}
+        if peer is not None and peer.owner_world_rank in dead:
+            if not peer.verify():
+                raise RecoveryError(
+                    f"buddy copy of rank {peer.owner_world_rank} failed its checksum"
+                )
+            if set(peer.arrays) != set(arrays):
+                raise RecoveryError(
+                    f"buddy copy of rank {peer.owner_world_rank} carries keys "
+                    f"{sorted(peer.arrays)}, expected {sorted(arrays)}"
+                )
+            for k in arrays:
+                arrays[k] = np.concatenate([arrays[k], peer.arrays[k]], axis=0)
+            adopted.append(peer.owner_world_rank)
+        return arrays, adopted
+
+
+def shrink_after_failure(
+    comm: Comm, timeout: float = 30.0
+) -> Tuple[Comm, List[int], int]:
+    """Run one survivor-consensus round and return the shrunk world.
+
+    Every live rank of an elastic job calls this after observing a
+    failure (:class:`PeerFailure` or :class:`CommTimeout`); the call
+    blocks until all live ranks joined, then returns
+    ``(new_comm, dead_world_ranks, epoch)`` — identical everywhere, the
+    communicator renumbered over the survivors in world-rank order.
+    ``dead_world_ranks`` holds only the ranks that died *since the
+    previous epoch* (the ones this recovery must restore); earlier
+    casualties were already handled.  An empty dead set means the failure
+    was transient (e.g. a dropped message whose retries ran out): the
+    fresh epoch still quarantines every in-flight straggler of the
+    broken step, and the caller re-executes from its last boundary on
+    the same rank count.
+    """
+    st = comm._state
+    ctl = st.control
+    if not ctl.elastic:
+        raise RuntimeError(
+            "shrink_after_failure requires an elastic job "
+            "(MPIRuntime(elastic=True))"
+        )
+    dead, survivors, epoch = ctl.survivor_consensus(
+        comm.world_rank, timeout=timeout
+    )
+    if comm.world_rank not in survivors:
+        # cannot happen for a live caller: the round only seals once
+        # every non-dead rank (including us) has voted
+        raise PeerFailure(
+            f"rank {comm.world_rank} was declared dead by consensus",
+            dead_ranks=dead,
+            epoch=epoch,
+        )
+    new_state = ctl.shrunk_state(epoch, survivors, dead, st.traffic)
+    new_comm = Comm(new_state, survivors.index(comm.world_rank))
+    newly_dead = sorted(set(dead) - set(st.known_dead))
+    return new_comm, newly_dead, epoch

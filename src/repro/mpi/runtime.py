@@ -21,7 +21,7 @@ import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.mpi.comm import Comm, CommAborted, _CommState, _JobControl
-from repro.mpi.faults import FaultPlan
+from repro.mpi.faults import FaultPlan, RankDeath
 from repro.mpi.network import TorusNetwork, TrafficLog
 
 __all__ = ["MPIRuntime", "run_spmd"]
@@ -53,6 +53,20 @@ class MPIRuntime:
         aborts the job once any rank has been stuck longer than this
         many seconds, naming the rank and operation in the abort
         reason.
+    elastic:
+        Survivable-death mode: a rank raising
+        :class:`repro.mpi.faults.RankDeath` (which
+        :class:`InjectedFault` subclasses) is marked dead instead of
+        aborting the job.  Survivors observe a
+        :class:`repro.mpi.comm.PeerFailure` from their next blocking
+        operation and are expected to run the shrink-and-continue
+        protocol of :mod:`repro.mpi.recovery`.  Dead ranks contribute
+        ``None`` to the result list; the job only fails if a rank
+        raises a non-death error, the watchdog fires, or every rank
+        dies.
+    retry_budget:
+        Per-rank, per-step cap on "reliable"-path retransmissions
+        (``Comm.send(reliable=True)`` / ``Comm.alltoall(reliable=True)``).
     """
 
     def __init__(
@@ -64,6 +78,8 @@ class MPIRuntime:
         fault_plan: Optional[FaultPlan] = None,
         recv_timeout: Optional[float] = None,
         watchdog_timeout: Optional[float] = None,
+        elastic: bool = False,
+        retry_budget: int = 16,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
@@ -74,12 +90,18 @@ class MPIRuntime:
             raise ValueError("recv_timeout must be positive")
         if watchdog_timeout is not None and watchdog_timeout <= 0:
             raise ValueError("watchdog_timeout must be positive")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
         self.n_ranks = int(n_ranks)
         self.traffic = TrafficLog()
         self.network = TorusNetwork(shape, link_bandwidth, link_latency)
         self.fault_plan = fault_plan
         self.recv_timeout = recv_timeout
         self.watchdog_timeout = watchdog_timeout
+        self.elastic = bool(elastic)
+        self.retry_budget = int(retry_budget)
+        #: world ranks that died in the last elastic run (diagnostics)
+        self.dead_ranks: List[int] = []
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
         """Run ``fn(comm, *args, **kwargs)`` on every rank.
@@ -94,7 +116,11 @@ class MPIRuntime:
         whose failure aborted the job first).
         """
         control = _JobControl(
-            fault_plan=self.fault_plan, recv_timeout=self.recv_timeout
+            fault_plan=self.fault_plan,
+            recv_timeout=self.recv_timeout,
+            elastic=self.elastic,
+            world_size=self.n_ranks,
+            retry_budget=self.retry_budget,
         )
         state = _CommState(
             self.n_ranks, list(range(self.n_ranks)), self.traffic, control
@@ -102,6 +128,7 @@ class MPIRuntime:
         results: List[Any] = [None] * self.n_ranks
         failures: List[Tuple[int, BaseException]] = []
         aborted: List[Tuple[int, CommAborted]] = []
+        deaths: List[Tuple[int, BaseException]] = []
         err_lock = threading.Lock()
 
         def worker(rank: int) -> None:
@@ -113,6 +140,20 @@ class MPIRuntime:
                 # not reported as its own error
                 with err_lock:
                     aborted.append((rank, exc))
+            except RankDeath as exc:
+                if control.elastic:
+                    # survivable: mark dead (waking blocked survivors)
+                    # and let the rest of the job shrink and continue
+                    with err_lock:
+                        deaths.append((rank, exc))
+                    control.mark_dead(rank, exc)
+                else:
+                    with err_lock:
+                        failures.append((rank, exc))
+                    control.abort(
+                        reason=f"rank {rank} failed: {type(exc).__name__}: {exc}",
+                        origin=rank,
+                    )
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with err_lock:
                     failures.append((rank, exc))
@@ -175,6 +216,19 @@ class MPIRuntime:
 
         failures.sort(key=lambda e: e[0])
         aborted_ranks = sorted(r for r, _ in aborted)
+        self.dead_ranks = sorted(r for r, _ in deaths)
+        if self.elastic and not failures and not aborted:
+            if deaths and len(deaths) == self.n_ranks:
+                err = RuntimeError(
+                    f"elastic job lost all {self.n_ranks} rank(s): no "
+                    f"survivor left to continue"
+                )
+                err.rank_errors = dict(deaths)
+                err.aborted_ranks = []
+                err.abort_origin = None
+                raise err
+            # dead ranks simply contribute None results
+            return results
         if failures:
             rank, exc = failures[0]
             msg = f"rank {rank} (thread rank-{rank}) failed: {exc!r}"

@@ -45,7 +45,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.sim.io import array_digest, atomic_write
+from repro.sim.io import array_digest, atomic_write, fsync_directory
 
 __all__ = [
     "CheckpointError",
@@ -248,9 +248,21 @@ def latest_checkpoint(ckpt_dir) -> Path:
 
 
 def update_latest(ckpt_dir, step_dir_name: str) -> None:
+    """Flip the ``LATEST`` pointer to ``step_dir_name``, durably.
+
+    The pointer flip is the commit point of a checkpoint: everything it
+    references must survive a crash that happens the instant after.  So
+    the step directory is fsynced first (making its rank files' renames
+    durable), the pointer itself is written via fsynced temp file +
+    atomic rename, and finally the checkpoint directory is fsynced so
+    the rename cannot roll back to the previous pointer on power loss.
+    """
+    ckpt_dir = Path(ckpt_dir)
+    fsync_directory(ckpt_dir / step_dir_name)
     atomic_write(
-        Path(ckpt_dir) / LATEST_NAME,
+        ckpt_dir / LATEST_NAME,
         lambda fh: fh.write((step_dir_name + "\n").encode()),
+        fsync_parent=True,
     )
 
 

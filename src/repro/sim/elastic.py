@@ -1,0 +1,379 @@
+"""Elastic shrink-and-continue simulation loop.
+
+:class:`ElasticRunner` wraps a :class:`repro.sim.parallel.ParallelSimulation`
+in the recovery state machine of :mod:`repro.mpi.recovery`:
+
+.. code-block:: text
+
+   detect ──> consensus ──> restore ──> re-decompose ──> validate ──> continue
+   (PeerFailure/     (survivor vote:   (buddy copy,      (multisection   (count/mass/
+    CommTimeout       dead set + new    else disk         over the        momentum sweep
+    from any           epoch)           checkpoint)       survivor set)   gates the run)
+    collective)
+
+Detection costs nothing extra: the existing timeout/watchdog machinery
+already converts a dead or wedged peer into an exception on every
+survivor.  The runner catches it, joins the consensus round, restores
+the last buddy boundary (every survivor rolls back; the dead rank's
+block is adopted by its ring buddy), rebuilds the simulation over the
+shrunk communicator — the sampling multisection decomposition
+re-bootstraps at the new rank count on the next step — and re-executes
+from the boundary.  Only when a rank *and* its buddy died together does
+recovery fall back to the newest complete disk checkpoint.
+
+Elastic jobs should run with a finite ``recv_timeout``: a survivor
+blocked on a rank that already entered the consensus round escapes its
+dead receive through the timeout and joins the round too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace as _dc_replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.decomp.multisection import divisions_for_ranks
+from repro.mpi.faults import CommTimeout, PeerFailure
+from repro.mpi.recovery import BuddyStore, RecoveryError, RecoveryEvent, shrink_after_failure
+from repro.mpi.runtime import MPIRuntime
+from repro.sim import checkpoint as _ckpt
+from repro.sim.checkpoint import CheckpointError
+from repro.sim.parallel import ParallelSimulation
+from repro.validate import check_recovery_totals
+
+__all__ = ["ElasticRunner", "run_elastic_simulation", "config_for_ranks"]
+
+
+def config_for_ranks(config: SimulationConfig, n_ranks: int) -> SimulationConfig:
+    """Re-target ``config`` at ``n_ranks`` ranks.
+
+    The domain divisions become the most compact factorization of the
+    new rank count (boundaries re-bootstrap from the sampling method on
+    the next step) and the relay group count is clamped so the root
+    group keeps at least one FFT process.  Everything the physics
+    depends on is untouched — ``config_hash(include_layout=False)`` is
+    invariant, so disk checkpoints stay loadable across the change.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    kwargs = {
+        "domain": _dc_replace(
+            config.domain, divisions=divisions_for_ranks(n_ranks)
+        )
+    }
+    if config.relay.n_groups > n_ranks:
+        kwargs["relay"] = _dc_replace(config.relay, n_groups=n_ranks)
+    return config.with_(**kwargs)
+
+
+class ElasticRunner:
+    """Drives one rank of an elastic (fault-surviving) simulation.
+
+    Parameters
+    ----------
+    comm:
+        World communicator of an ``MPIRuntime(elastic=True)`` job.
+    config, pos, mom, mass, stepper, ids:
+        As for :class:`ParallelSimulation` (this rank's slice).
+    buddy_every:
+        Buddy-replication cadence K: the in-memory rollback boundary is
+        refreshed every K completed steps.  A failure replays at most K
+        steps; each refresh ships one full particle-block copy to the
+        ring buddy.
+    checkpoint_dir, checkpoint_every:
+        Disk checkpointing, as for :meth:`ParallelSimulation.run`.
+        When a directory is given, an initial checkpoint is written at
+        the starting boundary so the disk-fallback path always has a
+        complete set to restore, even for failures before the first
+        cadence point.
+    consensus_timeout:
+        Seconds a survivor waits for the consensus round to seal before
+        declaring the job lost.
+    max_recoveries:
+        Total recoveries (of any mode) after which the runner gives up
+        with :class:`RecoveryError` instead of thrashing.
+    """
+
+    def __init__(
+        self,
+        comm,
+        config: SimulationConfig,
+        pos: np.ndarray,
+        mom: np.ndarray,
+        mass: np.ndarray,
+        stepper=None,
+        ids: Optional[np.ndarray] = None,
+        buddy_every: int = 1,
+        checkpoint_dir=None,
+        checkpoint_every: Optional[int] = None,
+        consensus_timeout: float = 30.0,
+        max_recoveries: int = 8,
+    ) -> None:
+        if buddy_every < 1:
+            raise ValueError("buddy_every must be >= 1")
+        if max_recoveries < 1:
+            raise ValueError("max_recoveries must be >= 1")
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        self.comm = comm
+        self.stepper = stepper
+        self.buddy_every = int(buddy_every)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.consensus_timeout = float(consensus_timeout)
+        self.max_recoveries = int(max_recoveries)
+        self.sim = ParallelSimulation(
+            comm, config, pos, mom, mass, stepper=stepper, ids=ids
+        )
+        self.buddy = BuddyStore()
+        #: completed recoveries, in order (identical shape on every
+        #: survivor; per-rank latencies differ)
+        self.events: List[RecoveryEvent] = []
+        self._recover_attempts = 0
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _particle_arrays(self):
+        s = self.sim
+        return {"pos": s.pos, "mom": s.mom, "mass": s.mass, "ids": s.ids}
+
+    def _refresh_buddy(self, boundary: int) -> None:
+        self.buddy.refresh(self.comm, self._particle_arrays(), boundary)
+
+    def _sweep(self, reference, boundary: int) -> None:
+        """Post-recovery validation sweep (collective): the restored
+        global totals must match the rollback boundary's reference.
+        A violation is raised on every rank — recovery does not count
+        as successful until the restored state proves consistent."""
+        s = self.sim
+        mp = s.mass[:, None] * s.mom if len(s.mass) else np.zeros((0, 3))
+        totals = self.comm.allreduce(
+            np.array([float(len(s.mass)), float(s.mass.sum()), *mp.sum(axis=0)]),
+            op="sum",
+        )
+        violation = check_recovery_totals(
+            int(round(totals[0])),
+            float(totals[1]),
+            totals[2:5],
+            reference,
+            step=boundary,
+            rank=self.comm.rank,
+        )
+        if violation is not None:
+            raise violation
+
+    def _recover(self, exc: BaseException, failed_step: int) -> int:
+        """The shrink-and-continue state machine; returns the step to
+        resume from."""
+        t0 = time.perf_counter()
+        self._recover_attempts += 1
+        if self._recover_attempts > self.max_recoveries:
+            raise RecoveryError(
+                f"giving up after {self._recover_attempts - 1} recovery "
+                f"attempt(s) ({len(self.events)} completed; last failure: "
+                f"{type(exc).__name__}: {exc})"
+            )
+        old_reference = (
+            dict(self.buddy.self_copy.reference)
+            if self.buddy.self_copy is not None
+            else {}
+        )
+
+        new_comm, dead, epoch = shrink_after_failure(
+            self.comm, timeout=self.consensus_timeout
+        )
+        self.comm = new_comm
+        config = (
+            config_for_ranks(self.sim.config, new_comm.size)
+            if dead
+            else self.sim.config
+        )
+
+        feasible, boundary, reason = self.buddy.plan_recovery(new_comm, dead)
+        if feasible:
+            arrays, adopted = self.buddy.recovered_arrays(dead)
+            self.sim = ParallelSimulation(
+                new_comm,
+                config,
+                arrays["pos"],
+                arrays["mom"],
+                arrays["mass"],
+                stepper=self.stepper,
+                ids=arrays["ids"],
+            )
+            self.sim.steps_taken = boundary
+            mode = "buddy" if dead else "rollback"
+            detail = (
+                f"adopted rank(s) {adopted} from buddy copies" if adopted else ""
+            )
+            reference = old_reference
+        else:
+            # disk fallback: owner and buddy both died (or no consistent
+            # in-memory boundary exists)
+            if self.checkpoint_dir is None:
+                raise RecoveryError(
+                    f"in-memory recovery impossible ({reason}) and no "
+                    f"checkpoint directory configured"
+                )
+            try:
+                step_dir = _ckpt.latest_checkpoint(self.checkpoint_dir)
+            except CheckpointError as ckpt_exc:
+                raise RecoveryError(
+                    f"in-memory recovery impossible ({reason}) and no "
+                    f"complete disk checkpoint found: {ckpt_exc}"
+                ) from ckpt_exc
+            manifest = _ckpt.read_manifest(step_dir)
+            self.sim = ParallelSimulation.restore(
+                new_comm, config, step_dir, stepper=self.stepper
+            )
+            boundary = self.sim.steps_taken
+            mode = "disk"
+            detail = f"restored {step_dir} ({reason})"
+            reference = {"count": int(manifest["total_particles"])}
+
+        self._sweep(reference, boundary)
+        # re-arm replication on the new communicator at the restored
+        # boundary, so a follow-up failure rolls back here, not further
+        self.buddy = BuddyStore()
+        self._refresh_buddy(boundary)
+        self.events.append(
+            RecoveryEvent(
+                epoch=epoch,
+                dead_ranks=tuple(dead),
+                n_survivors=new_comm.size,
+                mode=mode,
+                resumed_step=boundary,
+                failed_step=failed_step,
+                duration=time.perf_counter() - t0,
+                detail=detail,
+            )
+        )
+        return boundary
+
+    # -- the loop ----------------------------------------------------------------
+
+    def run(
+        self, t_start: float, t_end: float, n_steps: int, first_step: int = 0
+    ) -> None:
+        """Integrate ``n_steps`` equal steps, surviving rank deaths.
+
+        Failures observed as :class:`PeerFailure` or
+        :class:`CommTimeout` trigger the recovery state machine; the
+        loop then resumes from the restored boundary.  On a rank killed
+        by the fault plan the injected :class:`RankDeath` propagates to
+        the elastic runtime, which marks the rank dead.
+        """
+        edges = np.linspace(t_start, t_end, n_steps + 1)
+        schedule = {
+            "t_start": float(t_start),
+            "t_end": float(t_end),
+            "n_steps": int(n_steps),
+        }
+        if self.checkpoint_dir is not None:
+            self.sim.checkpoint(
+                self.checkpoint_dir,
+                schedule={**schedule, "next_step": int(first_step)},
+            )
+        self._refresh_buddy(int(first_step))
+        i = int(first_step)
+        while i < n_steps:
+            try:
+                self.comm.fault_point(i)
+                self.sim.step(float(edges[i]), float(edges[i + 1]))
+                i += 1
+                if self.checkpoint_every and (
+                    (i - first_step) % self.checkpoint_every == 0 or i == n_steps
+                ):
+                    self.sim.checkpoint(
+                        self.checkpoint_dir,
+                        schedule={**schedule, "next_step": i},
+                    )
+                if (i - first_step) % self.buddy_every == 0 and i < n_steps:
+                    self._refresh_buddy(i)
+            except (PeerFailure, CommTimeout) as exc:
+                # a further failure *during* recovery (another rank died
+                # mid-consensus or mid-restore) starts another round;
+                # max_recoveries bounds the cascade
+                while True:
+                    try:
+                        i = self._recover(exc, failed_step=i)
+                        break
+                    except (PeerFailure, CommTimeout) as again:
+                        exc = again
+
+    def gather_state(self):
+        return self.sim.gather_state()
+
+
+def run_elastic_simulation(
+    config: SimulationConfig,
+    pos: np.ndarray,
+    mom: np.ndarray,
+    mass: np.ndarray,
+    t_start: float,
+    t_end: float,
+    n_steps: int,
+    stepper=None,
+    torus_shape=None,
+    fault_plan=None,
+    buddy_every: int = 1,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    recv_timeout: float = 5.0,
+    consensus_timeout: float = 30.0,
+    watchdog_timeout: Optional[float] = None,
+    retry_budget: int = 16,
+    max_recoveries: int = 8,
+):
+    """Driver: like :func:`repro.sim.parallel.run_parallel_simulation`
+    but on an elastic runtime that survives rank deaths.
+
+    Returns ``(pos, mom, mass, runners, runtime)``.  ``runners`` holds
+    the surviving ranks' :class:`ElasticRunner` objects (recovery
+    events, timings); dead ranks contribute ``None``.  The gathered
+    state comes from the shrunk communicator's root — the lowest
+    surviving world rank.  ``recv_timeout`` must be finite: it is the
+    detector that frees survivors blocked on a failed peer.
+    """
+    if recv_timeout is None or recv_timeout <= 0:
+        raise ValueError("elastic runs need a finite recv_timeout")
+    n_ranks = config.domain.n_domains
+    runtime = MPIRuntime(
+        n_ranks,
+        torus_shape=torus_shape,
+        fault_plan=fault_plan,
+        recv_timeout=recv_timeout,
+        watchdog_timeout=watchdog_timeout,
+        elastic=True,
+        retry_budget=retry_budget,
+    )
+
+    def spmd(comm):
+        n = len(pos)
+        lo = n * comm.rank // comm.size
+        hi = n * (comm.rank + 1) // comm.size
+        runner = ElasticRunner(
+            comm,
+            config,
+            pos[lo:hi],
+            mom[lo:hi],
+            mass[lo:hi],
+            stepper=stepper,
+            buddy_every=buddy_every,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            consensus_timeout=consensus_timeout,
+            max_recoveries=max_recoveries,
+        )
+        runner.run(t_start, t_end, n_steps)
+        return runner, runner.gather_state()
+
+    results = runtime.run(spmd)
+    runners = [None if r is None else r[0] for r in results]
+    state = next(
+        r[1] for r in results if r is not None and r[1] is not None
+    )
+    return state[0], state[1], state[2], runners, runtime

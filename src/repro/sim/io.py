@@ -26,7 +26,13 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["SnapshotHeader", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "SnapshotHeader",
+    "save_snapshot",
+    "load_snapshot",
+    "atomic_write",
+    "fsync_directory",
+]
 
 #: Version 2 added per-array sha256 checksums; version-1 files (no
 #: checksums) still load.
@@ -72,12 +78,35 @@ def _with_npz_suffix(path: Path) -> Path:
     return path if str(path).endswith(".npz") else Path(str(path) + ".npz")
 
 
-def atomic_write(path, writer) -> Path:
+def fsync_directory(path) -> None:
+    """fsync a directory, making a just-renamed entry durable.
+
+    ``os.replace`` makes a rename *atomic*, not *durable*: after a
+    power loss the directory may still replay to its pre-rename state
+    unless the directory inode itself was synced.  Best-effort on
+    platforms whose directories cannot be opened/fsynced.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path, writer, fsync_parent: bool = False) -> Path:
     """Call ``writer(file_object)`` on a temp file in ``path``'s
     directory, fsync it, then atomically move it to ``path``.
 
     A crash at any point leaves either the previous file or no file —
-    never a torn one.  Returns ``path``.
+    never a torn one.  With ``fsync_parent`` the parent directory is
+    fsynced after the rename, so the rename is also *durable* — a
+    crash cannot roll the directory entry back to the previous file.
+    Returns ``path``.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -95,6 +124,8 @@ def atomic_write(path, writer) -> Path:
         except OSError:
             pass
         raise
+    if fsync_parent:
+        fsync_directory(path.parent or Path("."))
     return path
 
 

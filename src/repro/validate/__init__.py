@@ -36,6 +36,7 @@ from repro.validate.checks import (
     check_octree,
     check_particle_count,
     check_positive,
+    check_recovery_totals,
     first_violation,
 )
 from repro.validate.errors import InvariantViolation, InvariantWarning, array_stats
@@ -59,6 +60,7 @@ __all__ = [
     "check_octree",
     "check_domain_partition",
     "check_domain_containment",
+    "check_recovery_totals",
     "first_violation",
     "EnergyDriftMonitor",
     "LayzerIrvineMonitor",

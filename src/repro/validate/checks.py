@@ -32,6 +32,7 @@ __all__ = [
     "check_octree",
     "check_domain_partition",
     "check_domain_containment",
+    "check_recovery_totals",
     "first_violation",
     "EXACT_REL_TOL",
 ]
@@ -367,6 +368,69 @@ def check_domain_containment(
         rank=rank,
         stats={"n_bad": int(bad.sum()), "first_index": idx},
     )
+
+
+def check_recovery_totals(
+    count: int,
+    mass: float,
+    momentum: np.ndarray,
+    reference: Dict,
+    *,
+    stage: str = "recovery",
+    rel_tol: float = EXACT_REL_TOL,
+    step: Optional[int] = None,
+    rank: Optional[int] = None,
+) -> Optional[InvariantViolation]:
+    """Post-recovery sweep: restored global totals must match the
+    conservation reference frozen at the rollback boundary.
+
+    ``reference`` carries any of ``count`` (exact match required),
+    ``mass`` (relative), ``momentum`` with its ``mom_scale`` (absolute
+    per component, relative to the sum of ``|m p|`` magnitudes — the
+    restored arrays are bit-identical copies, so only summation
+    reassociation may move the totals).  Missing reference keys are
+    skipped, which lets the disk-fallback path check count only.
+    """
+    if "count" in reference and int(count) != int(reference["count"]):
+        return InvariantViolation(
+            f"recovered particle count {int(count)} != reference "
+            f"{int(reference['count'])}",
+            check="recovery_totals",
+            stage=stage,
+            step=step,
+            rank=rank,
+            stats={"count": int(count), "reference": int(reference["count"])},
+        )
+    if "mass" in reference:
+        want = float(reference["mass"])
+        diff = abs(float(mass) - want)
+        if not np.isfinite(diff) or diff > rel_tol * max(abs(want), 1.0e-300):
+            return InvariantViolation(
+                f"recovered total mass {float(mass):.17g} differs from "
+                f"reference {want:.17g} by {diff:.6g}",
+                check="recovery_totals",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={"mass": float(mass), "reference": want},
+            )
+    if "momentum" in reference:
+        ref_p = np.asarray(reference["momentum"], dtype=np.float64)
+        got_p = np.asarray(momentum, dtype=np.float64)
+        scale = max(float(reference.get("mom_scale", 0.0)), 1.0e-300)
+        diff = float(np.max(np.abs(got_p - ref_p), initial=0.0))
+        if not np.isfinite(diff) or diff > rel_tol * scale:
+            return InvariantViolation(
+                f"recovered total momentum {got_p.tolist()} differs from "
+                f"reference {ref_p.tolist()} by {diff:.6g} "
+                f"(tolerance {rel_tol * scale:.6g})",
+                check="recovery_totals",
+                stage=stage,
+                step=step,
+                rank=rank,
+                stats={"momentum": got_p.tolist(), "reference": ref_p.tolist()},
+            )
+    return None
 
 
 def first_violation(*violations: Optional[InvariantViolation]) -> Optional[

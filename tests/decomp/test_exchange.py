@@ -32,8 +32,8 @@ class _TamperComm:
     def __getattr__(self, name):
         return getattr(self._comm, name)
 
-    def alltoall(self, sends):
-        received = self._comm.alltoall(sends)
+    def alltoall(self, sends, **kwargs):
+        received = self._comm.alltoall(sends, **kwargs)
         return self._mutate(received, self._comm.rank)
 
 
