@@ -32,12 +32,20 @@ Config schema (JSON object; every key optional unless noted):
   "validate_every": 1,                // check sampling interval (steps)
   "energy_tol": 0.25,                 // relative energy-drift tolerance
   "energy_every": 0,                  // energy monitor interval (0 = off)
-  "validate_dump_dir": null           // where "dump" writes diagnostics
+  "validate_dump_dir": null,          // where "dump" writes diagnostics
+  "backend": "serial",                // serial | thread | multiprocess | mpi4py
+  "ranks": 1                          // SPMD ranks (backend != serial)
 }
 ```
 
 The ``--validate``/``--validate-every``/``--energy-tol`` flags override
-the corresponding config keys (see ``docs/validation.md``).
+the corresponding config keys (see ``docs/validation.md``), and
+``--backend``/``--ranks`` override the communicator selection (see
+``docs/parallelism.md``).  Parallel backends run the same schedule via
+:func:`repro.sim.parallel.run_parallel_simulation`; snapshots and
+``--resume`` (the serial single-file checkpoint) are serial-only —
+parallel runs checkpoint through the distributed per-rank format
+instead.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from typing import Any, Dict, List
 import numpy as np
 
 from repro.config import (
+    DomainConfig,
     PMConfig,
     SimulationConfig,
     TreeConfig,
@@ -86,7 +95,26 @@ _DEFAULTS: Dict[str, Any] = {
     "energy_tol": 0.25,
     "energy_every": 0,
     "validate_dump_dir": None,
+    "backend": "serial",
+    "ranks": 1,
 }
+
+_BACKEND_CHOICES = ("serial", "thread", "multiprocess", "mpi4py")
+
+
+def _divisions_for(n_ranks: int):
+    """Near-cubic 3-axis domain division with product ``n_ranks``."""
+    divs = [1, 1, 1]
+    remaining = n_ranks
+    factor = 2
+    while factor * factor <= remaining:
+        while remaining % factor == 0:
+            divs[divs.index(min(divs))] *= factor
+            remaining //= factor
+        factor += 1
+    if remaining > 1:
+        divs[divs.index(min(divs))] *= remaining
+    return tuple(sorted(divs, reverse=True))
 
 
 def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
@@ -119,6 +147,113 @@ def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
     )
 
 
+def _initial_state(cfg: Dict[str, Any], start: float, end: float, log=print):
+    """Generate the fresh-run particle state for either config kind."""
+    if cfg["kind"] == "cosmological":
+        from repro.cosmology.params import WMAP7
+        from repro.cosmology.power_spectrum import PowerSpectrum
+        from repro.ic.lpt2 import Lpt2IC
+        from repro.ic.zeldovich import ZeldovichIC
+
+        ps = PowerSpectrum(WMAP7, k_fs=cfg["k_fs"])
+        base = ps.in_box_units(cfg["box_mpc_h"])
+        boost = float(cfg["amplitude_boost"])
+        if cfg["lpt_order"] not in (1, 2):
+            raise ValueError("lpt_order must be 1 or 2")
+        ic_cls = ZeldovichIC if cfg["lpt_order"] == 1 else Lpt2IC
+        ic = ic_cls(
+            WMAP7,
+            lambda k, z=0.0: boost**2 * base(k, z),
+            n_per_dim=cfg["n_per_dim"],
+            mesh_n=max(cfg["mesh_size"], cfg["n_per_dim"]),
+            seed=cfg["seed"],
+        )
+        pos, mom, mass = ic.generate(a_start=start)
+        log(
+            f"cosmological run: {cfg['n_per_dim']}^3 particles, "
+            f"a = {start:.5f} -> {end:.5f}"
+        )
+        return pos, mom, mass
+    rng = np.random.default_rng(cfg["seed"])
+    n = cfg["n_particles"]
+    log(f"static run: {n} particles, t = {start} -> {end}")
+    return rng.random((n, 3)), np.zeros((n, 3)), np.full(n, 1.0 / n)
+
+
+def _run_parallel_from_config(
+    cfg: Dict[str, Any],
+    sim_config: SimulationConfig,
+    stepper,
+    start: float,
+    end: float,
+    log_spaced: bool,
+    log,
+    checkpoint_every: int,
+    checkpoint_dir,
+    resume,
+) -> Dict[str, Any]:
+    """`repro run` with a parallel communicator backend.
+
+    Runs the same schedule through
+    :func:`repro.sim.parallel.run_parallel_simulation` on
+    ``cfg["ranks"]`` SPMD ranks.  Serial-only features are rejected
+    explicitly: snapshots and ``--resume`` use the serial single-file
+    format, and the parallel schedule is linearly spaced.
+    """
+    if resume is not None:
+        raise ValueError(
+            "--resume takes a serial checkpoint.npz; parallel runs "
+            "resume from distributed checkpoints "
+            "(repro.sim.parallel.resume_parallel_simulation)"
+        )
+    if cfg["snapshots"]:
+        raise ValueError(
+            "snapshots are serial-only; parallel runs persist state "
+            "with --checkpoint-every (distributed checkpoints)"
+        )
+    if log_spaced:
+        raise ValueError(
+            "parallel backends step the time variable linearly; set "
+            '"log_spaced": false or use the serial backend'
+        )
+    from repro.sim.parallel import run_parallel_simulation
+
+    ranks = int(cfg["ranks"])
+    par_config = sim_config.with_(
+        domain=DomainConfig(divisions=_divisions_for(ranks))
+    )
+    pos, mom, mass = _initial_state(cfg, start, end, log)
+    ckpt_dir = (
+        Path(checkpoint_dir or cfg["output_dir"]) if checkpoint_every else None
+    )
+    log(f"backend: {cfg['backend']}, {ranks} rank(s)")
+    pos, mom, mass, sims, runtime = run_parallel_simulation(
+        par_config, pos, mom, mass, start, end, cfg["n_steps"],
+        stepper=stepper,
+        checkpoint_every=checkpoint_every or None,
+        checkpoint_dir=ckpt_dir,
+        backend=cfg["backend"],
+    )
+    steps = max(int(s.steps_taken) for s in sims)
+    summary = {
+        "kind": cfg["kind"],
+        "backend": cfg["backend"],
+        "ranks": ranks,
+        "final_time": float(end),
+        "steps": steps,
+        "snapshots": [],
+        "checkpoint": str(ckpt_dir) if ckpt_dir is not None else None,
+        "resumed_from": None,
+        "per_rank_particles": [
+            int(s.n_local) if hasattr(s, "n_local") else len(s.pos)
+            for s in sims
+        ],
+        "timing_rank0": sims[0].table1_rows(),
+    }
+    log(f"done: {steps} steps on {ranks} {cfg['backend']} rank(s)")
+    return summary
+
+
 def run_from_config(
     config: Dict[str, Any],
     log=print,
@@ -142,6 +277,17 @@ def run_from_config(
     cfg.update(config)
     if cfg["kind"] not in ("cosmological", "static"):
         raise ValueError("kind must be 'cosmological' or 'static'")
+    if cfg["backend"] not in _BACKEND_CHOICES:
+        raise ValueError(
+            f"backend must be one of {_BACKEND_CHOICES}, got {cfg['backend']!r}"
+        )
+    if int(cfg["ranks"]) < 1:
+        raise ValueError("ranks must be >= 1")
+    if cfg["backend"] == "serial" and int(cfg["ranks"]) != 1:
+        raise ValueError(
+            "ranks > 1 needs a parallel backend (--backend thread or "
+            "multiprocess)"
+        )
     if cfg["snapshots"] and not cfg["output_dir"]:
         raise ValueError("snapshots require output_dir")
     if checkpoint_every and not (checkpoint_dir or cfg["output_dir"]):
@@ -165,6 +311,12 @@ def run_from_config(
         log_spaced = cfg["log_spaced"] if cfg["log_spaced"] is not None else False
         stepper = None
 
+    if cfg["backend"] != "serial":
+        return _run_parallel_from_config(
+            cfg, sim_config, stepper, start, end, log_spaced, log,
+            checkpoint_every, checkpoint_dir, resume,
+        )
+
     first_step = 0
     resume_time = None
     if resume is not None:
@@ -177,38 +329,9 @@ def run_from_config(
             f"resumed from {resume}: step {first_step}, "
             f"t = {resume_time:.6g} ({len(sim.pos)} particles)"
         )
-    elif cfg["kind"] == "cosmological":
-        from repro.cosmology.power_spectrum import PowerSpectrum
-        from repro.ic.lpt2 import Lpt2IC
-        from repro.ic.zeldovich import ZeldovichIC
-
-        ps = PowerSpectrum(WMAP7, k_fs=cfg["k_fs"])
-        base = ps.in_box_units(cfg["box_mpc_h"])
-        boost = float(cfg["amplitude_boost"])
-        if cfg["lpt_order"] not in (1, 2):
-            raise ValueError("lpt_order must be 1 or 2")
-        ic_cls = ZeldovichIC if cfg["lpt_order"] == 1 else Lpt2IC
-        ic = ic_cls(
-            WMAP7,
-            lambda k, z=0.0: boost**2 * base(k, z),
-            n_per_dim=cfg["n_per_dim"],
-            mesh_n=max(cfg["mesh_size"], cfg["n_per_dim"]),
-            seed=cfg["seed"],
-        )
-        pos, mom, mass = ic.generate(a_start=start)
-        sim = SerialSimulation(sim_config, pos, mom, mass, stepper=stepper)
-        log(
-            f"cosmological run: {cfg['n_per_dim']}^3 particles, "
-            f"a = {start:.5f} -> {end:.5f}"
-        )
     else:
-        rng = np.random.default_rng(cfg["seed"])
-        n = cfg["n_particles"]
-        pos = rng.random((n, 3))
-        sim = SerialSimulation(
-            sim_config, pos, np.zeros((n, 3)), np.full(n, 1.0 / n)
-        )
-        log(f"static run: {n} particles, t = {start} -> {end}")
+        pos, mom, mass = _initial_state(cfg, start, end, log)
+        sim = SerialSimulation(sim_config, pos, mom, mass, stepper=stepper)
 
     if log_spaced and start <= 0:
         raise ValueError("log-spaced steps need a positive start")
@@ -368,6 +491,16 @@ def main(argv=None) -> int:
         help="resume from a checkpoint written by --checkpoint-every",
     )
     run_p.add_argument(
+        "--backend", choices=_BACKEND_CHOICES, default=None,
+        help="communicator backend: serial (default), thread (in-process "
+        "SPMD ranks), multiprocess (supervised OS processes), or mpi4py "
+        "(under mpiexec; needs mpi4py installed) — see docs/parallelism.md",
+    )
+    run_p.add_argument(
+        "--ranks", type=int, default=None, metavar="N",
+        help="number of SPMD ranks for parallel backends (default 1)",
+    )
+    run_p.add_argument(
         "--validate", choices=("off", "warn", "abort", "dump"), default=None,
         help="runtime invariant checks: warn, abort on violation, or "
         "dump a diagnostic checkpoint and abort (see docs/validation.md)",
@@ -415,6 +548,12 @@ def main(argv=None) -> int:
         return 0
 
     config = json.loads(args.config.read_text())
+    if args.backend is not None:
+        config["backend"] = args.backend
+    if args.ranks is not None:
+        config["ranks"] = args.ranks
+        if args.backend is None:
+            config.setdefault("backend", "thread")
     if args.validate is not None:
         config["validate"] = args.validate
     if args.validate_every is not None:

@@ -1,21 +1,38 @@
-"""In-process SPMD message-passing runtime (the MPI substitute).
+"""SPMD message-passing runtime (the MPI substitute), with pluggable
+communicator backends.
 
 The paper runs on MPI over the K computer's Tofu interconnect; neither
-is available here, so this package provides a faithful in-process
-substitute:
+is available here, so this package provides a faithful substitute with
+interchangeable backends behind one interface:
 
-* :class:`MPIRuntime` executes an SPMD function on N ranks (threads),
-  each receiving a :class:`Comm` handle;
-* :class:`Comm` implements the MPI call surface GreeM uses — Send/Recv,
-  Sendrecv, Barrier, Bcast, Gather(v), Scatter, Allgather, Reduce,
-  Allreduce, Alltoall(v) and ``Comm_split`` — with numpy-buffer payloads;
-* every point-to-point message is recorded in a :class:`TrafficLog`,
-  and :class:`TorusNetwork` converts a phase's traffic into modeled
-  communication time on a 3-D torus with dimension-order routing and
-  link-level congestion, which is what makes the relay-mesh experiment
-  reproducible at paper scale.
+* ``"thread"`` (:class:`MPIRuntime`, the deterministic default) runs an
+  SPMD function on N in-process ranks, with the full fault-injection
+  surface, traffic logging and the :class:`TorusNetwork` model;
+* ``"multiprocess"`` (:class:`~repro.mpi.mp_backend.MultiprocessBackend`)
+  runs one supervised OS process per rank: true parallelism,
+  shared-memory transport for large arrays, heartbeat liveness
+  monitoring, and elastic recovery against *real* process deaths;
+* ``"mpi4py"`` (gated on import) adapts the same SPMD functions to a
+  real MPI under ``mpiexec``.
+
+Every backend hands ranks a communicator implementing the MPI call
+surface GreeM uses — Send/Recv, Sendrecv, Barrier, Bcast, Gather(v),
+Scatter, Allgather, Reduce, Allreduce, Alltoall(v) and ``Comm_split`` —
+with numpy-buffer payloads; the in-tree backends share the collective
+algorithms of :class:`~repro.mpi.backend.CollectiveComm`, so results
+are bit-identical across them.  Select a backend by name through
+:func:`create_backend` (or the drivers' ``backend=`` parameters).
 """
 
+from repro.mpi.backend import (
+    BackendCapabilities,
+    CommBackend,
+    available_backends,
+    backend_capabilities,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.mpi.runtime import MPIRuntime, run_spmd
 from repro.mpi.comm import Comm, CommAborted, Request
 from repro.mpi.faults import (
@@ -36,6 +53,13 @@ from repro.mpi.recovery import (
 )
 
 __all__ = [
+    "BackendCapabilities",
+    "CommBackend",
+    "available_backends",
+    "backend_capabilities",
+    "create_backend",
+    "register_backend",
+    "resolve_backend",
     "MPIRuntime",
     "run_spmd",
     "Comm",

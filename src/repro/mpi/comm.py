@@ -21,15 +21,18 @@ collective entry (stalls) and at application ``fault_point`` calls
 
 from __future__ import annotations
 
-import pickle
 import queue as _queue
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.mpi.backend import (
+    CollectiveComm,
+    Request,
+    _copy,
+    payload_bytes as _payload_bytes,
+)
 from repro.mpi.faults import (
     CommTimeout,
     InjectedFault,
@@ -326,85 +329,14 @@ class _CommState:
         self.control.abort(reason, origin)
 
 
-def _payload_bytes(obj: Any) -> int:
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 64  # unpicklable in-process object; count a token size
+class Comm(CollectiveComm):
+    """One rank's handle on a communicator (thread backend).
 
-
-def _copy(obj: Any) -> Any:
-    if isinstance(obj, np.ndarray):
-        return obj.copy()
-    return obj
-
-
-_REDUCE_OPS: Dict[str, Callable[[Any, Any], Any]] = {
-    "sum": lambda a, b: a + b,
-    "max": lambda a, b: np.maximum(a, b),
-    "min": lambda a, b: np.minimum(a, b),
-}
-
-
-class Request:
-    """Handle on a non-blocking operation (mpi4py-style)."""
-
-    def __init__(
-        self,
-        comm: "Comm",
-        kind: str,
-        done: bool = False,
-        source: int = -1,
-        tag: int = 0,
-    ) -> None:
-        self._comm = comm
-        self._kind = kind
-        self._done = done
-        self._source = source
-        self._tag = tag
-        self._payload: Any = None
-
-    def test(self) -> Tuple[bool, Any]:
-        """Non-blocking completion probe: (done, payload-or-None)."""
-        if self._done:
-            return True, self._payload
-        st = self._comm._state
-        q = st.queues[self._comm.rank][self._source]
-        while True:
-            try:
-                got_epoch, got_tag, payload = q.get_nowait()
-            except _queue.Empty:
-                return False, None
-            if got_epoch != st.epoch:
-                self._comm.stale_rejected += 1
-                continue
-            break
-        if got_tag != self._tag:
-            raise RuntimeError(
-                f"tag mismatch: expected {self._tag}, got {got_tag}"
-            )
-        self._payload = payload
-        self._done = True
-        return True, payload
-
-    def wait(self) -> Any:
-        """Block until completion; returns the received object (None
-        for send requests)."""
-        if self._done:
-            return self._payload
-        self._payload = self._comm.recv(self._source, tag=self._tag)
-        self._done = True
-        return self._payload
-
-    @staticmethod
-    def waitall(requests: Sequence["Request"]) -> List[Any]:
-        return [r.wait() for r in requests]
-
-
-class Comm:
-    """One rank's handle on a communicator."""
+    The collective surface (bcast/reduce/gather/scatter/alltoall/...)
+    comes from :class:`repro.mpi.backend.CollectiveComm`; this class
+    provides the in-process transport — per-pair queues, the shared
+    barrier, fault injection and the failure-detection machinery.
+    """
 
     def __init__(self, state: _CommState, rank: int) -> None:
         self._state = state
@@ -681,31 +613,24 @@ class Comm:
             on_retry=on_retry,
         )
 
-    def sendrecv(
-        self, sendobj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0
-    ) -> Any:
-        self.send(sendobj, dest, tag=sendtag)
-        return self.recv(source, tag=recvtag)
-
-    # -- non-blocking point to point --------------------------------------------
-    #
-    # The paper's footnote 4 weighs exactly this API for the mesh
-    # conversion ("One may imagine replacing this communication with
-    # MPI_Isend and MPI_Irecv.  However, a FFT process receives meshes
-    # from ~4000 processes.  Such a large number of non-blocking
-    # communications do not work concurrently.") — provided here so the
-    # alternative can be expressed and its traffic analyzed.
-
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
-        """Non-blocking send.  The in-process transport buffers
-        eagerly, so the send completes immediately; the Request exists
-        for API parity and deferred error surfacing."""
-        self.send(obj, dest, tag=tag)
-        return Request(self, kind="send", done=True)
-
-    def irecv(self, source: int, tag: int = 0) -> "Request":
-        """Non-blocking receive; complete with ``req.wait()``."""
-        return Request(self, kind="recv", source=source, tag=tag)
+    def _try_recv(self, source: int, tag: int) -> Tuple[bool, Any]:
+        """Non-blocking receive probe (backs ``Request.test``)."""
+        st = self._state
+        q = st.queues[self.rank][source]
+        while True:
+            try:
+                got_epoch, got_tag, payload = q.get_nowait()
+            except _queue.Empty:
+                return False, None
+            if got_epoch != st.epoch:
+                self.stale_rejected += 1
+                continue
+            break
+        if got_tag != tag:
+            raise RuntimeError(
+                f"tag mismatch: expected {tag}, got {got_tag}"
+            )
+        return True, payload
 
     # -- barriers ----------------------------------------------------------------
 
@@ -737,145 +662,56 @@ class Comm:
             self._state.traffic.begin_phase(name)
         self.barrier()
 
-    # -- collectives ----------------------------------------------------------------
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Binomial-tree broadcast."""
-        with self._collective("bcast"):
-            size, rank = self.size, self._rank
-            rel = (rank - root) % size
-            mask = 1
-            while mask < size:
-                if rel < mask:
-                    dst = rel + mask
-                    if dst < size:
-                        self.send(obj, (dst + root) % size, tag=-2)
-                elif rel < 2 * mask:
-                    obj = self.recv(((rel - mask) + root) % size, tag=-2)
-                mask <<= 1
-            return obj
-
-    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Optional[Any]:
-        """Binomial-tree reduction; result valid on root only."""
-        with self._collective("reduce"):
-            fn = _REDUCE_OPS[op]
-            size, rank = self.size, self._rank
-            rel = (rank - root) % size
-            acc = _copy(value)
-            mask = 1
-            while mask < size:
-                if rel & mask:
-                    self.send(acc, ((rel - mask) + root) % size, tag=-3)
-                    return None
-                partner = rel | mask
-                if partner < size:
-                    other = self.recv((partner + root) % size, tag=-3)
-                    acc = fn(acc, other)
-                mask <<= 1
-            return acc if rank == root else None
-
-    def allreduce(self, value: Any, op: str = "sum") -> Any:
-        return self.bcast(self.reduce(value, op=op, root=0), root=0)
-
-    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        with self._collective("gather"):
-            if self._rank != root:
-                self.send(obj, root, tag=-4)
-                return None
-            out = [None] * self.size
-            out[root] = _copy(obj)
-            for src in range(self.size):
-                if src != root:
-                    out[src] = self.recv(src, tag=-4)
-            return out
-
-    def allgather(self, obj: Any) -> List[Any]:
-        return self.bcast(self.gather(obj, root=0), root=0)
-
-    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
-        with self._collective("scatter"):
-            if self._rank == root:
-                if objs is None or len(objs) != self.size:
-                    raise ValueError("root must pass one object per rank")
-                for dst in range(self.size):
-                    if dst != root:
-                        self.send(objs[dst], dst, tag=-5)
-                return _copy(objs[root])
-            return self.recv(root, tag=-5)
-
-    def alltoall(self, objs: Sequence[Any], reliable: bool = False) -> List[Any]:
-        """Pairwise-exchange all-to-all; ``objs[d]`` goes to rank d.
-
-        ``reliable=True`` routes every pairwise transfer through the
-        retransmitting send / retrying receive path, so transient
-        injected drops and delays are absorbed (within the per-step
-        retry budget) instead of failing the collective — the mode the
-        particle exchange and the relay-mesh conversions run in.
-        """
-        with self._collective("alltoall"):
-            if len(objs) != self.size:
-                raise ValueError("need one object per rank")
-            size, rank = self.size, self._rank
-            out: List[Any] = [None] * size
-            out[rank] = _copy(objs[rank])
-            for step in range(1, size):
-                dst = (rank + step) % size
-                src = (rank - step) % size
-                if reliable:
-                    self.send(objs[dst], dst, tag=-6, reliable=True)
-                    out[src] = self._recv_reliable(src, tag=-6)
-                else:
-                    out[src] = self.sendrecv(
-                        objs[dst], dst, src, sendtag=-6, recvtag=-6
-                    )
-            return out
-
-    def alltoallv(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
-        """All-to-all of numpy arrays (the MPI_Alltoallv workhorse).
-
-        ``arrays[d]`` is sent to rank d; returns a list indexed by
-        source rank.  Array shapes may differ per destination.
-        """
-        if len(arrays) != self.size:
-            raise ValueError("need one array per rank")
-        return self.alltoall([np.asarray(a) for a in arrays])
-
     # -- communicator management ---------------------------------------------------
 
-    def split(self, color: int, key: Optional[int] = None) -> Optional["Comm"]:
-        """Create sub-communicators by color (MPI_Comm_split).
-
-        Ranks passing ``color=None`` get ``None`` back (MPI_UNDEFINED).
-        Ranks are ordered by ``(key, rank)`` within each color.
-        """
-        seq = self._split_seq
-        self._split_seq += 1
-        me = (color, key if key is not None else self._rank, self._rank)
-        all_entries = self.allgather(me)
-
-        if color is None:
-            self.barrier()
-            return None
-        members = sorted(
-            (k, r) for c, k, r in all_entries if c == color
-        )
-        ranks = [r for _, r in members]
-        new_rank = ranks.index(self._rank)
+    def _make_split_comm(
+        self, seq: int, color: int, member_ranks: Sequence[int], new_rank: int
+    ) -> "Comm":
+        """Split hook: share one :class:`_CommState` per ``(seq,
+        color)`` among the member ranks (first to arrive creates it)."""
         st = self._state
         reg_key = (seq, color)
         with st.lock:
             if reg_key not in st.split_registry:
                 st.split_registry[reg_key] = _CommState(
-                    len(ranks),
-                    [st.world_ranks[r] for r in ranks],
+                    len(member_ranks),
+                    [st.world_ranks[r] for r in member_ranks],
                     st.traffic,
                     st.control,
                     epoch=st.epoch,
                     known_dead=st.known_dead,
                 )
             new_state = st.split_registry[reg_key]
-        self.barrier()
         return Comm(new_state, new_rank)
+
+    # -- elastic recovery ----------------------------------------------------------
+
+    def shrink(self, timeout: float = 30.0) -> Tuple["Comm", List[int], int]:
+        """One survivor-consensus round; see
+        :func:`repro.mpi.recovery.shrink_after_failure` (the public
+        entry point) for the contract."""
+        st = self._state
+        ctl = st.control
+        if not ctl.elastic:
+            raise RuntimeError(
+                "shrink_after_failure requires an elastic job "
+                "(MPIRuntime(elastic=True))"
+            )
+        dead, survivors, epoch = ctl.survivor_consensus(
+            self.world_rank, timeout=timeout
+        )
+        if self.world_rank not in survivors:
+            # cannot happen for a live caller: the round only seals once
+            # every non-dead rank (including us) has voted
+            raise PeerFailure(
+                f"rank {self.world_rank} was declared dead by consensus",
+                dead_ranks=dead,
+                epoch=epoch,
+            )
+        new_state = ctl.shrunk_state(epoch, survivors, dead, st.traffic)
+        new_comm = Comm(new_state, survivors.index(self.world_rank))
+        newly_dead = sorted(set(dead) - set(st.known_dead))
+        return new_comm, newly_dead, epoch
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Comm(rank={self._rank}/{self.size})"

@@ -162,6 +162,12 @@ class _MessageFault:
 class _KillFault:
     rank: int
     step: int
+    #: ``None`` — backend default (thread: raise InjectedFault;
+    #: multiprocess: SIGKILL the worker process).  ``True`` — demand a
+    #: real OS-level kill (backends without real processes fall back to
+    #: the raise).  ``False`` — always the in-rank raise, even where a
+    #: real kill is possible.
+    real: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -195,9 +201,21 @@ class FaultPlan:
 
     # -- builders ---------------------------------------------------------------
 
-    def kill_rank(self, rank: int, step: int) -> "FaultPlan":
-        """Kill ``rank`` when it reaches ``comm.fault_point(step)``."""
-        self._kills.append(_KillFault(int(rank), int(step)))
+    def kill_rank(
+        self, rank: int, step: int, real: Optional[bool] = None
+    ) -> "FaultPlan":
+        """Kill ``rank`` when it reaches ``comm.fault_point(step)``.
+
+        ``real`` selects *how* the rank dies on backends with real OS
+        processes: ``None`` uses the backend default (the multiprocess
+        backend SIGKILLs the worker — no cleanup, no goodbye message —
+        while the thread backend raises :class:`InjectedFault`);
+        ``True`` demands the SIGKILL where possible; ``False`` forces
+        the in-rank raise everywhere (the death is then *announced* to
+        the supervisor instead of being discovered by liveness
+        monitoring).
+        """
+        self._kills.append(_KillFault(int(rank), int(step), real))
         return self
 
     def _add_message(
@@ -287,6 +305,14 @@ class FaultPlan:
     def should_kill(self, rank: int, step: int) -> bool:
         return any(k.rank == rank and k.step == step for k in self._kills)
 
+    def kill_action(self, rank: int, step: int) -> Optional[_KillFault]:
+        """The kill rule hitting ``rank`` at ``step`` (None if none);
+        backends use ``.real`` to pick raise-vs-SIGKILL semantics."""
+        for k in self._kills:
+            if k.rank == rank and k.step == step:
+                return k
+        return None
+
     def message_events(self, src: int, dst: int) -> List[_MessageFault]:
         """All message rules whose filter matches ``src -> dst``."""
         return [ev for ev in self._messages if ev.matches(src, dst)]
@@ -304,7 +330,8 @@ class FaultPlan:
         """Human-readable summary of the scheduled faults."""
         lines = [f"FaultPlan(seed={self.seed})"]
         for k in self._kills:
-            lines.append(f"  kill rank {k.rank} at step {k.step}")
+            how = "" if k.real is None else (" [real]" if k.real else " [raise]")
+            lines.append(f"  kill rank {k.rank} at step {k.step}{how}")
         for m in self._messages:
             where = f"{'any' if m.src is None else m.src}->" \
                     f"{'any' if m.dst is None else m.dst}"

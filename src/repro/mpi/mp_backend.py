@@ -1,0 +1,1094 @@
+"""Supervised multiprocess communicator backend.
+
+One OS process per rank, a supervising parent, and a shared-memory
+transport: the ``"multiprocess"`` backend runs the *same* SPMD functions
+as the thread backend with true parallelism (one GIL per rank) and fault
+tolerance across real process boundaries — a SIGKILLed worker surfaces
+to the survivors as the same :class:`repro.mpi.faults.PeerFailure` an
+injected thread death produces, so the elastic shrink-and-continue
+recovery of :mod:`repro.mpi.recovery` works unchanged against genuinely
+dead processes.
+
+Architecture (fork start method by default; override with
+``REPRO_MP_START_METHOD=spawn``, which additionally requires the SPMD
+function to be picklable):
+
+* **Transport** — one inbound ``multiprocessing.Queue`` per world rank;
+  every message is ``(comm_key, epoch, src_world, tag, blob)``.  A rank
+  has exactly one queue consumer (its :class:`_Mailbox`) that routes
+  messages to whichever communicator — world, split, or shrunk — is
+  receiving, stashing out-of-order arrivals by ``(comm_key, epoch,
+  src, tag)`` and discarding other-epoch stragglers exactly like the
+  thread backend (counted in ``comm.stale_rejected``).
+* **Large arrays** ride POSIX shared memory instead of the queue pipe:
+  a custom pickler externalizes every C-contiguous numpy array above a
+  size threshold into a ``SharedMemory`` segment (job-unique name
+  prefix), and the receiver copies out and unlinks it.  The pipe then
+  carries only metadata, and a particle block crosses process
+  boundaries with one copy in and one copy out.
+* **Collectives** come from :class:`repro.mpi.backend.CollectiveComm`
+  — the identical binomial-tree / pairwise-exchange message patterns as
+  every other backend, so results are bit-identical across backends.
+  Barriers are dissemination barriers built from the same transport
+  (internal token messages, exempt from fault injection — the thread
+  backend's ``threading.Barrier`` is equally exempt).
+* **Liveness** — every worker heartbeats a shared board and watches its
+  parent pid (orphan protection); the parent-side
+  :class:`repro.mpi.supervisor.Supervisor` turns exit codes, missing
+  heartbeats and announced deaths into the shared ``dead_flags`` array
+  that peers poll from every blocking receive.
+* **Fault injection** — the same :class:`repro.mpi.faults.FaultPlan`
+  drives message drop/delay/corrupt and collective stalls (per-process
+  event counters), and ``kill_rank`` kills *for real*: the victim
+  SIGKILLs itself at the scheduled ``fault_point`` — no cleanup, no
+  goodbye message — so what the survivors and the supervisor observe is
+  a genuine process death, not a simulation of one.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing as mp
+import os
+import pickle
+import queue as _queue
+import signal
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpi.backend import (
+    BackendCapabilities,
+    CollectiveComm,
+    CommBackend,
+    payload_bytes as _payload_bytes,
+)
+from repro.mpi.comm import CommAborted
+from repro.mpi.faults import (
+    CommTimeout,
+    InjectedFault,
+    MessageDropped,
+    PeerFailure,
+    RankDeath,
+    corrupt_payload,
+    retry_with_backoff,
+)
+from repro.mpi.network import TrafficLog
+from repro.mpi.supervisor import DEATH_EXIT_CODE, Supervisor
+
+__all__ = [
+    "MultiprocessBackend",
+    "MPComm",
+    "UnpicklableResult",
+    "DEFAULT_SHM_THRESHOLD",
+]
+
+_POLL_SECONDS = 0.02
+
+#: payload size (bytes) above which arrays ride shared memory
+DEFAULT_SHM_THRESHOLD = 1 << 16
+
+# mirror the thread backend's reliable-path caps (repro.mpi.comm)
+_RELIABLE_SEND_RETRIES = 3
+_RELIABLE_RECV_RETRIES = 2
+_RETRY_BASE_DELAY = 0.002
+
+#: comm_key of the world communicator
+_WORLD_KEY: Tuple[Any, ...] = ("w",)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory transport
+# ---------------------------------------------------------------------------
+
+
+def _untrack_shm(shm) -> None:
+    """Detach a segment from this process's resource tracker: ownership
+    moved to the receiver (who attaches, copies and unlinks), with the
+    supervisor's prefix sweep as the backstop for undelivered blobs."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _ShmPickler(pickle.Pickler):
+    """Externalizes large contiguous arrays into SharedMemory segments."""
+
+    def __init__(self, file, prefix: str, threshold: int) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._prefix = prefix
+        self._threshold = threshold
+
+    def persistent_id(self, obj: Any):
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.size
+            and obj.nbytes >= self._threshold
+            and not obj.dtype.hasobject
+            and obj.dtype.names is None
+        ):
+            from multiprocessing import shared_memory
+
+            arr = np.ascontiguousarray(obj)
+            name = f"{self._prefix}{uuid.uuid4().hex[:12]}"
+            shm = shared_memory.SharedMemory(
+                create=True, size=arr.nbytes, name=name
+            )
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            del view
+            shm.close()
+            _untrack_shm(shm)
+            return ("repro-shm", name, arr.dtype.str, arr.shape)
+        return None
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Rehydrates externalized arrays (copy out, then unlink)."""
+
+    def persistent_load(self, pid):
+        kind, name, dtstr, shape = pid
+        if kind != "repro-shm":  # pragma: no cover - format guard
+            raise pickle.UnpicklingError(f"unknown persistent id {kind!r}")
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            arr = np.ndarray(shape, dtype=np.dtype(dtstr), buffer=seg.buf).copy()
+        finally:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - double free race
+                pass
+        return arr
+
+
+class _ShmScrubber(pickle.Unpickler):
+    """Unpickler that only *unlinks* referenced segments (discarding an
+    undelivered message without leaking its shared memory)."""
+
+    def persistent_load(self, pid):
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(name=pid[1])
+            seg.close()
+            seg.unlink()
+        except Exception:
+            pass
+        return None
+
+
+def shm_dumps(obj: Any, prefix: str, threshold: int) -> bytes:
+    buf = io.BytesIO()
+    _ShmPickler(buf, prefix, threshold).dump(obj)
+    return buf.getvalue()
+
+
+def shm_loads(blob: bytes) -> Any:
+    return _ShmUnpickler(io.BytesIO(blob)).load()
+
+
+def free_blob(blob: bytes) -> None:
+    """Release the shared-memory segments of an undelivered message."""
+    try:
+        _ShmScrubber(io.BytesIO(blob)).load()
+    except Exception:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# shared job state (built in the parent, inherited/passed to workers)
+# ---------------------------------------------------------------------------
+
+
+class _MPJob:
+    """Everything the parent and all workers share for one job."""
+
+    def __init__(
+        self,
+        ctx,
+        n_ranks: int,
+        elastic: bool,
+        fault_plan,
+        recv_timeout: Optional[float],
+        retry_budget: int,
+        shm_threshold: int,
+        heartbeat_interval: float,
+    ) -> None:
+        self.n_ranks = n_ranks
+        self.jobid = uuid.uuid4().hex[:8]
+        self.shm_prefix = f"rpmp{self.jobid}"
+        self.elastic = elastic
+        self.fault_plan = fault_plan
+        self.recv_timeout = recv_timeout
+        self.retry_budget = retry_budget
+        self.shm_threshold = shm_threshold
+        self.heartbeat_interval = heartbeat_interval
+        #: inbound message queue per world rank
+        self.data_queues = [ctx.Queue() for _ in range(n_ranks)]
+        #: workers -> supervisor (votes, announced deaths, aborts)
+        self.ctrl_queue = ctx.Queue()
+        #: workers -> parent (per-rank results)
+        self.result_queue = ctx.Queue()
+        #: supervisor -> worker (consensus verdicts)
+        self.reply_queues = [ctx.Queue() for _ in range(n_ranks)]
+        self.abort_event = ctx.Event()
+        #: per-rank death flags, polled by every blocking receive
+        self.dead_flags = ctx.Array("i", n_ranks, lock=False)
+        #: per-rank heartbeat board (time.time() of the last beat)
+        self.hb_board = ctx.Array("d", n_ranks, lock=False)
+        #: abort reason, written once by the supervisor
+        self.reason_buf = ctx.Array("c", 1024, lock=False)
+
+    def abort_reason(self, fallback: str) -> str:
+        raw = bytes(self.reason_buf[:])
+        msg = raw.split(b"\x00", 1)[0].decode("utf-8", "replace")
+        return msg or fallback
+
+
+# ---------------------------------------------------------------------------
+# worker-side runtime state
+# ---------------------------------------------------------------------------
+
+
+class _LocalControl:
+    """Per-process fault/config state (worker-side analog of
+    ``repro.mpi.comm._JobControl``; no locking — one process, and the
+    communicator is only ever driven from the rank's main thread)."""
+
+    def __init__(self, job: _MPJob) -> None:
+        self.job = job
+        self.fault_plan = job.fault_plan
+        self.recv_timeout = job.recv_timeout
+        self.retry_budget = job.retry_budget
+        self.epoch = 0
+        self.step = -1
+        self._event_seq: Dict[Any, int] = {}
+        self._retry_left: Optional[Tuple[int, int]] = None
+
+    def record_step(self, step: int) -> None:
+        self.step = int(step)
+
+    def next_event_seq(self, key: Any) -> int:
+        seq = self._event_seq.get(key, 0)
+        self._event_seq[key] = seq + 1
+        return seq
+
+    def try_consume_retry(self) -> bool:
+        step = self.step
+        entry = self._retry_left
+        left = self.retry_budget if entry is None or entry[0] != step else entry[1]
+        if left <= 0:
+            return False
+        self._retry_left = (step, left - 1)
+        return True
+
+
+class _Mailbox:
+    """The single consumer of this rank's inbound queue.
+
+    Routes each message to the communicator receive that wants it;
+    arrivals for other ``(comm_key, epoch, src, tag)`` keys are stashed
+    (out-of-order delivery across interleaved communicators), and
+    messages stamped with an epoch older than the newest one registered
+    for their communicator are discarded as post-recovery stragglers —
+    freeing their shared-memory blobs — exactly like the thread
+    backend's epoch quarantine.
+    """
+
+    def __init__(self, job: _MPJob, world_rank: int) -> None:
+        self.q = job.data_queues[world_rank]
+        self.stash: Dict[Tuple[Any, int, int, Any], deque] = {}
+        self.epoch_of: Dict[Any, int] = {}
+        self.stale_drops = 0
+
+    def register_epoch(self, comm_key: Any, epoch: int) -> None:
+        cur = self.epoch_of.get(comm_key, -1)
+        if epoch <= cur:
+            return
+        self.epoch_of[comm_key] = epoch
+        for key in [k for k in self.stash if k[0] == comm_key and k[1] < epoch]:
+            for blob in self.stash.pop(key):
+                free_blob(blob)
+                self.stale_drops += 1
+
+    def _classify(self, msg, want) -> Tuple[bool, Any]:
+        """Deliver, stash, or drop one raw message; returns
+        ``(matched, blob)``."""
+        comm_key, epoch, src_w, tag, blob = msg
+        key = (comm_key, epoch, src_w, tag)
+        if key == want:
+            return True, blob
+        reg = self.epoch_of.get(comm_key)
+        if reg is not None and epoch < reg:
+            free_blob(blob)
+            self.stale_drops += 1
+            return False, None
+        self.stash.setdefault(key, deque()).append(blob)
+        return False, None
+
+    def try_take(self, want) -> Tuple[bool, Any]:
+        """Non-blocking: stash first, then drain whatever the queue
+        already holds."""
+        d = self.stash.get(want)
+        if d:
+            blob = d.popleft()
+            if not d:
+                del self.stash[want]
+            return True, blob
+        while True:
+            try:
+                msg = self.q.get_nowait()
+            except _queue.Empty:
+                return False, None
+            matched, blob = self._classify(msg, want)
+            if matched:
+                return True, blob
+
+    def wait_next(self, timeout: float):
+        """Block up to ``timeout`` for one raw message (None on expiry)."""
+        try:
+            return self.q.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+
+
+# ---------------------------------------------------------------------------
+# the communicator
+# ---------------------------------------------------------------------------
+
+
+class MPComm(CollectiveComm):
+    """One rank's communicator handle on the multiprocess backend.
+
+    The collective surface comes from
+    :class:`repro.mpi.backend.CollectiveComm`; this class provides the
+    cross-process transport: queue + shared-memory sends, mailbox
+    receives with epoch quarantine, dissemination barriers, fault
+    injection, and failure detection against the shared death flags.
+    """
+
+    def __init__(
+        self,
+        job: _MPJob,
+        ctl: _LocalControl,
+        mailbox: _Mailbox,
+        comm_key: Tuple[Any, ...],
+        epoch: int,
+        world_ranks: Sequence[int],
+        rank: int,
+        known_dead: frozenset,
+        traffic: TrafficLog,
+    ) -> None:
+        self._job = job
+        self._ctl = ctl
+        self._mailbox = mailbox
+        self._comm_key = comm_key
+        self._epoch = int(epoch)
+        self._world_ranks = list(world_ranks)
+        self._rank = int(rank)
+        self._known_dead = frozenset(known_dead)
+        self.traffic = traffic
+        self._split_seq = 0
+        self._barrier_seq = 0
+        self._current_op: Optional[str] = None
+        mailbox.register_epoch(comm_key, epoch)
+        #: stragglers discarded since this communicator was created
+        self._stale_offset = mailbox.stale_drops
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._world_ranks)
+
+    @property
+    def world_rank(self) -> int:
+        return self._world_ranks[self._rank]
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def stale_rejected(self) -> int:
+        """Other-epoch stragglers this rank's mailbox discarded since
+        this communicator was created."""
+        return self._mailbox.stale_drops - self._stale_offset
+
+    # -- fault injection & failure detection -------------------------------------
+
+    def fault_point(self, step: int) -> None:
+        """Application hook: die here if the fault plan says so.
+
+        On this backend the default death is *real*: the worker SIGKILLs
+        itself — no cleanup, no goodbye message — so the supervisor must
+        discover the loss through liveness monitoring, exactly like a
+        crashed node.  ``kill_rank(..., real=False)`` forces the thread
+        backend's in-rank :class:`InjectedFault` raise instead (an
+        *announced* death).
+        """
+        self._ctl.record_step(step)
+        plan = self._ctl.fault_plan
+        if plan is None:
+            return
+        k = plan.kill_action(self.world_rank, step)
+        if k is None:
+            return
+        if k.real is not False:
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60)  # pragma: no cover - SIGKILL is immediate
+        raise InjectedFault(
+            f"rank {self.world_rank} killed by fault plan at step {step}"
+        )
+
+    def _check_peer_failure(self) -> None:
+        if not self._job.elastic:
+            return
+        flags = self._job.dead_flags
+        dead = frozenset(i for i in range(self._job.n_ranks) if flags[i])
+        delta = dead - self._known_dead
+        if delta:
+            raise PeerFailure(
+                f"rank {self.world_rank}: peer rank(s) {sorted(delta)} died "
+                f"(epoch {self._epoch})",
+                dead_ranks=dead,
+                epoch=self._epoch,
+            )
+
+    def _poll_failure_signals(self) -> None:
+        if self._job.abort_event.is_set():
+            raise CommAborted(self._job.abort_reason("peer rank failed"))
+        self._check_peer_failure()
+
+    @contextmanager
+    def _collective(self, name: str):
+        ctl = self._ctl
+        prev = self._current_op
+        self._current_op = name
+        try:
+            plan = ctl.fault_plan
+            if plan is not None:
+                seq = ctl.next_event_seq(("collective", self.world_rank, name))
+                if plan.should_stall(self.world_rank, name, seq):
+                    while not self._job.abort_event.is_set():
+                        time.sleep(_POLL_SECONDS)
+                    raise CommAborted(
+                        self._job.abort_reason(f"{name} stalled by fault plan")
+                    )
+            yield
+        finally:
+            self._current_op = prev
+
+    # -- point to point -----------------------------------------------------------
+
+    def _put_raw(self, obj: Any, dest: int, tag: Any) -> None:
+        """Transport put without fault injection or traffic accounting
+        (barrier tokens; the thread backend's ``threading.Barrier`` is
+        equally exempt from both)."""
+        dst_w = self._world_ranks[dest]
+        blob = shm_dumps(obj, self._job.shm_prefix, self._job.shm_threshold)
+        self._job.data_queues[dst_w].put(
+            (self._comm_key, self._epoch, self.world_rank, tag, blob)
+        )
+
+    def _send_attempt(self, obj: Any, dest: int, tag: Any) -> bool:
+        """One transmission attempt; ``False`` when the fault plan
+        dropped it (same per-event sequence logic as the thread
+        backend, with per-process counters)."""
+        ctl = self._ctl
+        src_w = self.world_rank
+        dst_w = self._world_ranks[dest]
+        self.traffic.record(src_w, dst_w, _payload_bytes(obj))
+        payload = obj
+        plan = ctl.fault_plan
+        if plan is not None:
+            drop = False
+            delay = 0.0
+            for ev in plan.message_events(src_w, dst_w):
+                seq = ctl.next_event_seq(("message", id(ev)))
+                if not ev.hits(seq, plan.seed, src_w, dst_w):
+                    continue
+                if ev.kind == "drop":
+                    drop = True
+                elif ev.kind == "delay":
+                    delay += ev.seconds
+                elif ev.kind == "corrupt":
+                    payload = corrupt_payload(payload, key=ev.key)
+            if delay > 0.0:
+                deadline = time.monotonic() + delay
+                while time.monotonic() < deadline:
+                    if self._job.abort_event.is_set():
+                        raise CommAborted(self._job.abort_reason("peer rank failed"))
+                    time.sleep(min(_POLL_SECONDS, delay))
+            if drop:
+                return False
+        blob = shm_dumps(payload, self._job.shm_prefix, self._job.shm_threshold)
+        self._job.data_queues[dst_w].put(
+            (self._comm_key, self._epoch, src_w, tag, blob)
+        )
+        return True
+
+    def send(self, obj: Any, dest: int, tag: Any = 0, reliable: bool = False) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        if not reliable:
+            self._send_attempt(obj, dest, tag)
+            return
+        ctl = self._ctl
+        me_w = self.world_rank
+        dst_w = self._world_ranks[dest]
+
+        def attempt() -> None:
+            if not self._send_attempt(obj, dest, tag):
+                raise MessageDropped(
+                    f"rank {me_w}: send to rank {dst_w} (tag {tag}) dropped "
+                    f"by fault plan",
+                    rank=me_w,
+                    source=dst_w,
+                    tag=tag if isinstance(tag, int) else None,
+                    step=ctl.step,
+                    op="send",
+                )
+
+        def on_retry(attempt_idx: int, exc: BaseException) -> None:
+            if not ctl.try_consume_retry():
+                raise exc
+
+        retry_with_backoff(
+            attempt,
+            retries=_RELIABLE_SEND_RETRIES,
+            base_delay=_RETRY_BASE_DELAY,
+            exceptions=(MessageDropped,),
+            on_retry=on_retry,
+        )
+
+    def recv(self, source: int, tag: Any = 0, timeout: Optional[float] = None) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        ctl = self._ctl
+        if timeout is None:
+            timeout = ctl.recv_timeout
+        t0 = time.monotonic()
+        deadline = t0 + timeout if timeout is not None else None
+        me_w = self.world_rank
+        src_w = self._world_ranks[source]
+        want = (self._comm_key, self._epoch, src_w, tag)
+        mb = self._mailbox
+        op = self._current_op or "recv"
+        while True:
+            # drain what already arrived before looking at failure
+            # signals: a delivered message must win over a concurrent
+            # peer-death flag (thread-backend parity)
+            matched, blob = mb.try_take(want)
+            if matched:
+                return shm_loads(blob)
+            self._poll_failure_signals()
+            if deadline is not None and time.monotonic() > deadline:
+                elapsed = time.monotonic() - t0
+                raise CommTimeout(
+                    f"rank {me_w}: {op} from rank {src_w} (tag {tag}) "
+                    f"timed out after {timeout:.3g}s",
+                    rank=me_w,
+                    source=src_w,
+                    tag=tag if isinstance(tag, int) else None,
+                    step=ctl.step,
+                    elapsed=elapsed,
+                    op=op,
+                )
+            msg = mb.wait_next(_POLL_SECONDS)
+            if msg is not None:
+                matched, blob = mb._classify(msg, want)
+                if matched:
+                    return shm_loads(blob)
+
+    def _recv_reliable(self, source: int, tag: Any = 0) -> Any:
+        ctl = self._ctl
+
+        def on_retry(attempt_idx: int, exc: BaseException) -> None:
+            if not ctl.try_consume_retry():
+                raise exc
+
+        return retry_with_backoff(
+            lambda: self.recv(source, tag=tag),
+            retries=_RELIABLE_RECV_RETRIES,
+            base_delay=0.0,
+            exceptions=(CommTimeout,),
+            on_retry=on_retry,
+        )
+
+    def _try_recv(self, source: int, tag: Any) -> Tuple[bool, Any]:
+        src_w = self._world_ranks[source]
+        want = (self._comm_key, self._epoch, src_w, tag)
+        matched, blob = self._mailbox.try_take(want)
+        if not matched:
+            return False, None
+        return True, shm_loads(blob)
+
+    # -- barriers ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Dissemination barrier over the regular transport: round k
+        sends a token to ``(rank + 2**k) % size`` and waits for one from
+        ``(rank - 2**k) % size`` — log2(size) rounds, deadlock-free, and
+        automatically failure-aware because the token receive polls the
+        same abort/death signals as every other receive."""
+        self._barrier_seq += 1
+        if self.size == 1:
+            self._poll_failure_signals()
+            return
+        seq = self._barrier_seq
+        n, r = self.size, self._rank
+        mask, k = 1, 0
+        while mask < n:
+            dst = (r + mask) % n
+            src = (r - mask) % n
+            self._put_raw(None, dst, ("bar", seq, k))
+            self.recv(src, tag=("bar", seq, k))
+            mask <<= 1
+            k += 1
+
+    def traffic_phase(self, name: str) -> None:
+        """Start a new named traffic phase (collective).  Each worker
+        logs its own traffic, so the phase is opened in every rank's
+        local log (the thread backend opens it once in the shared log)."""
+        self.barrier()
+        self.traffic.begin_phase(name)
+        self.barrier()
+
+    # -- communicator management -----------------------------------------------------
+
+    def _make_split_comm(
+        self, seq: int, color: int, member_ranks: Sequence[int], new_rank: int
+    ) -> "MPComm":
+        """Split hook: the child's identity is the deterministic key
+        ``parent_key + ("s", seq, color)`` — every member process
+        derives the same key independently, no registry needed."""
+        child_key = self._comm_key + (("s", seq, color),)
+        world_ranks = [self._world_ranks[r] for r in member_ranks]
+        return MPComm(
+            self._job,
+            self._ctl,
+            self._mailbox,
+            child_key,
+            self._epoch,
+            world_ranks,
+            new_rank,
+            self._known_dead,
+            self.traffic,
+        )
+
+    # -- elastic recovery --------------------------------------------------------------
+
+    def shrink(self, timeout: float = 30.0) -> Tuple["MPComm", List[int], int]:
+        """One survivor-consensus round, coordinated by the supervisor
+        (the cross-process analog of the thread backend's consensus
+        board); see :func:`repro.mpi.recovery.shrink_after_failure` for
+        the contract."""
+        job = self._job
+        if not job.elastic:
+            raise RuntimeError(
+                "shrink_after_failure requires an elastic job "
+                "(MultiprocessBackend(elastic=True))"
+            )
+        ctl = self._ctl
+        me_w = self.world_rank
+        rnd = ctl.epoch + 1
+        job.ctrl_queue.put(("vote", me_w, rnd))
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                verdict = job.reply_queues[me_w].get(timeout=_POLL_SECONDS)
+            except _queue.Empty:
+                if job.abort_event.is_set():
+                    raise CommAborted(
+                        job.abort_reason("job aborted during survivor consensus")
+                    )
+                if time.monotonic() > deadline:
+                    reason = (
+                        f"survivor consensus for epoch {rnd} timed out "
+                        f"after {timeout:.3g}s on rank {me_w}"
+                    )
+                    job.ctrl_queue.put(("abort", me_w, reason))
+                    raise CommAborted(reason)
+                continue
+            vrnd, dead, survivors = verdict
+            if vrnd == rnd:
+                break
+        ctl.epoch = rnd
+        if me_w not in survivors:  # pragma: no cover - live voters survive
+            raise PeerFailure(
+                f"rank {me_w} was declared dead by consensus",
+                dead_ranks=dead,
+                epoch=rnd,
+            )
+        new_comm = MPComm(
+            job,
+            ctl,
+            self._mailbox,
+            self._comm_key,
+            rnd,
+            survivors,
+            survivors.index(me_w),
+            frozenset(dead),
+            self.traffic,
+        )
+        newly_dead = sorted(set(dead) - set(self._known_dead))
+        return new_comm, newly_dead, rnd
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MPComm(rank={self._rank}/{self.size}, world={self.world_rank}, "
+            f"epoch={self._epoch})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# worker process entry point
+# ---------------------------------------------------------------------------
+
+
+class UnpicklableResult:
+    """Placeholder for a rank result that could not cross the process
+    boundary (carries ``repr()`` of the original)."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"UnpicklableResult({self.text!r})"
+
+
+def _safe_exc(exc: BaseException) -> BaseException:
+    """An exception safe to ship through a queue (falls back to a
+    RuntimeError carrying type and message)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(job: _MPJob, world_rank: int, fn, args, kwargs) -> None:
+    # the child must not inherit the parent's job-guard state: it has no
+    # jobs of its own, and the guard would try to reap its own siblings
+    from repro.mpi import supervisor as _sup
+
+    _sup._ACTIVE_JOBS.clear()
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+
+    job.hb_board[world_rank] = time.time()
+    parent_pid = os.getppid()
+    stop_beat = threading.Event()
+
+    def beat() -> None:
+        while not stop_beat.wait(job.heartbeat_interval):
+            job.hb_board[world_rank] = time.time()
+            if os.getppid() != parent_pid:
+                # orphaned: the parent died without cleaning up
+                os._exit(3)
+
+    threading.Thread(target=beat, name="heartbeat", daemon=True).start()
+
+    ctl = _LocalControl(job)
+    mailbox = _Mailbox(job, world_rank)
+    comm = MPComm(
+        job,
+        ctl,
+        mailbox,
+        _WORLD_KEY,
+        0,
+        list(range(job.n_ranks)),
+        world_rank,
+        frozenset(),
+        TrafficLog(),
+    )
+    exit_code = 0
+    try:
+        result = fn(comm, *args, **kwargs)
+        try:
+            blob = shm_dumps(result, job.shm_prefix, job.shm_threshold)
+            job.result_queue.put(("ok", world_rank, blob))
+        except Exception:
+            job.result_queue.put(("unpicklable", world_rank, repr(result)))
+    except CommAborted as exc:
+        job.result_queue.put(("aborted", world_rank, str(exc)))
+    except RankDeath as exc:
+        if job.elastic:
+            # announced simulated death: no result, a dedicated exit code
+            job.ctrl_queue.put(
+                ("death", world_rank, f"{type(exc).__name__}: {exc}")
+            )
+            exit_code = DEATH_EXIT_CODE
+        else:
+            job.ctrl_queue.put(
+                (
+                    "abort",
+                    world_rank,
+                    f"rank {world_rank} failed: {type(exc).__name__}: {exc}",
+                )
+            )
+            job.result_queue.put(("error", world_rank, _safe_exc(exc)))
+            exit_code = 1
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        job.ctrl_queue.put(
+            (
+                "abort",
+                world_rank,
+                f"rank {world_rank} failed: {type(exc).__name__}: {exc}",
+            )
+        )
+        job.result_queue.put(("error", world_rank, _safe_exc(exc)))
+        exit_code = 1
+    finally:
+        stop_beat.set()
+    # normal Process teardown flushes the queue feeders before exit
+    if exit_code:
+        raise SystemExit(exit_code)
+
+
+# ---------------------------------------------------------------------------
+# the backend
+# ---------------------------------------------------------------------------
+
+
+class MultiprocessBackend(CommBackend):
+    """One OS process per rank under a supervising parent — the
+    ``"multiprocess"`` communicator backend.
+
+    Accepts the thread backend's constructor signature (``torus_shape``
+    and the network-model parameters are accepted and ignored — traffic
+    is logged per worker, and no torus model runs — so driver code can
+    switch backends without changing call sites), plus:
+
+    shm_threshold:
+        Payload size (bytes) above which arrays cross process
+        boundaries through POSIX shared memory instead of the queue
+        pipe.
+    heartbeat_interval / suspect_timeout / heartbeat_timeout:
+        Liveness cadence and thresholds (see
+        :class:`repro.mpi.supervisor.Supervisor`); a worker silent for
+        ``heartbeat_timeout`` seconds is killed and treated as dead.
+    start_method:
+        ``"fork"`` (default; SPMD closures allowed) or ``"spawn"``
+        (requires picklable ``fn``); overridable with the
+        ``REPRO_MP_START_METHOD`` environment variable.
+    """
+
+    name = "multiprocess"
+
+    #: hard cap on worker processes (sanity bound, not a tuning knob)
+    MAX_RANKS = 128
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            true_parallelism=True,
+            simulated_kill=True,
+            real_process_kill=True,
+            message_faults=True,
+            stall_faults=True,
+            network_model=False,
+            heartbeat_liveness=True,
+            elastic=True,
+        )
+
+    def __init__(
+        self,
+        n_ranks: int,
+        torus_shape: Optional[Sequence[int]] = None,
+        link_bandwidth: float = 5.0e9,
+        link_latency: float = 1.0e-6,
+        fault_plan=None,
+        recv_timeout: Optional[float] = None,
+        watchdog_timeout: Optional[float] = None,
+        elastic: bool = False,
+        retry_budget: int = 16,
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        heartbeat_interval: float = 0.1,
+        suspect_timeout: float = 5.0,
+        heartbeat_timeout: Optional[float] = 60.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if n_ranks > self.MAX_RANKS:
+            raise ValueError(f"n_ranks must be <= {self.MAX_RANKS}")
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if shm_threshold < 1:
+            raise ValueError("shm_threshold must be >= 1")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.n_ranks = int(n_ranks)
+        self.fault_plan = fault_plan
+        self.recv_timeout = recv_timeout
+        self.elastic = bool(elastic)
+        self.retry_budget = int(retry_budget)
+        self.shm_threshold = int(shm_threshold)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.suspect_timeout = float(suspect_timeout)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.start_method = (
+            start_method
+            or os.environ.get("REPRO_MP_START_METHOD")
+            or "fork"
+        )
+        #: parent-side traffic log (stays empty: workers log their own)
+        self.traffic = TrafficLog()
+        #: world ranks that died in the last elastic run (diagnostics)
+        self.dead_ranks: List[int] = []
+        #: liveness snapshot taken when the last run finished
+        self.last_liveness: List[Dict[str, Any]] = []
+        self._supervisor: Optional[Supervisor] = None
+
+    # -- the launcher ------------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank, each in its
+        own supervised OS process; same result/failure contract as
+        :meth:`repro.mpi.runtime.MPIRuntime.run`."""
+        ctx = mp.get_context(self.start_method)
+        job = _MPJob(
+            ctx,
+            self.n_ranks,
+            elastic=self.elastic,
+            fault_plan=self.fault_plan,
+            recv_timeout=self.recv_timeout,
+            retry_budget=self.retry_budget,
+            shm_threshold=self.shm_threshold,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(job, r, fn, args, kwargs),
+                name=f"mp-rank-{r}",
+                daemon=True,
+            )
+            for r in range(self.n_ranks)
+        ]
+        for p in procs:
+            p.start()
+        sup = Supervisor(
+            job,
+            procs,
+            elastic=self.elastic,
+            suspect_timeout=self.suspect_timeout,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+        self._supervisor = sup
+        sup.start()
+        try:
+            while not sup.finished.wait(timeout=0.2):
+                pass
+            return self._assemble(sup)
+        finally:
+            sup.shutdown(drain_blobs=lambda: self._drain_data_queues(job))
+            # after shutdown every worker is reaped, so the snapshot
+            # carries final exit codes (not None for a mid-reap rank)
+            for rank, proc in enumerate(sup.processes):
+                st = sup.status[rank]
+                if st.exitcode is None and proc.exitcode is not None:
+                    st.exitcode = proc.exitcode
+            self.last_liveness = sup.liveness_report()
+
+    def liveness_report(self) -> List[Dict[str, Any]]:
+        """Live per-rank liveness snapshot of the current (or most
+        recent) job."""
+        if self._supervisor is None:
+            return []
+        return self._supervisor.liveness_report()
+
+    @staticmethod
+    def _drain_data_queues(job: _MPJob) -> None:
+        for q in [*job.data_queues, *job.reply_queues]:
+            while True:
+                try:
+                    msg = q.get_nowait()
+                except Exception:
+                    break
+                if isinstance(msg, tuple) and len(msg) == 5:
+                    free_blob(msg[4])
+
+    # -- result assembly (mirrors MPIRuntime.run's failure contract) -------------
+
+    def _assemble(self, sup: Supervisor) -> List[Any]:
+        n = self.n_ranks
+        results: List[Any] = [None] * n
+        failures: List[Tuple[int, BaseException]] = []
+        aborted_ranks: List[int] = []
+        abort_texts: List[str] = []
+        for rank in sorted(sup.results):
+            kind, payload = sup.results[rank]
+            if kind == "ok":
+                results[rank] = shm_loads(payload)
+            elif kind == "unpicklable":
+                results[rank] = UnpicklableResult(payload)
+            elif kind == "error":
+                failures.append((rank, payload))
+            elif kind == "aborted":
+                aborted_ranks.append(rank)
+                abort_texts.append(payload)
+        deaths = dict(sup.dead)
+        self.dead_ranks = sorted(deaths)
+        failures.sort(key=lambda e: e[0])
+
+        if self.elastic and not failures and not aborted_ranks:
+            if deaths and len(deaths) == n:
+                err = RuntimeError(
+                    f"elastic job lost all {n} rank(s): no survivor left "
+                    f"to continue"
+                )
+                err.rank_errors = {
+                    r: RuntimeError(reason) for r, reason in deaths.items()
+                }
+                err.aborted_ranks = []
+                err.abort_origin = None
+                raise err
+            return results
+        if failures:
+            rank, exc = failures[0]
+            msg = f"rank {rank} (process mp-rank-{rank}) failed: {exc!r}"
+            if len(failures) > 1:
+                others = "; ".join(f"rank {r}: {e!r}" for r, e in failures[1:])
+                msg += f"; {len(failures) - 1} more rank(s) failed: {others}"
+            if aborted_ranks:
+                msg += (
+                    f"; rank(s) {aborted_ranks} aborted (CommAborted) after "
+                    f"the first failure"
+                )
+            err = RuntimeError(msg)
+            err.rank_errors = dict(failures)
+            err.aborted_ranks = aborted_ranks
+            err.abort_origin = sup.abort_origin
+            raise err from exc
+        if aborted_ranks or (deaths and not self.elastic):
+            reason = sup.abort_reason or "communication aborted"
+            err = RuntimeError(
+                f"job aborted: {reason} (CommAborted on rank(s) {aborted_ranks})"
+            )
+            err.rank_errors = {}
+            err.aborted_ranks = aborted_ranks
+            err.abort_origin = sup.abort_origin
+            raise err
+        return results

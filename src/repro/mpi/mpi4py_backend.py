@@ -1,0 +1,216 @@
+"""Thin adapter running the SPMD functions under a real MPI (mpi4py).
+
+Gated on ``import mpi4py``: registering and listing the backend needs
+nothing, but instantiating it without mpi4py installed raises an
+ImportError with an actionable message.  Under ``mpiexec`` every MPI
+process executes the driver script; :meth:`MPI4PyBackend.run` then runs
+``fn`` on this process's rank of ``MPI.COMM_WORLD`` and returns the
+gathered per-rank results on every rank (so driver code that looks at
+``results[0]`` keeps working unchanged).
+
+The adapter maps the repro communicator surface onto mpi4py's
+lowercase (generic-object) API nearly 1:1 — the collective *algorithms*
+are the MPI library's own, so results are not guaranteed bit-identical
+with the in-tree backends (MPI may reduce in a different association
+order).  Fault injection, the epoch/elastic machinery and the traffic
+model are unavailable; ``fault_point`` only records the step, and
+``abort`` maps to ``MPI.COMM_WORLD.Abort``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.mpi.backend import BackendCapabilities, CollectiveComm, CommBackend
+
+__all__ = ["MPI4PyBackend", "MPI4PyComm"]
+
+
+def _require_mpi4py():
+    try:
+        from mpi4py import MPI  # noqa: PLC0415 - optional dependency
+    except ImportError as exc:  # pragma: no cover - exercised without mpi4py
+        raise ImportError(
+            "the 'mpi4py' communicator backend needs the mpi4py package "
+            "(and an MPI library); install it with `pip install mpi4py` "
+            "and launch with `mpiexec -n <ranks> python ...`, or use the "
+            "'thread' or 'multiprocess' backend"
+        ) from exc
+    return MPI
+
+
+class MPI4PyComm(CollectiveComm):
+    """repro communicator surface over an ``mpi4py`` communicator."""
+
+    def __init__(self, mpi_comm, world_comm=None) -> None:
+        self._mpi = mpi_comm
+        self._world = world_comm if world_comm is not None else mpi_comm
+        self._split_seq = 0
+        self._current_op: Optional[str] = None
+        self._step = -1
+        #: the in-tree backends count post-recovery stragglers here; a
+        #: real MPI has no epoch quarantine, so this stays 0
+        self.stale_rejected = 0
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._mpi.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self._mpi.Get_size()
+
+    @property
+    def world_rank(self) -> int:
+        return self._world.Get_rank()
+
+    @property
+    def epoch(self) -> int:
+        return 0
+
+    # -- point to point -----------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0, reliable: bool = False) -> None:
+        # MPI's transport is already reliable; the flag is accepted for
+        # call-site compatibility
+        self._mpi.send(obj, dest=dest, tag=self._map_tag(tag))
+
+    def recv(self, source: int, tag: int = 0, timeout: Optional[float] = None) -> Any:
+        # no receive timeout under a real MPI: MPI's own fault handling
+        # (or the scheduler's) bounds a lost peer
+        return self._mpi.recv(source=source, tag=self._map_tag(tag))
+
+    def _recv_reliable(self, source: int, tag: int = 0) -> Any:
+        return self.recv(source, tag=tag)
+
+    def _try_recv(self, source: int, tag: int) -> Tuple[bool, Any]:
+        MPI = _require_mpi4py()
+        status = MPI.Status()
+        if not self._mpi.iprobe(source=source, tag=self._map_tag(tag), status=status):
+            return False, None
+        return True, self._mpi.recv(source=source, tag=self._map_tag(tag))
+
+    @staticmethod
+    def _map_tag(tag: int) -> int:
+        """repro uses small negative tags for collectives; MPI requires
+        non-negative tags, so shift into a reserved band."""
+        tag = int(tag)
+        return tag if tag >= 0 else 32768 - tag
+
+    # -- collectives: delegate to the MPI library --------------------------------
+
+    def barrier(self) -> None:
+        self._mpi.barrier()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._mpi.bcast(obj, root=root)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0):
+        return self._mpi.reduce(value, op=self._map_op(op), root=root)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        return self._mpi.allreduce(value, op=self._map_op(op))
+
+    def gather(self, obj: Any, root: int = 0):
+        return self._mpi.gather(obj, root=root)
+
+    def allgather(self, obj: Any):
+        return self._mpi.allgather(obj)
+
+    def scatter(self, objs, root: int = 0):
+        return self._mpi.scatter(objs, root=root)
+
+    def alltoall(self, objs: Sequence[Any], reliable: bool = False):
+        return self._mpi.alltoall(list(objs))
+
+    @staticmethod
+    def _map_op(op: str):
+        MPI = _require_mpi4py()
+        return {"sum": MPI.SUM, "max": MPI.MAX, "min": MPI.MIN}[op]
+
+    # -- communicator management ---------------------------------------------------
+
+    def split(self, color: Optional[int], key: Optional[int] = None):
+        MPI = _require_mpi4py()
+        mpi_color = MPI.UNDEFINED if color is None else int(color)
+        sub = self._mpi.Split(mpi_color, key if key is not None else self.rank)
+        if color is None:
+            return None
+        return MPI4PyComm(sub, world_comm=self._world)
+
+    def _make_split_comm(self, seq, color, member_ranks, new_rank):
+        raise NotImplementedError  # split() is overridden above
+
+    # -- hooks the SPMD code calls --------------------------------------------------
+
+    def fault_point(self, step: int) -> None:
+        self._step = int(step)
+
+    def traffic_phase(self, name: str) -> None:
+        self._mpi.barrier()
+
+    def shrink(self, timeout: float = 30.0):
+        raise RuntimeError(
+            "elastic shrink-and-continue is not available on the mpi4py "
+            "backend (it needs ULFM extensions); use the 'thread' or "
+            "'multiprocess' backend for elastic runs"
+        )
+
+    def abort(self, reason: Optional[str] = None, origin: Optional[int] = None) -> None:
+        self._world.Abort(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MPI4PyComm(rank={self.rank}/{self.size})"
+
+
+class MPI4PyBackend(CommBackend):
+    """Run the SPMD function on this process's rank of MPI.COMM_WORLD.
+
+    Unlike the in-tree backends, this one does not *launch* ranks — the
+    MPI launcher (``mpiexec -n N``) already did; ``run`` therefore
+    executes ``fn`` once, on the local rank, and allgathers the per-rank
+    results so the caller sees the same ``List[Any]`` contract.
+    """
+
+    name = "mpi4py"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        try:
+            import mpi4py  # noqa: F401, PLC0415 - optional dependency
+
+            return True
+        except ImportError:
+            return False
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            true_parallelism=True,
+            simulated_kill=False,
+            real_process_kill=False,
+            message_faults=False,
+            stall_faults=False,
+            network_model=False,
+            heartbeat_liveness=False,
+            elastic=False,
+        )
+
+    def __init__(self, n_ranks: Optional[int] = None, **kwargs: Any) -> None:
+        MPI = _require_mpi4py()
+        self._MPI = MPI
+        world = MPI.COMM_WORLD
+        if n_ranks is not None and int(n_ranks) != world.Get_size():
+            raise ValueError(
+                f"requested {n_ranks} ranks but the MPI job has "
+                f"{world.Get_size()}; the rank count is fixed by mpiexec"
+            )
+        self.n_ranks = world.Get_size()
+        self.world = world
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        comm = MPI4PyComm(self.world)
+        result = fn(comm, *args, **kwargs)
+        return self.world.allgather(result)

@@ -44,7 +44,6 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.mpi.comm import Comm
-from repro.mpi.faults import PeerFailure
 
 __all__ = [
     "RecoveryError",
@@ -137,19 +136,53 @@ class BuddyStore:
     allreduce for the conservation reference), and a failure loses at
     most K steps of progress — exactly a checkpoint-interval trade-off,
     but at memory speed and without touching the filesystem.
+
+    The store keeps the last :data:`HISTORY_DEPTH` boundaries, not just
+    the newest.  On backends with real processes a rank can be killed
+    *mid-refresh*: its own send may never leave the dying process, so
+    some survivors finish the exchange at the new boundary while others
+    still hold the previous one.  The newest boundary is then
+    inconsistent across the ring, but the one before it — whose copies
+    are provably delivered, FIFO-ordered behind a full step of traffic —
+    still is; :meth:`plan_recovery` picks the newest boundary every
+    survivor can serve.
     """
 
     #: keys every snapshot must carry (the exchange payload minus the
     #: force accumulators, which are recomputed after recovery anyway)
     REQUIRED_KEYS = ("pos", "mom", "mass", "ids")
 
+    #: boundaries retained; 2 covers a single mid-refresh crash per
+    #: round (the store is rebuilt fresh after every recovery)
+    HISTORY_DEPTH = 2
+
     def __init__(self) -> None:
-        self.self_copy: Optional[BuddySnapshot] = None
-        self.peer_copy: Optional[BuddySnapshot] = None
+        #: step -> snapshot, oldest first (insertion order)
+        self._self_copies: Dict[int, BuddySnapshot] = {}
+        self._peer_copies: Dict[int, BuddySnapshot] = {}
+
+    @property
+    def self_copy(self) -> Optional[BuddySnapshot]:
+        """The newest own snapshot (None before the first refresh)."""
+        if not self._self_copies:
+            return None
+        return self._self_copies[max(self._self_copies)]
+
+    @property
+    def peer_copy(self) -> Optional[BuddySnapshot]:
+        """The newest received buddy copy (None before the first)."""
+        if not self._peer_copies:
+            return None
+        return self._peer_copies[max(self._peer_copies)]
 
     @property
     def step(self) -> Optional[int]:
-        return None if self.self_copy is None else self.self_copy.step
+        return None if not self._self_copies else max(self._self_copies)
+
+    def _trim(self) -> None:
+        for copies in (self._self_copies, self._peer_copies):
+            while len(copies) > self.HISTORY_DEPTH:
+                copies.pop(min(copies))
 
     def refresh(self, comm: Comm, arrays: Dict[str, np.ndarray], step: int) -> None:
         """Collective: snapshot ``arrays`` at boundary ``step`` and
@@ -186,77 +219,114 @@ class BuddyStore:
             checksums={k: _digest(a) for k, a in copies.items()},
             reference=reference,
         )
-        self.self_copy = snap
+        self._self_copies[snap.step] = snap
+        self._trim()
         if comm.size == 1:
-            self.peer_copy = None
+            self._peer_copies.clear()
             return
         succ = (comm.rank + 1) % comm.size
         pred = (comm.rank - 1) % comm.size
         comm.send(snap, succ, tag=BUDDY_TAG, reliable=True)
-        self.peer_copy = comm.recv(pred, tag=BUDDY_TAG)
+        got = comm.recv(pred, tag=BUDDY_TAG)
+        self._peer_copies[int(got.step)] = got
+        self._trim()
 
     # -- recovery ---------------------------------------------------------------
 
     def _peer_report(self) -> Dict[str, Any]:
-        peer = self.peer_copy
         return {
-            "self_step": self.step,
-            "peer_owner": None if peer is None else peer.owner_world_rank,
-            "peer_step": None if peer is None else peer.step,
-            "peer_valid": peer is not None and peer.verify(),
+            "self_steps": sorted(self._self_copies),
+            "peers": [
+                {"owner": s.owner_world_rank, "step": s.step, "valid": s.verify()}
+                for s in self._peer_copies.values()
+            ],
         }
+
+    def reference_at(self, step: int) -> Dict[str, Any]:
+        """The conservation reference frozen at boundary ``step``."""
+        snap = self._self_copies.get(int(step))
+        if snap is None:
+            raise RecoveryError(f"no self snapshot at step {step}")
+        return dict(snap.reference)
 
     def plan_recovery(
         self, new_comm: Comm, dead_ranks: Sequence[int]
     ) -> Tuple[bool, int, str]:
         """Collective (on the shrunk comm): can the dead set be
-        recovered in memory?
+        recovered in memory, and from which boundary?
 
         Returns ``(feasible, boundary_step, reason)`` — identical on
         every survivor, because the verdict is a pure function of the
-        allgathered per-rank reports.
+        allgathered per-rank reports.  The boundary is the newest step
+        every survivor snapshotted *and* at which every dead rank's
+        block survives on a live, checksum-clean buddy; a mid-refresh
+        crash that split the ring across two boundaries resolves to the
+        older, fully-delivered one.
         """
         reports = new_comm.allgather(self._peer_report())
-        steps = {r["self_step"] for r in reports}
-        if None in steps:
+        if any(not r["self_steps"] for r in reports):
             return False, -1, "a survivor holds no self snapshot"
-        if len(steps) != 1:
-            return False, -1, f"survivor snapshots disagree on the boundary: {sorted(steps)}"
-        boundary = int(steps.pop())
-        for d in sorted(int(r) for r in dead_ranks):
-            holders = [
-                r
-                for r in reports
-                if r["peer_owner"] == d and r["peer_step"] == boundary
-            ]
-            if not holders:
-                return False, boundary, (
-                    f"no live buddy holds rank {d}'s block at step {boundary} "
-                    f"(owner and buddy both lost)"
-                )
-            if not any(r["peer_valid"] for r in holders):
-                return False, boundary, (
-                    f"buddy copy of rank {d}'s block failed its checksum"
-                )
-        return True, boundary, ""
+        common = set(reports[0]["self_steps"])
+        for r in reports[1:]:
+            common &= set(r["self_steps"])
+        if not common:
+            steps = sorted({s for r in reports for s in r["self_steps"]})
+            return False, -1, (
+                f"survivor snapshots share no boundary: {steps}"
+            )
+        dead = sorted(int(r) for r in dead_ranks)
+        reason = ""
+        for boundary in sorted(common, reverse=True):
+            covered = True
+            for d in dead:
+                holders = [
+                    p
+                    for r in reports
+                    for p in r["peers"]
+                    if p["owner"] == d and p["step"] == boundary
+                ]
+                if not holders:
+                    covered = False
+                    if not reason:
+                        reason = (
+                            f"no live buddy holds rank {d}'s block at step "
+                            f"{boundary} (owner and buddy both lost)"
+                        )
+                    break
+                if not any(p["valid"] for p in holders):
+                    covered = False
+                    if not reason:
+                        reason = (
+                            f"buddy copy of rank {d}'s block failed its checksum"
+                        )
+                    break
+            if covered:
+                return True, boundary, ""
+        return False, max(common), reason
 
     def recovered_arrays(
-        self, dead_ranks: Sequence[int]
+        self, dead_ranks: Sequence[int], boundary: Optional[int] = None
     ) -> Tuple[Dict[str, np.ndarray], List[int]]:
-        """This survivor's rollback block: its own snapshot, plus the
-        particles of any dead rank whose buddy copy it holds.  Returns
+        """This survivor's rollback block at ``boundary`` (default: its
+        newest snapshot): its own snapshot, plus the particles of any
+        dead rank whose buddy copy *at that boundary* it holds.  Returns
         ``(arrays, adopted_dead_ranks)``.  The first post-recovery
         domain update redistributes everything, so *where* the adopted
         block lands does not matter — only that exactly one survivor
         contributes it.
         """
-        if self.self_copy is None:
+        if not self._self_copies:
             raise RecoveryError("no self snapshot to roll back to")
-        if not self.self_copy.verify():
+        if boundary is None:
+            boundary = max(self._self_copies)
+        own = self._self_copies.get(int(boundary))
+        if own is None:
+            raise RecoveryError(f"no self snapshot at step {boundary}")
+        if not own.verify():
             raise RecoveryError("own rollback snapshot failed its checksum")
-        arrays = {k: a.copy() for k, a in self.self_copy.arrays.items()}
+        arrays = {k: a.copy() for k, a in own.arrays.items()}
         adopted: List[int] = []
-        peer = self.peer_copy
+        peer = self._peer_copies.get(int(boundary))
         dead = {int(r) for r in dead_ranks}
         if peer is not None and peer.owner_world_rank in dead:
             if not peer.verify():
@@ -291,26 +361,9 @@ def shrink_after_failure(
     fresh epoch still quarantines every in-flight straggler of the
     broken step, and the caller re-executes from its last boundary on
     the same rank count.
+
+    Backend-generic: the round is coordinated by the in-process
+    consensus board on the thread backend and by the supervisor process
+    on the multiprocess backend — both through ``comm.shrink``.
     """
-    st = comm._state
-    ctl = st.control
-    if not ctl.elastic:
-        raise RuntimeError(
-            "shrink_after_failure requires an elastic job "
-            "(MPIRuntime(elastic=True))"
-        )
-    dead, survivors, epoch = ctl.survivor_consensus(
-        comm.world_rank, timeout=timeout
-    )
-    if comm.world_rank not in survivors:
-        # cannot happen for a live caller: the round only seals once
-        # every non-dead rank (including us) has voted
-        raise PeerFailure(
-            f"rank {comm.world_rank} was declared dead by consensus",
-            dead_ranks=dead,
-            epoch=epoch,
-        )
-    new_state = ctl.shrunk_state(epoch, survivors, dead, st.traffic)
-    new_comm = Comm(new_state, survivors.index(comm.world_rank))
-    newly_dead = sorted(set(dead) - set(st.known_dead))
-    return new_comm, newly_dead, epoch
+    return comm.shrink(timeout=timeout)

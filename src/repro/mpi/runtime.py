@@ -20,6 +20,7 @@ import threading
 import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.mpi.backend import BackendCapabilities, CommBackend
 from repro.mpi.comm import Comm, CommAborted, _CommState, _JobControl
 from repro.mpi.faults import FaultPlan, RankDeath
 from repro.mpi.network import TorusNetwork, TrafficLog
@@ -27,8 +28,9 @@ from repro.mpi.network import TorusNetwork, TrafficLog
 __all__ = ["MPIRuntime", "run_spmd"]
 
 
-class MPIRuntime:
-    """Executes SPMD functions on ``n_ranks`` in-process ranks.
+class MPIRuntime(CommBackend):
+    """Executes SPMD functions on ``n_ranks`` in-process ranks — the
+    ``"thread"`` communicator backend (deterministic default).
 
     Parameters
     ----------
@@ -68,6 +70,21 @@ class MPIRuntime:
         Per-rank, per-step cap on "reliable"-path retransmissions
         (``Comm.send(reliable=True)`` / ``Comm.alltoall(reliable=True)``).
     """
+
+    name = "thread"
+
+    @classmethod
+    def capabilities(cls) -> BackendCapabilities:
+        return BackendCapabilities(
+            true_parallelism=False,
+            simulated_kill=True,
+            real_process_kill=False,
+            message_faults=True,
+            stall_faults=True,
+            network_model=True,
+            heartbeat_liveness=False,
+            elastic=True,
+        )
 
     def __init__(
         self,

@@ -38,13 +38,18 @@ from repro.config import SimulationConfig
 from repro.decomp.multisection import divisions_for_ranks
 from repro.mpi.faults import CommTimeout, PeerFailure
 from repro.mpi.recovery import BuddyStore, RecoveryError, RecoveryEvent, shrink_after_failure
-from repro.mpi.runtime import MPIRuntime
+from repro.mpi.backend import create_backend
 from repro.sim import checkpoint as _ckpt
 from repro.sim.checkpoint import CheckpointError
 from repro.sim.parallel import ParallelSimulation
 from repro.validate import check_recovery_totals
 
-__all__ = ["ElasticRunner", "run_elastic_simulation", "config_for_ranks"]
+__all__ = [
+    "ElasticRunner",
+    "ElasticRankReport",
+    "run_elastic_simulation",
+    "config_for_ranks",
+]
 
 
 def config_for_ranks(config: SimulationConfig, n_ranks: int) -> SimulationConfig:
@@ -176,12 +181,6 @@ class ElasticRunner:
                 f"attempt(s) ({len(self.events)} completed; last failure: "
                 f"{type(exc).__name__}: {exc})"
             )
-        old_reference = (
-            dict(self.buddy.self_copy.reference)
-            if self.buddy.self_copy is not None
-            else {}
-        )
-
         new_comm, dead, epoch = shrink_after_failure(
             self.comm, timeout=self.consensus_timeout
         )
@@ -194,7 +193,7 @@ class ElasticRunner:
 
         feasible, boundary, reason = self.buddy.plan_recovery(new_comm, dead)
         if feasible:
-            arrays, adopted = self.buddy.recovered_arrays(dead)
+            arrays, adopted = self.buddy.recovered_arrays(dead, boundary)
             self.sim = ParallelSimulation(
                 new_comm,
                 config,
@@ -209,7 +208,10 @@ class ElasticRunner:
             detail = (
                 f"adopted rank(s) {adopted} from buddy copies" if adopted else ""
             )
-            reference = old_reference
+            # the sweep validates against the conservation totals frozen
+            # at the *chosen* boundary (which may be one refresh behind
+            # this rank's newest snapshot after a mid-refresh death)
+            reference = self.buddy.reference_at(boundary)
         else:
             # disk fallback: owner and buddy both died (or no consistent
             # in-memory boundary exists)
@@ -272,15 +274,25 @@ class ElasticRunner:
             "t_end": float(t_end),
             "n_steps": int(n_steps),
         }
-        if self.checkpoint_dir is not None:
-            self.sim.checkpoint(
-                self.checkpoint_dir,
-                schedule={**schedule, "next_step": int(first_step)},
-            )
-        self._refresh_buddy(int(first_step))
         i = int(first_step)
-        while i < n_steps:
+        # On backends with real processes ranks are not in lockstep: a
+        # peer's death can surface while this rank is still inside the
+        # initial checkpoint / replication exchanges, so initialization
+        # runs under the same recovery handler as the step loop (a
+        # recovery re-arms replication itself).
+        initialized = False
+        while True:
             try:
+                if not initialized:
+                    if self.checkpoint_dir is not None:
+                        self.sim.checkpoint(
+                            self.checkpoint_dir,
+                            schedule={**schedule, "next_step": i},
+                        )
+                    self._refresh_buddy(i)
+                    initialized = True
+                if i >= n_steps:
+                    return
                 self.comm.fault_point(i)
                 self.sim.step(float(edges[i]), float(edges[i + 1]))
                 i += 1
@@ -300,12 +312,64 @@ class ElasticRunner:
                 while True:
                     try:
                         i = self._recover(exc, failed_step=i)
+                        initialized = True
                         break
                     except (PeerFailure, CommTimeout) as again:
                         exc = again
 
     def gather_state(self):
         return self.sim.gather_state()
+
+    def report(self) -> "ElasticRankReport":
+        """Picklable per-rank summary (what a multiprocess rank returns
+        instead of the live — unpicklable — runner object)."""
+        return ElasticRankReport(
+            world_rank=self.comm.world_rank,
+            final_rank=self.comm.rank,
+            final_size=self.comm.size,
+            epoch=self.comm.epoch,
+            events=list(self.events),
+            steps_taken=int(self.sim.steps_taken),
+            timing=self.sim.timing.as_dict(),
+        )
+
+
+class ElasticRankReport:
+    """Per-rank elastic-run summary that crosses process boundaries.
+
+    Carries what callers consume from a surviving
+    :class:`ElasticRunner`: the recovery ``events``
+    (:class:`repro.mpi.recovery.RecoveryEvent` instances), the final
+    shrunk-communicator identity, and the per-phase timings.
+    """
+
+    def __init__(
+        self,
+        world_rank: int,
+        final_rank: int,
+        final_size: int,
+        epoch: int,
+        events: List[RecoveryEvent],
+        steps_taken: int,
+        timing,
+    ) -> None:
+        self.world_rank = world_rank
+        self.final_rank = final_rank
+        self.final_size = final_size
+        self.epoch = epoch
+        self.events = events
+        self.steps_taken = steps_taken
+        self.timing = timing
+
+    def table1_rows(self):
+        return dict(self.timing)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ElasticRankReport(world={self.world_rank}, "
+            f"final={self.final_rank}/{self.final_size}, "
+            f"epoch={self.epoch}, recoveries={len(self.events)})"
+        )
 
 
 def run_elastic_simulation(
@@ -327,6 +391,7 @@ def run_elastic_simulation(
     watchdog_timeout: Optional[float] = None,
     retry_budget: int = 16,
     max_recoveries: int = 8,
+    backend="thread",
 ):
     """Driver: like :func:`repro.sim.parallel.run_parallel_simulation`
     but on an elastic runtime that survives rank deaths.
@@ -337,11 +402,19 @@ def run_elastic_simulation(
     state comes from the shrunk communicator's root — the lowest
     surviving world rank.  ``recv_timeout`` must be finite: it is the
     detector that frees survivors blocked on a failed peer.
+
+    ``backend`` selects the communicator backend (``"thread"`` or
+    ``"multiprocess"``; both are elastic-capable — on the multiprocess
+    backend the same fault plan kills *real* OS processes and this
+    recovery path restores the survivors).  Out-of-process ranks
+    return a picklable :class:`ElasticRankReport` in ``runners``
+    instead of the live runner object.
     """
     if recv_timeout is None or recv_timeout <= 0:
         raise ValueError("elastic runs need a finite recv_timeout")
     n_ranks = config.domain.n_domains
-    runtime = MPIRuntime(
+    runtime = create_backend(
+        backend,
         n_ranks,
         torus_shape=torus_shape,
         fault_plan=fault_plan,
@@ -350,6 +423,7 @@ def run_elastic_simulation(
         elastic=True,
         retry_budget=retry_budget,
     )
+    in_process = runtime.name == "thread"
 
     def spmd(comm):
         n = len(pos)
@@ -369,7 +443,7 @@ def run_elastic_simulation(
             max_recoveries=max_recoveries,
         )
         runner.run(t_start, t_end, n_steps)
-        return runner, runner.gather_state()
+        return (runner if in_process else runner.report()), runner.gather_state()
 
     results = runtime.run(spmd)
     runners = [None if r is None else r[0] for r in results]

@@ -31,7 +31,7 @@ from repro.decomp.sampling import SamplingDecomposer
 from repro.forces.cutoff import get_split
 from repro.integrate.stepper import StaticStepper
 from repro.meshcomm.parallel_pm import ParallelPM
-from repro.mpi.runtime import MPIRuntime
+from repro.mpi.backend import create_backend
 from repro.pp.kernel import InteractionCounter
 from repro.sim import checkpoint as _ckpt
 from repro.sim.checkpoint import CheckpointError
@@ -626,6 +626,61 @@ class ParallelSimulation:
         """This rank's accumulated per-phase seconds, Table I naming."""
         return self.timing.as_dict()
 
+    def report(self) -> "RankReport":
+        """Picklable per-rank summary (what a multiprocess rank returns
+        instead of the live — unpicklable — simulation object)."""
+        return RankReport(
+            rank=self.comm.rank,
+            size=self.comm.size,
+            world_rank=self.comm.world_rank,
+            steps_taken=int(self.steps_taken),
+            n_local=int(len(self.pos)),
+            timing=self.timing.as_dict(),
+            interactions=int(self.stats.interactions),
+        )
+
+
+class RankReport:
+    """Per-rank run summary that crosses process boundaries.
+
+    Duck-types the result surface drivers and benchmarks consume from a
+    :class:`ParallelSimulation` (``timing`` via :meth:`table1_rows`,
+    ``steps_taken``); backends whose ranks live in other processes
+    return these instead of simulation objects.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        world_rank: int,
+        steps_taken: int,
+        n_local: int,
+        timing: Dict[str, float],
+        interactions: int = 0,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.world_rank = world_rank
+        self.steps_taken = steps_taken
+        self.n_local = n_local
+        self.timing = timing
+        self.interactions = interactions
+
+    def table1_rows(self) -> Dict[str, float]:
+        return dict(self.timing)
+
+    @property
+    def stats(self) -> "RankReport":
+        """Duck-types ``ParallelSimulation.stats.interactions``."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RankReport(rank={self.rank}/{self.size}, "
+            f"steps={self.steps_taken}, n_local={self.n_local})"
+        )
+
 
 def run_parallel_simulation(
     config: SimulationConfig,
@@ -642,6 +697,7 @@ def run_parallel_simulation(
     fault_plan=None,
     recv_timeout: Optional[float] = None,
     watchdog_timeout: Optional[float] = None,
+    backend="thread",
 ):
     """Convenience driver: scatter global arrays, run, gather results.
 
@@ -650,16 +706,24 @@ def run_parallel_simulation(
     statistics) and ``runtime`` exposes the traffic log / network model.
     ``checkpoint_every``/``checkpoint_dir`` enable distributed
     checkpoints; ``fault_plan``/``recv_timeout``/``watchdog_timeout``
-    are forwarded to :class:`repro.mpi.runtime.MPIRuntime`.
+    are forwarded to the backend.
+
+    ``backend`` selects the communicator backend by registry name
+    (``"thread"``, ``"multiprocess"``, ``"mpi4py"``) or accepts a
+    pre-built :class:`repro.mpi.backend.CommBackend`.  Ranks that run
+    in other processes return a picklable :class:`RankReport` in
+    ``sims`` instead of the live simulation object.
     """
     n_ranks = config.domain.n_domains
-    runtime = MPIRuntime(
+    runtime = create_backend(
+        backend,
         n_ranks,
         torus_shape=torus_shape,
         fault_plan=fault_plan,
         recv_timeout=recv_timeout,
         watchdog_timeout=watchdog_timeout,
     )
+    in_process = runtime.name == "thread"
 
     def spmd(comm):
         n = len(pos)
@@ -672,7 +736,7 @@ def run_parallel_simulation(
             t_start, t_end, n_steps,
             checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
         )
-        return sim, sim.gather_state()
+        return (sim if in_process else sim.report()), sim.gather_state()
 
     results = runtime.run(spmd)
     sims = [r[0] for r in results]
@@ -689,6 +753,7 @@ def resume_parallel_simulation(
     fault_plan=None,
     recv_timeout: Optional[float] = None,
     watchdog_timeout: Optional[float] = None,
+    backend="thread",
 ):
     """Resume the schedule stored in the newest complete checkpoint.
 
@@ -696,7 +761,8 @@ def resume_parallel_simulation(
     differ from the count the checkpoint was written with, in which
     case the merged particle state is re-decomposed.  Passing
     ``checkpoint_every`` keeps checkpointing into the same directory.
-    Returns the same tuple as :func:`run_parallel_simulation`.
+    Returns the same tuple as :func:`run_parallel_simulation`;
+    ``backend`` selects the communicator backend the same way.
     """
     step_dir = _ckpt.latest_checkpoint(checkpoint_dir)
     manifest = _ckpt.read_manifest(step_dir)
@@ -708,13 +774,15 @@ def resume_parallel_simulation(
                 f"(missing '{key}'); pass the schedule to ParallelSimulation.run"
             )
     n_ranks = config.domain.n_domains
-    runtime = MPIRuntime(
+    runtime = create_backend(
+        backend,
         n_ranks,
         torus_shape=torus_shape,
         fault_plan=fault_plan,
         recv_timeout=recv_timeout,
         watchdog_timeout=watchdog_timeout,
     )
+    in_process = runtime.name == "thread"
 
     def spmd(comm):
         sim = ParallelSimulation.restore(comm, config, step_dir, stepper=stepper)
@@ -726,7 +794,7 @@ def resume_parallel_simulation(
             checkpoint_dir=checkpoint_dir if checkpoint_every else None,
             first_step=int(schedule["next_step"]),
         )
-        return sim, sim.gather_state()
+        return (sim if in_process else sim.report()), sim.gather_state()
 
     results = runtime.run(spmd)
     sims = [r[0] for r in results]
