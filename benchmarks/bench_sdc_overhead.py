@@ -1,0 +1,95 @@
+"""Overhead of the SDC audit battery (docs/fault_tolerance.md §8).
+
+The audit layer is only worth leaving on in production if it is nearly
+free: the fingerprint is one vectorised pass over ids/mass, the
+snapshot audit hashes the frozen buddy copies (not the live arrays on
+the hot path), and the ABFT spot-check re-sweeps a *fixed* number of
+plan groups — so the relative cost shrinks as the problem grows.  The
+budget is < 5% wall-clock at the default cadence (``audit_every=1``,
+``spot_check_groups=4``).
+
+This harness times a fault-free elastic run with the battery off and
+with ``policy="heal"`` fully armed, and writes the measured ratio to
+``benchmarks/results/sdc_overhead.txt``.  CI runs it report-only
+(shared-runner timings are too noisy to gate on); the budget assert
+documents the acceptance threshold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import (
+    DomainConfig,
+    PMConfig,
+    SdcConfig,
+    SimulationConfig,
+    TreePMConfig,
+)
+from repro.sim.elastic import run_elastic_simulation
+
+N = 8000
+N_RANKS = 2
+N_STEPS = 6
+T_END = 0.06
+REPEATS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _config(policy: str) -> SimulationConfig:
+    return SimulationConfig(
+        domain=DomainConfig(
+            divisions=(N_RANKS, 1, 1), sample_rate=0.3, cost_balance=False
+        ),
+        treepm=TreePMConfig(pm=PMConfig(mesh_size=16)),
+        # default cadence: audit every step, 4-group spot-check
+        sdc=SdcConfig(policy=policy),
+    )
+
+
+def _system(seed: int = 23):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.random((N, 3)),
+        rng.normal(scale=0.01, size=(N, 3)),
+        np.full(N, 1.0 / N),
+    )
+
+
+def _run_once(policy: str) -> float:
+    pos, mom, mass = _system()
+    t0 = time.perf_counter()
+    p, m, w, runners, _ = run_elastic_simulation(
+        _config(policy), pos, mom, mass, 0.0, T_END, N_STEPS,
+        buddy_every=1, backend="thread",
+    )
+    elapsed = time.perf_counter() - t0
+    assert len(p) == N
+    if policy == "heal":
+        # a clean run must stay clean: the battery ran and found nothing
+        assert all(not r.sdc.events for r in runners)
+    return elapsed
+
+
+def _best_of(policy: str) -> float:
+    return min(_run_once(policy) for _ in range(REPEATS))
+
+
+class TestSdcOverhead:
+    def test_audit_battery_overhead_within_budget(self, save_result):
+        base = _best_of("off")
+        audited = _best_of("heal")
+        overhead = audited / base - 1.0
+        lines = [
+            f"elastic smoke sim: {N} particles, {N_RANKS} ranks, "
+            f"{N_STEPS} steps, best of {REPEATS}",
+            "audit battery: fingerprint + 4-group ABFT spot-check + "
+            "snapshot digest cross-check, every step",
+            f"audits off : {base * 1e3:8.1f} ms",
+            f"audits heal: {audited * 1e3:8.1f} ms",
+            f"overhead   : {overhead:+8.1%}  (budget {OVERHEAD_BUDGET:.0%})",
+        ]
+        save_result("sdc_overhead", "\n".join(lines))
+        assert overhead < OVERHEAD_BUDGET

@@ -34,12 +34,18 @@ Config schema (JSON object; every key optional unless noted):
   "energy_every": 0,                  // energy monitor interval (0 = off)
   "validate_dump_dir": null,          // where "dump" writes diagnostics
   "backend": "serial",                // serial | thread | multiprocess | mpi4py
-  "ranks": 1                          // SPMD ranks (backend != serial)
+  "ranks": 1,                         // SPMD ranks (backend != serial)
+  "sdc_policy": "off",                // off | warn | heal | abort
+  "sdc_audit_every": 1,               // SDC audit interval (steps)
+  "sdc_spot_check_groups": 4,         // ABFT groups re-swept per audit
+  "sdc_keep_last": 0                  // checkpoint retention (0 = keep all)
 }
 ```
 
 The ``--validate``/``--validate-every``/``--energy-tol`` flags override
-the corresponding config keys (see ``docs/validation.md``), and
+the corresponding config keys (see ``docs/validation.md``),
+``--sdc-policy``/``--sdc-audit-every`` override the silent-data-
+corruption audit keys (see ``docs/fault_tolerance.md``), and
 ``--backend``/``--ranks`` override the communicator selection (see
 ``docs/parallelism.md``).  Parallel backends run the same schedule via
 :func:`repro.sim.parallel.run_parallel_simulation`; snapshots and
@@ -61,6 +67,7 @@ import numpy as np
 from repro.config import (
     DomainConfig,
     PMConfig,
+    SdcConfig,
     SimulationConfig,
     TreeConfig,
     TreePMConfig,
@@ -97,6 +104,10 @@ _DEFAULTS: Dict[str, Any] = {
     "validate_dump_dir": None,
     "backend": "serial",
     "ranks": 1,
+    "sdc_policy": "off",
+    "sdc_audit_every": 1,
+    "sdc_spot_check_groups": 4,
+    "sdc_keep_last": 0,
 }
 
 _BACKEND_CHOICES = ("serial", "thread", "multiprocess", "mpi4py")
@@ -143,6 +154,12 @@ def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
             energy_tol=cfg["energy_tol"],
             energy_interval=cfg["energy_every"],
             dump_dir=cfg["validate_dump_dir"],
+        ),
+        sdc=SdcConfig(
+            policy=cfg["sdc_policy"],
+            audit_every=cfg["sdc_audit_every"],
+            spot_check_groups=cfg["sdc_spot_check_groups"],
+            keep_last=cfg["sdc_keep_last"],
         ),
     )
 
@@ -450,6 +467,23 @@ def _ckpt_command(args) -> int:
             manifest = _ckpt.read_manifest(step_dir)
             _describe_manifest(step_dir, manifest)
             return 0
+        if args.ckpt_command == "scrub":
+            reports = _ckpt.scrub_checkpoints(args.dir)
+            if not reports:
+                print(f"INVALID: no checkpoints under '{args.dir}'",
+                      file=sys.stderr)
+                return 1
+            bad = 0
+            for rep in reports:
+                name = Path(rep["step_dir"]).name
+                if rep["ok"]:
+                    print(f"OK      {name}")
+                else:
+                    bad += 1
+                    print(f"INVALID {name}: {rep['error']}", file=sys.stderr)
+            verdict = f"{bad} failed" if bad else "all clean"
+            print(f"scrubbed {len(reports)} epoch(s), {verdict}")
+            return 1 if bad else 0
         # validate: accept either a checkpoint root or a bare step dir
         target = Path(args.dir)
         step_dir = (
@@ -514,6 +548,16 @@ def main(argv=None) -> int:
         help="relative energy-drift tolerance (implies the energy "
         "monitor: sets energy_every to 1 unless configured)",
     )
+    run_p.add_argument(
+        "--sdc-policy", choices=("off", "warn", "heal", "abort"), default=None,
+        help="silent-data-corruption audits: warn, heal in place (buddy "
+        "replica or rollback), or abort on detection "
+        "(see docs/fault_tolerance.md)",
+    )
+    run_p.add_argument(
+        "--sdc-audit-every", type=int, default=None, metavar="N",
+        help="run the SDC audits every N steps (default 1)",
+    )
     info_p = sub.add_parser("info", help="print version and paper reference")
     ckpt_p = sub.add_parser(
         "ckpt",
@@ -533,6 +577,12 @@ def main(argv=None) -> int:
         "latest", help="resolve and describe the newest complete checkpoint"
     )
     ckpt_latest.add_argument("dir", type=Path, help="checkpoint directory")
+    ckpt_scrub = ckpt_sub.add_parser(
+        "scrub",
+        help="verify every retained checkpoint epoch against its recorded "
+        "digests; non-zero exit if any shows bit-rot",
+    )
+    ckpt_scrub.add_argument("dir", type=Path, help="checkpoint directory")
 
     args = parser.parse_args(argv)
     if args.command == "ckpt":
@@ -561,6 +611,10 @@ def main(argv=None) -> int:
     if args.energy_tol is not None:
         config["energy_tol"] = args.energy_tol
         config.setdefault("energy_every", 1)
+    if args.sdc_policy is not None:
+        config["sdc_policy"] = args.sdc_policy
+    if args.sdc_audit_every is not None:
+        config["sdc_audit_every"] = args.sdc_audit_every
     summary = run_from_config(
         config,
         checkpoint_every=args.checkpoint_every,

@@ -298,6 +298,60 @@ class ValidationConfig:
 
 
 @dataclass(frozen=True)
+class SdcConfig:
+    """Policy of the silent-data-corruption (SDC) audit layer.
+
+    Attributes
+    ----------
+    policy:
+        What happens when an audit finds corruption: ``"off"`` (audits
+        never run), ``"warn"`` (record and log the ``SdcEvent``, keep
+        running with the corrupted data), ``"heal"`` (restore damaged
+        blocks in place from the checksum-clean replica, or roll back
+        to the last verified boundary when in-place healing is not
+        possible; raise only when nothing clean survives) or
+        ``"abort"`` (raise ``SdcViolation`` on first detection).
+    audit_every:
+        Run the audit battery every this many steps.
+    spot_check_groups:
+        Number of interaction-plan groups re-swept through the pure
+        python reference kernel per audit (ABFT force spot-check);
+        ``0`` disables the spot-check.
+    keep_last:
+        Checkpoint retention depth: after every durable checkpoint,
+        prune all but the newest ``keep_last`` epochs.  ``0`` keeps
+        everything.
+    seed:
+        Seed of the deterministic spot-check sampler (mixed with the
+        step index and rank so every audit draws fresh groups).
+    """
+
+    policy: str = "off"
+    audit_every: int = 1
+    spot_check_groups: int = 4
+    keep_last: int = 0
+    seed: int = 2012
+
+    _POLICIES = ("off", "warn", "heal", "abort")
+
+    def __post_init__(self) -> None:
+        if self.policy not in self._POLICIES:
+            raise ValueError(
+                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
+            )
+        if self.audit_every < 1:
+            raise ValueError("audit_every must be >= 1")
+        if self.spot_check_groups < 0:
+            raise ValueError("spot_check_groups must be >= 0")
+        if self.keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off"
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Analytic machine model for performance projection.
 
@@ -370,6 +424,10 @@ class SimulationConfig:
     #: Runtime invariant guardrails (``repro.validate``); diagnostics
     #: only — never part of the physics fingerprint.
     validation: ValidationConfig = field(default_factory=ValidationConfig)
+    #: Silent-data-corruption audits (``repro.validate.sdc``); like
+    #: ``validation``, diagnostics only — never part of the physics
+    #: fingerprint.
+    sdc: SdcConfig = field(default_factory=SdcConfig)
     #: Number of PP + domain-decomposition sub-cycles per PM step
     #: (the paper: "one simulation step was composed by a cycle of the
     #: PM and two cycles of the PP and the domain decomposition").
@@ -409,6 +467,7 @@ class SimulationConfig:
 
         d = self.to_dict()
         d.pop("validation", None)
+        d.pop("sdc", None)
         if not include_layout:
             d.pop("domain", None)
             d.pop("relay", None)
@@ -435,8 +494,16 @@ class SimulationConfig:
         validation = d.pop("validation", {})
         if isinstance(validation, dict):
             validation = ValidationConfig(**validation)
+        sdc = d.pop("sdc", {})
+        if isinstance(sdc, dict):
+            sdc = SdcConfig(**sdc)
         return SimulationConfig(
-            treepm=treepm, domain=domain, relay=relay, validation=validation, **d
+            treepm=treepm,
+            domain=domain,
+            relay=relay,
+            validation=validation,
+            sdc=sdc,
+            **d,
         )
 
 
@@ -448,5 +515,6 @@ __all__ = [
     "RelayMeshConfig",
     "MachineConfig",
     "ValidationConfig",
+    "SdcConfig",
     "SimulationConfig",
 ]

@@ -373,6 +373,14 @@ class Comm(CollectiveComm):
         """Recovery epoch of this communicator (0 before any failure)."""
         return self._state.epoch
 
+    @property
+    def fault_plan(self):
+        """The job's :class:`~repro.mpi.faults.FaultPlan` (None when no
+        faults are scheduled).  Application layers consult it for the
+        state-corruption rules (``flip_bits`` / ``rot_checkpoint``) that
+        fire outside the transport."""
+        return self._state.control.fault_plan
+
     # -- fault injection --------------------------------------------------------
 
     def fault_point(self, step: int) -> None:

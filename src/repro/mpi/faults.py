@@ -27,6 +27,7 @@ arrival order, which is scheduler-dependent).
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple, Type
 
@@ -40,6 +41,9 @@ __all__ = [
     "MessageDropped",
     "PeerFailure",
     "retry_with_backoff",
+    "flip_array_bits",
+    "flip_file_bits",
+    "apply_scheduled_flips",
 ]
 
 
@@ -177,6 +181,30 @@ class _StallFault:
     nth: int
 
 
+@dataclass(frozen=True)
+class _FlipFault:
+    """One scheduled in-memory bit flip (silent data corruption)."""
+
+    rank: int
+    array: str
+    step: int
+    nbits: int = 1
+    #: which copy of the array to damage: ``"live"`` (the working
+    #: particle arrays), ``"self_copy"`` (the owner's frozen rollback
+    #: snapshot) or ``"peer_copy"`` (the buddy's replica of the
+    #: predecessor's block)
+    target: str = "self_copy"
+
+
+@dataclass(frozen=True)
+class _RotFault:
+    """One scheduled on-disk bit-rot event against a checkpoint file."""
+
+    rank: int
+    step: int
+    nbits: int = 1
+
+
 class FaultPlan:
     """A declarative, reproducible schedule of injected failures.
 
@@ -198,6 +226,12 @@ class FaultPlan:
         self._kills: List[_KillFault] = []
         self._messages: List[_MessageFault] = []
         self._stalls: List[_StallFault] = []
+        self._flips: List[_FlipFault] = []
+        self._rots: List[_RotFault] = []
+        # one-shot bookkeeping for state faults: a rollback replays the
+        # step indices the faults are keyed on, and a cosmic ray does
+        # not strike twice just because the application re-executed
+        self._fired: set = set()
 
     # -- builders ---------------------------------------------------------------
 
@@ -292,6 +326,67 @@ class FaultPlan:
             )
         return plan
 
+    def flip_bits(
+        self,
+        rank: int,
+        array: str,
+        step: int,
+        nbits: int = 1,
+        target: str = "self_copy",
+    ) -> "FaultPlan":
+        """Flip ``nbits`` random bits of ``array`` on ``rank`` at
+        ``step`` — the canonical silent-data-corruption event (a cosmic
+        ray in DRAM flips a mantissa bit; nothing crashes, nothing logs).
+
+        ``target`` picks which copy is damaged: ``"self_copy"`` (the
+        rank's frozen rollback snapshot in its :class:`BuddyStore` —
+        detected and healed in place by the SDC snapshot audit),
+        ``"peer_copy"`` (the buddy replica it holds for its ring
+        predecessor — attributed to the buddy and re-replicated), or
+        ``"live"`` (the working particle arrays; flips in conserved
+        arrays like ``ids``/``mass`` are caught by the fingerprint
+        audit and healed by a boundary rollback).  Bit positions are a
+        pure function of ``(plan seed, rank, array, step)``.
+        """
+        if nbits < 1:
+            raise ValueError("nbits must be >= 1")
+        if target not in ("live", "self_copy", "peer_copy"):
+            raise ValueError(f"unknown flip target {target!r}")
+        self._flips.append(
+            _FlipFault(int(rank), str(array), int(step), int(nbits), target)
+        )
+        return self
+
+    def corrupt_shm(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        nth: int = 0,
+        count: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Flip bits inside the SharedMemory frame of a matching
+        multiprocess message *after* its CRC32 was computed — transport
+        corruption the receiver must catch by checksum, not by
+        structure.  The receiver discards the mangled frame (logged as
+        transport corruption), so the message is effectively lost and
+        the usual timeout/rollback machinery takes over.  On backends
+        without SharedMemory transport the rule is inert.
+        """
+        return self._add_message("corrupt_shm", src, dst, nth, count, 0.0, probability)
+
+    def rot_checkpoint(self, rank: int, step: int, nbits: int = 1) -> "FaultPlan":
+        """Flip ``nbits`` bits of ``rank``'s on-disk checkpoint file for
+        the epoch written at ``step`` — bit-rot at rest.  Detected by
+        manifest digest verification (``repro ckpt scrub``, checkpoint
+        validation on restore); recovery skips to the newest epoch that
+        still verifies.
+        """
+        if nbits < 1:
+            raise ValueError("nbits must be >= 1")
+        self._rots.append(_RotFault(int(rank), int(step), int(nbits)))
+        return self
+
     def stall_collective(self, op: str, rank: int, nth: int = 0) -> "FaultPlan":
         """Hang ``rank`` inside its ``nth``-th call of collective ``op``
         (``"bcast"``, ``"reduce"``, ``"gather"``, ...) until the job
@@ -322,9 +417,36 @@ class FaultPlan:
             s.rank == rank and s.op == op and s.nth == seq for s in self._stalls
         )
 
+    def flip_events(self, rank: int, step: int, target: Optional[str] = None) -> List[_FlipFault]:
+        """Bit-flip rules hitting ``rank`` at ``step`` (optionally only
+        those aimed at one ``target`` copy)."""
+        return [
+            f
+            for f in self._flips
+            if f.rank == rank and f.step == step
+            and (target is None or f.target == target)
+        ]
+
+    def rot_events(self, rank: int, step: int) -> List[_RotFault]:
+        """Checkpoint bit-rot rules hitting ``rank``'s epoch at ``step``."""
+        return [r for r in self._rots if r.rank == rank and r.step == step]
+
+    def fire_once(self, key) -> bool:
+        """True exactly once per ``key`` — the guard that keeps a
+        state fault (flip / rot) from re-striking when a rollback
+        replays the step it was keyed on.  Keys include the rank, so
+        concurrent rank threads never contend for the same entry."""
+        if key in self._fired:
+            return False
+        self._fired.add(key)
+        return True
+
     @property
     def empty(self) -> bool:
-        return not (self._kills or self._messages or self._stalls)
+        return not (
+            self._kills or self._messages or self._stalls
+            or self._flips or self._rots
+        )
 
     def describe(self) -> str:
         """Human-readable summary of the scheduled faults."""
@@ -344,6 +466,16 @@ class FaultPlan:
             )
         for s in self._stalls:
             lines.append(f"  stall {s.op} #{s.nth} on rank {s.rank}")
+        for f in self._flips:
+            lines.append(
+                f"  flip {f.nbits} bit(s) of {f.array!r} ({f.target}) "
+                f"on rank {f.rank} at step {f.step}"
+            )
+        for r in self._rots:
+            lines.append(
+                f"  rot {r.nbits} bit(s) of rank {r.rank}'s checkpoint "
+                f"at step {r.step}"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -374,6 +506,82 @@ def corrupt_payload(obj: Any, key: Optional[str] = None) -> Any:
             raw[i] ^= 0xFF
         return np.frombuffer(bytes(raw), dtype=obj.dtype).reshape(obj.shape).copy()
     return "<corrupted payload>"
+
+
+def flip_array_bits(arr: np.ndarray, nbits: int = 1, seed: int = 0) -> List[int]:
+    """Flip ``nbits`` deterministically-chosen bits of ``arr`` in place.
+
+    Bit positions are drawn without replacement from a generator seeded
+    with ``seed``, so the same call damages the same bits run after run.
+    Returns the flipped global bit indices (empty for zero-size arrays —
+    there is nothing to corrupt).  The array must own contiguous memory
+    (the working particle arrays and snapshot copies all do).
+    """
+    if nbits < 1:
+        raise ValueError("nbits must be >= 1")
+    if arr.size == 0:
+        return []
+    if not arr.flags.c_contiguous:
+        raise ValueError("can only flip bits of C-contiguous arrays in place")
+    raw = arr.view(np.uint8).reshape(-1)
+    total_bits = raw.size * 8
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(total_bits, size=min(nbits, total_bits), replace=False)
+    for bit in chosen:
+        raw[int(bit) // 8] ^= np.uint8(1 << (int(bit) % 8))
+    return sorted(int(b) for b in chosen)
+
+
+def flip_file_bits(path, nbits: int = 1, seed: int = 0) -> List[int]:
+    """Flip ``nbits`` deterministically-chosen bits of the file at
+    ``path`` in place (on-disk bit-rot).  Returns the flipped global
+    bit indices (empty for an empty file)."""
+    if nbits < 1:
+        raise ValueError("nbits must be >= 1")
+    with open(path, "r+b") as fh:
+        data = bytearray(fh.read())
+        if not data:
+            return []
+        total_bits = len(data) * 8
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(total_bits, size=min(nbits, total_bits), replace=False)
+        for bit in chosen:
+            data[int(bit) // 8] ^= 1 << (int(bit) % 8)
+        fh.seek(0)
+        fh.write(bytes(data))
+    return sorted(int(b) for b in chosen)
+
+
+def apply_scheduled_flips(
+    plan: Optional["FaultPlan"],
+    rank: int,
+    step: int,
+    arrays,
+    target: str = "live",
+) -> List[str]:
+    """Apply every matching ``flip_bits`` rule of ``plan`` to the named
+    ``arrays`` (a mapping ``name -> ndarray``, damaged in place) and
+    return the names actually flipped.  The per-rule seed mixes the plan
+    seed with ``(rank, array, step)`` so each rule is independently
+    reproducible.  Rules naming arrays absent from ``arrays`` are
+    ignored (they may target a different copy holder).  Each rule fires
+    at most once per plan instance (:meth:`FaultPlan.fire_once`): after
+    a rollback the application replays the step the rule is keyed on,
+    and the point of the exercise is healing the *first* strike.
+    """
+    flipped: List[str] = []
+    if plan is None:
+        return flipped
+    for ev in plan.flip_events(rank, step, target=target):
+        arr = arrays.get(ev.array) if hasattr(arrays, "get") else None
+        if arr is None:
+            continue
+        if not plan.fire_once(("flip", ev.rank, ev.array, ev.step, ev.target)):
+            continue
+        seed = (plan.seed, zlib.crc32(ev.array.encode()), ev.rank, ev.step)
+        if flip_array_bits(arr, ev.nbits, seed=seed):
+            flipped.append(ev.array)
+    return flipped
 
 
 def retry_with_backoff(

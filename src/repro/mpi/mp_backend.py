@@ -56,6 +56,7 @@ import signal
 import threading
 import time
 import uuid
+import zlib
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -85,6 +86,7 @@ __all__ = [
     "MultiprocessBackend",
     "MPComm",
     "UnpicklableResult",
+    "ShmFrameCorrupted",
     "DEFAULT_SHM_THRESHOLD",
 ]
 
@@ -119,13 +121,30 @@ def _untrack_shm(shm) -> None:
         pass
 
 
-class _ShmPickler(pickle.Pickler):
-    """Externalizes large contiguous arrays into SharedMemory segments."""
+class ShmFrameCorrupted(pickle.UnpicklingError):
+    """A SharedMemory frame failed its CRC32 — transport-level silent
+    data corruption.  Receivers treat the whole message as undelivered
+    (the sender's reliable path or the elastic rollback covers the
+    loss), never as data."""
 
-    def __init__(self, file, prefix: str, threshold: int) -> None:
+
+class _ShmPickler(pickle.Pickler):
+    """Externalizes large contiguous arrays into SharedMemory segments.
+
+    Every frame carries a CRC32 of its payload bytes, computed *before*
+    the segment leaves the sender, so a frame corrupted in shared memory
+    (or by the fault plan's ``corrupt_shm`` rule, which flips segment
+    bytes after the CRC is taken) is caught at rehydration instead of
+    being consumed as data.  ``sabotage=True`` is that injection hook.
+    """
+
+    def __init__(
+        self, file, prefix: str, threshold: int, sabotage: bool = False
+    ) -> None:
         super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
         self._prefix = prefix
         self._threshold = threshold
+        self._sabotage = sabotage
 
     def persistent_id(self, obj: Any):
         if (
@@ -145,24 +164,38 @@ class _ShmPickler(pickle.Pickler):
             view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
             view[...] = arr
             del view
+            crc = zlib.crc32(shm.buf[: arr.nbytes])
+            if self._sabotage:
+                # flip one payload byte *after* the checksum was taken:
+                # exactly what a DMA or DRAM bit-flip in flight looks like
+                shm.buf[0] ^= 0xFF
             shm.close()
             _untrack_shm(shm)
-            return ("repro-shm", name, arr.dtype.str, arr.shape)
+            return ("repro-shm", name, arr.dtype.str, arr.shape, crc)
         return None
 
 
 class _ShmUnpickler(pickle.Unpickler):
-    """Rehydrates externalized arrays (copy out, then unlink)."""
+    """Rehydrates externalized arrays (CRC-check, copy out, unlink)."""
 
     def persistent_load(self, pid):
-        kind, name, dtstr, shape = pid
+        kind, name, dtstr, shape = pid[0], pid[1], pid[2], pid[3]
+        crc = pid[4] if len(pid) > 4 else None
         if kind != "repro-shm":  # pragma: no cover - format guard
             raise pickle.UnpicklingError(f"unknown persistent id {kind!r}")
         from multiprocessing import shared_memory
 
         seg = shared_memory.SharedMemory(name=name)
         try:
-            arr = np.ndarray(shape, dtype=np.dtype(dtstr), buffer=seg.buf).copy()
+            arr = np.ndarray(shape, dtype=np.dtype(dtstr), buffer=seg.buf)
+            if crc is not None:
+                got = zlib.crc32(seg.buf[: arr.nbytes])
+                if got != crc:
+                    raise ShmFrameCorrupted(
+                        f"shared-memory frame {name!r} failed its CRC32 "
+                        f"(stored {crc:#010x}, computed {got:#010x})"
+                    )
+            arr = arr.copy()
         finally:
             seg.close()
             try:
@@ -188,9 +221,11 @@ class _ShmScrubber(pickle.Unpickler):
         return None
 
 
-def shm_dumps(obj: Any, prefix: str, threshold: int) -> bytes:
+def shm_dumps(
+    obj: Any, prefix: str, threshold: int, sabotage: bool = False
+) -> bytes:
     buf = io.BytesIO()
-    _ShmPickler(buf, prefix, threshold).dump(obj)
+    _ShmPickler(buf, prefix, threshold, sabotage=sabotage).dump(obj)
     return buf.getvalue()
 
 
@@ -405,6 +440,8 @@ class MPComm(CollectiveComm):
         mailbox.register_epoch(comm_key, epoch)
         #: stragglers discarded since this communicator was created
         self._stale_offset = mailbox.stale_drops
+        #: messages discarded because a SharedMemory frame failed CRC32
+        self.shm_crc_failures = 0
 
     # -- identity ---------------------------------------------------------------
 
@@ -429,6 +466,25 @@ class MPComm(CollectiveComm):
         """Other-epoch stragglers this rank's mailbox discarded since
         this communicator was created."""
         return self._mailbox.stale_drops - self._stale_offset
+
+    @property
+    def fault_plan(self):
+        """The job's :class:`~repro.mpi.faults.FaultPlan` (None when no
+        faults are scheduled); application layers consult it for the
+        state-corruption rules that fire outside the transport."""
+        return self._ctl.fault_plan
+
+    def _loads_checked(self, blob: bytes) -> Tuple[bool, Any]:
+        """Rehydrate a matched message; a CRC32 failure discards it as
+        transport corruption (``(False, None)``) instead of delivering
+        damaged data — the loss then surfaces through the normal
+        timeout/retry machinery, same as a dropped message."""
+        try:
+            return True, shm_loads(blob)
+        except ShmFrameCorrupted:
+            free_blob(blob)
+            self.shm_crc_failures += 1
+            return False, None
 
     # -- fault injection & failure detection -------------------------------------
 
@@ -516,6 +572,7 @@ class MPComm(CollectiveComm):
         self.traffic.record(src_w, dst_w, _payload_bytes(obj))
         payload = obj
         plan = ctl.fault_plan
+        sabotage_shm = False
         if plan is not None:
             drop = False
             delay = 0.0
@@ -529,6 +586,8 @@ class MPComm(CollectiveComm):
                     delay += ev.seconds
                 elif ev.kind == "corrupt":
                     payload = corrupt_payload(payload, key=ev.key)
+                elif ev.kind == "corrupt_shm":
+                    sabotage_shm = True
             if delay > 0.0:
                 deadline = time.monotonic() + delay
                 while time.monotonic() < deadline:
@@ -537,7 +596,12 @@ class MPComm(CollectiveComm):
                     time.sleep(min(_POLL_SECONDS, delay))
             if drop:
                 return False
-        blob = shm_dumps(payload, self._job.shm_prefix, self._job.shm_threshold)
+        blob = shm_dumps(
+            payload,
+            self._job.shm_prefix,
+            self._job.shm_threshold,
+            sabotage=sabotage_shm,
+        )
         self._job.data_queues[dst_w].put(
             (self._comm_key, self._epoch, src_w, tag, blob)
         )
@@ -596,7 +660,9 @@ class MPComm(CollectiveComm):
             # peer-death flag (thread-backend parity)
             matched, blob = mb.try_take(want)
             if matched:
-                return shm_loads(blob)
+                ok, obj = self._loads_checked(blob)
+                if ok:
+                    return obj
             self._poll_failure_signals()
             if deadline is not None and time.monotonic() > deadline:
                 elapsed = time.monotonic() - t0
@@ -614,7 +680,9 @@ class MPComm(CollectiveComm):
             if msg is not None:
                 matched, blob = mb._classify(msg, want)
                 if matched:
-                    return shm_loads(blob)
+                    ok, obj = self._loads_checked(blob)
+                    if ok:
+                        return obj
 
     def _recv_reliable(self, source: int, tag: Any = 0) -> Any:
         ctl = self._ctl
@@ -637,7 +705,7 @@ class MPComm(CollectiveComm):
         matched, blob = self._mailbox.try_take(want)
         if not matched:
             return False, None
-        return True, shm_loads(blob)
+        return self._loads_checked(blob)
 
     # -- barriers ------------------------------------------------------------------
 

@@ -37,13 +37,13 @@ step re-execution, the post-recovery validation sweep) lives in
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mpi.comm import Comm
+from repro.utils.integrity import array_digest as _digest
 
 __all__ = [
     "RecoveryError",
@@ -52,10 +52,20 @@ __all__ = [
     "BuddyStore",
     "shrink_after_failure",
     "BUDDY_TAG",
+    "AUDIT_OWN_TAG",
+    "AUDIT_PEER_TAG",
+    "HEAL_TAG",
 ]
 
 #: message tag of the buddy-replication ring exchange
 BUDDY_TAG = -17
+
+#: SDC audit: owner -> buddy digest report about the owner's own block
+AUDIT_OWN_TAG = -19
+#: SDC audit: buddy -> owner digest report about the replica it holds
+AUDIT_PEER_TAG = -21
+#: SDC healing: clean-copy block transfer between owner and buddy
+HEAL_TAG = -23
 
 
 class RecoveryError(RuntimeError):
@@ -87,16 +97,6 @@ class RecoveryEvent:
     detail: str = ""
 
 
-def _digest(arr: np.ndarray) -> str:
-    """sha256 over dtype, shape and bytes (buddy-copy integrity)."""
-    arr = np.ascontiguousarray(arr)
-    h = hashlib.sha256()
-    h.update(str(arr.dtype).encode())
-    h.update(str(arr.shape).encode())
-    h.update(arr.tobytes())
-    return h.hexdigest()
-
-
 @dataclass
 class BuddySnapshot:
     """One rank's particle block frozen at a step boundary."""
@@ -109,6 +109,10 @@ class BuddySnapshot:
     #: global conservation reference of the snapshot boundary
     #: (identical on every rank: computed by one allreduce)
     reference: Dict[str, Any] = field(default_factory=dict)
+    #: digests the *receiver* recomputed the moment the replica arrived
+    #: (buddy side only; empty on self copies).  Lets the SDC audit
+    #: split "corrupted in flight" from "rotted in the buddy's memory".
+    received_checksums: Dict[str, str] = field(default_factory=dict)
 
     def verify(self) -> bool:
         """Recompute every array digest against the stored checksums."""
@@ -228,6 +232,20 @@ class BuddyStore:
         pred = (comm.rank - 1) % comm.size
         comm.send(snap, succ, tag=BUDDY_TAG, reliable=True)
         got = comm.recv(pred, tag=BUDDY_TAG)
+        # in-process backends deliver by reference: materialize an
+        # independent replica, as a real network transfer would — the
+        # whole point of the copy is surviving damage to the original
+        # (and the SDC audit's attribution vote assumes the two copies
+        # can disagree)
+        got = BuddySnapshot(
+            owner_world_rank=got.owner_world_rank,
+            step=int(got.step),
+            epoch=got.epoch,
+            arrays={k: np.array(a, copy=True) for k, a in got.arrays.items()},
+            checksums=dict(got.checksums),
+            reference=dict(got.reference),
+        )
+        got.received_checksums = {k: _digest(a) for k, a in got.arrays.items()}
         self._peer_copies[int(got.step)] = got
         self._trim()
 
@@ -342,6 +360,202 @@ class BuddyStore:
                 arrays[k] = np.concatenate([arrays[k], peer.arrays[k]], axis=0)
             adopted.append(peer.owner_world_rank)
         return arrays, adopted
+
+
+    # -- silent-data-corruption audit & in-place healing -------------------------
+
+    @staticmethod
+    def _attribute(a, b, c, r, shipped) -> str:
+        """Two-out-of-three vote over one array's digests.
+
+        ``a`` — owner's recompute over its stored self copy, now;
+        ``b`` — the checksum frozen on the owner at refresh time (the
+        reference record); ``c`` — the buddy's recompute over the
+        replica, now; ``r`` — the buddy's recompute at receipt time;
+        ``shipped`` — the checksum record as it arrived at the buddy.
+        Whoever disagrees with the two-vote majority is the culprit;
+        receipt-time evidence splits in-flight corruption (transport)
+        from replica rot in the buddy's memory (buddy).
+        """
+        own_ok = a == b
+        bud_ok = c == b
+        if own_ok and bud_ok and shipped == b:
+            return "clean"
+        if not own_ok and bud_ok:
+            return "owner"
+        if own_ok and not bud_ok:
+            if shipped != b or (r is not None and r != b):
+                return "transport"
+            return "buddy"
+        if not own_ok and a == c:
+            # both stored copies agree with each other but not with the
+            # record: the checksum itself is the odd one out
+            return "checksum"
+        return "unrecoverable"
+
+    def _digest_reports(self):
+        own = {
+            step: {
+                "live": {k: _digest(s.arrays[k]) for k in s.arrays},
+                "frozen": dict(s.checksums),
+            }
+            for step, s in self._self_copies.items()
+        }
+        peer = {
+            step: {
+                "live": {k: _digest(s.arrays[k]) for k in s.arrays},
+                "recv": dict(s.received_checksums),
+                "shipped": dict(s.checksums),
+            }
+            for step, s in self._peer_copies.items()
+        }
+        return own, peer
+
+    def snapshot_audit(self, comm: Comm) -> List[Dict[str, Any]]:
+        """Collective: cross-check every retained boundary's array
+        digests around the ring and *attribute* each mismatch.
+
+        Each rank recomputes digests over the copies it physically
+        holds, exchanges the evidence with its ring neighbours, and runs
+        the same :meth:`_attribute` vote on both ends of every
+        owner/buddy pair — so the two holders of a block always agree on
+        the verdict without any extra round.  Returns this rank's
+        findings: one dict per corrupted ``(boundary step, array)`` with
+        ``role`` (``"owner"`` — my block is involved; ``"buddy"`` — a
+        replica I hold is involved), the vote's ``attribution``
+        (owner / buddy / transport / checksum / unrecoverable) and
+        whether :meth:`heal_in_place` can repair it from the surviving
+        clean copy.
+        """
+        findings: List[Dict[str, Any]] = []
+        own_report, peer_report = self._digest_reports()
+        if comm.size == 1:
+            for step, mine in sorted(own_report.items()):
+                for k in sorted(mine["live"]):
+                    if mine["live"][k] != mine["frozen"].get(k):
+                        findings.append({
+                            "step": int(step),
+                            "owner": comm.world_rank,
+                            "array": k,
+                            "role": "owner",
+                            "attribution": "owner",
+                            "healable": False,  # no replica exists
+                        })
+            return findings
+        succ = (comm.rank + 1) % comm.size
+        pred = (comm.rank - 1) % comm.size
+        comm.send(own_report, succ, tag=AUDIT_OWN_TAG, reliable=True)
+        comm.send(peer_report, pred, tag=AUDIT_PEER_TAG, reliable=True)
+        pred_own = comm.recv(pred, tag=AUDIT_OWN_TAG)
+        succ_peer = comm.recv(succ, tag=AUDIT_PEER_TAG)
+
+        def judge(step, key, owner_side, replica_side):
+            a = owner_side["live"].get(key)
+            b = owner_side["frozen"].get(key)
+            if replica_side is None:
+                return "owner" if a != b else "clean", False
+            verdict = self._attribute(
+                a,
+                b,
+                replica_side["live"].get(key),
+                replica_side["recv"].get(key),
+                replica_side["shipped"].get(key),
+            )
+            healable = verdict in ("owner", "buddy", "transport")
+            return verdict, healable
+
+        # my blocks, judged with the replica evidence from my successor
+        for step, mine in sorted(own_report.items()):
+            for k in sorted(mine["live"]):
+                verdict, healable = judge(step, k, mine, succ_peer.get(step))
+                if verdict != "clean":
+                    findings.append({
+                        "step": int(step),
+                        "owner": comm.world_rank,
+                        "array": k,
+                        "role": "owner",
+                        "attribution": verdict,
+                        "healable": healable,
+                    })
+        # the replicas I hold, judged with my predecessor's evidence
+        for step, held in sorted(peer_report.items()):
+            owner_side = pred_own.get(step)
+            if owner_side is None:
+                continue  # the owner no longer retains this boundary
+            for k in sorted(held["live"]):
+                verdict, healable = judge(step, k, owner_side, held)
+                if verdict != "clean":
+                    snap = self._peer_copies[step]
+                    findings.append({
+                        "step": int(step),
+                        "owner": snap.owner_world_rank,
+                        "array": k,
+                        "role": "buddy",
+                        "attribution": verdict,
+                        "healable": healable,
+                    })
+        return findings
+
+    def heal_in_place(
+        self, comm: Comm, findings: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Collective (with :meth:`snapshot_audit`'s findings): restore
+        every healable corrupted block from its surviving clean copy —
+        **without shrinking the communicator**.
+
+        Owner-side corruption pulls the clean replica back from the
+        buddy; buddy-side or transport corruption re-replicates the
+        owner's clean copy forward.  Both ends of each pair derived
+        identical verdicts from the audit exchange, so the transfers
+        pair up deterministically (sends first, receives second — the
+        transports are non-blocking on the send side).  Each finding
+        gains ``healed``; a repaired block is re-verified against the
+        frozen checksum before being declared healed.
+        """
+        findings = [dict(f) for f in findings]
+        if comm.size > 1:
+            succ = (comm.rank + 1) % comm.size
+            pred = (comm.rank - 1) % comm.size
+            order = sorted(
+                (f for f in findings if f["healable"]),
+                key=lambda f: (f["step"], f["array"], f["role"]),
+            )
+            # phase 1: every clean copy leaves its holder (whose own
+            # finding merely *reports* the partner's damage — shipping
+            # the clean block is the heal it asked for)
+            for f in order:
+                step, k = f["step"], f["array"]
+                if f["role"] == "buddy" and f["attribution"] == "owner":
+                    comm.send(
+                        self._peer_copies[step].arrays[k], pred,
+                        tag=HEAL_TAG, reliable=True,
+                    )
+                    f["healed"] = True
+                elif f["role"] == "owner" and f["attribution"] in ("buddy", "transport"):
+                    comm.send(
+                        self._self_copies[step].arrays[k], succ,
+                        tag=HEAL_TAG, reliable=True,
+                    )
+                    f["healed"] = True
+            # phase 2: every damaged copy is replaced and re-verified
+            for f in order:
+                step, k = f["step"], f["array"]
+                if f["role"] == "owner" and f["attribution"] == "owner":
+                    snap = self._self_copies[step]
+                    clean = np.array(comm.recv(succ, tag=HEAL_TAG), copy=True)
+                    snap.arrays[k] = clean
+                    f["healed"] = _digest(clean) == snap.checksums.get(k)
+                elif f["role"] == "buddy" and f["attribution"] in ("buddy", "transport"):
+                    snap = self._peer_copies[step]
+                    clean = np.array(comm.recv(pred, tag=HEAL_TAG), copy=True)
+                    snap.arrays[k] = clean
+                    d = _digest(clean)
+                    snap.checksums[k] = d
+                    snap.received_checksums[k] = d
+                    f["healed"] = True
+        for f in findings:
+            f.setdefault("healed", False)
+        return findings
 
 
 def shrink_after_failure(

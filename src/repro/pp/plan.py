@@ -36,7 +36,7 @@ from repro.pp import native as _native
 from repro.pp.rsqrt import fast_rsqrt
 from repro.utils.periodic import minimum_image
 
-__all__ = ["InteractionPlan", "PlanExecutor", "multi_arange"]
+__all__ = ["InteractionPlan", "PlanExecutor", "multi_arange", "slice_plan"]
 
 #: Lazily computed result of the native-kernel cross-check (None until
 #: first use; the check runs once per process).
@@ -109,6 +109,43 @@ def multi_arange(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
     return np.arange(total, dtype=np.int64) - np.repeat(starts, lens) + np.repeat(
         lo, lens
+    )
+
+
+def slice_plan(plan: "InteractionPlan", groups: np.ndarray) -> "InteractionPlan":
+    """A sub-plan containing only the selected groups.
+
+    The CSR pointer arrays are rebuilt over the kept groups while every
+    index keeps referring to the *full* Morton-sorted particle/node
+    arrays, and each group's target slice ``[group_lo, group_hi)`` is
+    untouched — so executing the sub-plan against the same sorted inputs
+    reproduces, bitwise, exactly the rows the full sweep produced for
+    those groups (groups own disjoint target rows and each group's
+    arithmetic depends only on its own interaction list).  This is what
+    the ABFT force spot-check leans on: re-sweep a sampled subset of
+    groups through the reference pipeline and compare rows.
+    """
+    groups = np.asarray(groups, dtype=np.int64)
+    if groups.ndim != 1:
+        raise ValueError("groups must be a 1-D index array")
+    if groups.size and (groups.min() < 0 or groups.max() >= plan.n_groups):
+        raise IndexError("group index out of range")
+    plo, phi = plan.part_ptr[groups], plan.part_ptr[groups + 1]
+    nlo, nhi = plan.node_ptr[groups], plan.node_ptr[groups + 1]
+    psel = multi_arange(plo, phi)
+    nsel = multi_arange(nlo, nhi)
+    zero = np.zeros(1, dtype=np.int64)
+    return InteractionPlan(
+        group_nodes=plan.group_nodes[groups],
+        group_lo=plan.group_lo[groups],
+        group_hi=plan.group_hi[groups],
+        part_ptr=np.concatenate([zero, np.cumsum(phi - plo)]).astype(np.int64),
+        part_idx=plan.part_idx[psel],
+        node_ptr=np.concatenate([zero, np.cumsum(nhi - nlo)]).astype(np.int64),
+        node_idx=plan.node_idx[nsel],
+        part_shift=None if plan.part_shift is None else plan.part_shift[psel],
+        node_shift=None if plan.node_shift is None else plan.node_shift[nsel],
+        no_wrap=None if plan.no_wrap is None else plan.no_wrap[groups],
     )
 
 

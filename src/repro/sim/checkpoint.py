@@ -40,12 +40,14 @@ from __future__ import annotations
 import hashlib
 import io as _io
 import json
+import shutil
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.sim.io import array_digest, atomic_write, fsync_directory
+from repro.sim.io import atomic_write, fsync_directory
+from repro.utils.integrity import array_digest
 
 __all__ = [
     "CheckpointError",
@@ -60,6 +62,10 @@ __all__ = [
     "read_manifest",
     "validate_checkpoint",
     "latest_checkpoint",
+    "newest_valid_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
+    "scrub_checkpoints",
     "load_distributed_checkpoint",
     "STRICT_FINITE_KEYS",
 ]
@@ -245,6 +251,110 @@ def latest_checkpoint(ckpt_dir) -> Path:
     if (ckpt_dir / MANIFEST_NAME).exists():
         return ckpt_dir  # a bare step dir was passed directly
     raise CheckpointError(f"no checkpoints found under '{ckpt_dir}'")
+
+
+def list_checkpoints(ckpt_dir) -> List[Path]:
+    """Every ``step_*`` checkpoint directory under ``ckpt_dir``, oldest
+    first (the zero-padded names sort chronologically)."""
+    ckpt_dir = Path(ckpt_dir)
+    return sorted(p for p in ckpt_dir.glob("step_*") if p.is_dir())
+
+
+def newest_valid_checkpoint(ckpt_dir) -> Path:
+    """The newest checkpoint set that passes full digest validation.
+
+    Bit-rot defense for restore: where :func:`latest_checkpoint` trusts
+    the ``LATEST`` pointer, this walks epochs newest-to-oldest and
+    returns the first one whose manifest and every rank-file digest
+    verify — so a rotted newest epoch costs one interval of progress
+    instead of the run.  Raises :class:`CheckpointError` (naming each
+    rejected epoch) when nothing validates.
+    """
+    ckpt_dir = Path(ckpt_dir)
+    candidates = list_checkpoints(ckpt_dir)
+    if not candidates and (ckpt_dir / MANIFEST_NAME).exists():
+        candidates = [ckpt_dir]  # a bare step dir was passed directly
+    rejected = []
+    for step_dir in reversed(candidates):
+        try:
+            validate_checkpoint(step_dir)
+            return step_dir
+        except CheckpointError as exc:
+            rejected.append(f"{step_dir.name}: {exc}")
+    if rejected:
+        raise CheckpointError(
+            f"no valid checkpoint under '{ckpt_dir}'; rejected "
+            + "; ".join(rejected)
+        )
+    raise CheckpointError(f"no checkpoints found under '{ckpt_dir}'")
+
+
+def prune_checkpoints(ckpt_dir, keep_last: int) -> List[Path]:
+    """Delete all but the newest ``keep_last`` checkpoint epochs.
+
+    Deletion ordering is crash-safe: the epoch the durable ``LATEST``
+    pointer names is never deleted (even if ``keep_last`` newer-named
+    directories exist — a newer epoch whose pointer flip has not
+    committed yet is not yet the restart point), and within an epoch the
+    manifest is removed *first*, so a crash mid-delete leaves a set that
+    is recognizably torn rather than one that validates against missing
+    files.  Call only after the newest manifest (and pointer) are
+    durable — the checkpoint writer does.  Returns the deleted paths.
+    """
+    if keep_last < 1:
+        raise ValueError("keep_last must be >= 1")
+    ckpt_dir = Path(ckpt_dir)
+    epochs = list_checkpoints(ckpt_dir)
+    if len(epochs) <= keep_last:
+        return []
+    pointer = ckpt_dir / LATEST_NAME
+    protected = None
+    if pointer.exists():
+        protected = pointer.read_text().strip()
+    doomed = [
+        p for p in epochs[:-keep_last] if p.name != protected
+    ]
+    for step_dir in doomed:
+        manifest = step_dir / MANIFEST_NAME
+        try:
+            manifest.unlink()
+        except FileNotFoundError:
+            pass
+        fsync_directory(step_dir)
+        shutil.rmtree(step_dir, ignore_errors=True)
+    if doomed:
+        fsync_directory(ckpt_dir)
+    return doomed
+
+
+def scrub_checkpoints(ckpt_dir) -> List[Dict[str, Any]]:
+    """Re-verify every stored checkpoint epoch's digests on disk.
+
+    For each epoch: the manifest's whole-file sha256 of every rank file
+    (:func:`validate_checkpoint`) and every per-array checksum inside
+    every rank file (:func:`read_rank_file`) — the full at-rest
+    integrity surface.  Returns one report dict per epoch
+    (``{"step_dir", "ok", "error"}``), oldest first; bit-rot shows up as
+    ``ok=False`` with the offending file named in ``error``.
+    """
+    ckpt_dir = Path(ckpt_dir)
+    epochs = list_checkpoints(ckpt_dir)
+    if not epochs and (ckpt_dir / MANIFEST_NAME).exists():
+        epochs = [ckpt_dir]
+    reports: List[Dict[str, Any]] = []
+    for step_dir in epochs:
+        try:
+            manifest = validate_checkpoint(step_dir)
+            for entry in manifest["files"]:
+                read_rank_file(step_dir / entry["name"])
+            reports.append(
+                {"step_dir": step_dir, "ok": True, "error": ""}
+            )
+        except CheckpointError as exc:
+            reports.append(
+                {"step_dir": step_dir, "ok": False, "error": str(exc)}
+            )
+    return reports
 
 
 def update_latest(ckpt_dir, step_dir_name: str) -> None:

@@ -30,19 +30,26 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace as _dc_replace
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
 from repro.config import SimulationConfig
 from repro.decomp.multisection import divisions_for_ranks
-from repro.mpi.faults import CommTimeout, PeerFailure
+from repro.mpi.faults import (
+    CommTimeout,
+    PeerFailure,
+    apply_scheduled_flips,
+    flip_file_bits,
+)
 from repro.mpi.recovery import BuddyStore, RecoveryError, RecoveryEvent, shrink_after_failure
 from repro.mpi.backend import create_backend
 from repro.sim import checkpoint as _ckpt
 from repro.sim.checkpoint import CheckpointError
 from repro.sim.parallel import ParallelSimulation
 from repro.validate import check_recovery_totals
+from repro.validate.sdc import SdcAuditor, SdcEvent, SdcViolation
 
 __all__ = [
     "ElasticRunner",
@@ -138,6 +145,11 @@ class ElasticRunner:
         #: survivor; per-rank latencies differ)
         self.events: List[RecoveryEvent] = []
         self._recover_attempts = 0
+        #: the SDC audit engine (detect -> attribute -> heal); cadence
+        #: and policy come from ``config.sdc``
+        self.sdc = SdcAuditor(config=config.sdc, world_rank=comm.world_rank)
+        self._crc_seen = 0
+        self._arm_sdc()
 
     # -- pieces ------------------------------------------------------------------
 
@@ -147,6 +159,55 @@ class ElasticRunner:
 
     def _refresh_buddy(self, boundary: int) -> None:
         self.buddy.refresh(self.comm, self._particle_arrays(), boundary)
+
+    def _arm_sdc(self) -> None:
+        """(Re-)enable sweep retention on the current solver when ABFT
+        spot-checks are on (a recovery rebuilds the simulation, and
+        with it the tree solver)."""
+        if self.sdc.enabled and self.sdc.config.spot_check_groups > 0:
+            self.sim.tree.retain_last_sweep = True
+
+    def _inject_state_faults(self, step: int) -> None:
+        """Apply the fault plan's SDC events keyed on the just-completed
+        step: bit flips in the live particle arrays and in the frozen
+        buddy-store copies.  Test machinery — a no-op without a plan."""
+        plan = getattr(self.comm, "fault_plan", None)
+        if plan is None or plan.empty:
+            return
+        wr = self.comm.world_rank
+        apply_scheduled_flips(
+            plan, wr, step, self._particle_arrays(), target="live"
+        )
+        for target, store in (
+            ("self_copy", self.buddy._self_copies),
+            ("peer_copy", self.buddy._peer_copies),
+        ):
+            if not store:
+                continue
+            newest = max(store)
+            apply_scheduled_flips(
+                plan, wr, step, store[newest].arrays, target=target
+            )
+
+    def _inject_rot(self, step: int) -> None:
+        """Apply scheduled on-disk bit-rot to the checkpoint epoch this
+        rank just wrote at ``step`` (after the manifest recorded the
+        clean digests, so validation catches the damage)."""
+        plan = getattr(self.comm, "fault_plan", None)
+        if plan is None or self.checkpoint_dir is None:
+            return
+        for ev in plan.rot_events(self.comm.world_rank, step):
+            if not plan.fire_once(("rot", ev.rank, ev.step)):
+                continue
+            path = (
+                Path(self.checkpoint_dir)
+                / _ckpt.step_dirname(step)
+                / _ckpt.rank_filename(self.comm.rank, self.comm.size)
+            )
+            if path.exists():
+                flip_file_bits(
+                    path, nbits=ev.nbits, seed=(plan.seed, ev.rank, ev.step)
+                )
 
     def _sweep(self, reference, boundary: int) -> None:
         """Post-recovery validation sweep (collective): the restored
@@ -174,6 +235,24 @@ class ElasticRunner:
         """The shrink-and-continue state machine; returns the step to
         resume from."""
         t0 = time.perf_counter()
+        crc = getattr(self.comm, "shm_crc_failures", 0)
+        if crc > self._crc_seen:
+            # checksum-failed SHM frames were discarded as undelivered;
+            # the timeout that brought us here is their symptom
+            self.sdc.record(
+                SdcEvent(
+                    step=failed_step,
+                    kind="transport",
+                    array="shm_frame",
+                    owner_world_rank=self.comm.world_rank,
+                    attribution="transport",
+                    healed=True,
+                    detail=(
+                        f"{crc - self._crc_seen} SharedMemory frame(s) "
+                        f"failed CRC32 and were dropped"
+                    ),
+                )
+            )
         self._recover_attempts += 1
         if self._recover_attempts > self.max_recoveries:
             raise RecoveryError(
@@ -185,6 +264,7 @@ class ElasticRunner:
             self.comm, timeout=self.consensus_timeout
         )
         self.comm = new_comm
+        self._crc_seen = getattr(self.comm, "shm_crc_failures", 0)
         config = (
             config_for_ranks(self.sim.config, new_comm.size)
             if dead
@@ -221,12 +301,33 @@ class ElasticRunner:
                     f"checkpoint directory configured"
                 )
             try:
-                step_dir = _ckpt.latest_checkpoint(self.checkpoint_dir)
+                step_dir = _ckpt.newest_valid_checkpoint(self.checkpoint_dir)
             except CheckpointError as ckpt_exc:
                 raise RecoveryError(
                     f"in-memory recovery impossible ({reason}) and no "
-                    f"complete disk checkpoint found: {ckpt_exc}"
+                    f"valid disk checkpoint found: {ckpt_exc}"
                 ) from ckpt_exc
+            try:
+                pointed = _ckpt.latest_checkpoint(self.checkpoint_dir)
+            except CheckpointError:
+                pointed = None
+            if pointed is not None and Path(pointed) != Path(step_dir):
+                # the LATEST epoch failed digest validation: on-disk
+                # bit-rot, healed by falling back an interval
+                self.sdc.record(
+                    SdcEvent(
+                        step=failed_step,
+                        kind="checkpoint",
+                        array=Path(pointed).name,
+                        owner_world_rank=self.comm.world_rank,
+                        attribution="disk",
+                        healed=True,
+                        detail=(
+                            f"epoch {Path(pointed).name} failed digest "
+                            f"validation; restored {Path(step_dir).name}"
+                        ),
+                    )
+                )
             manifest = _ckpt.read_manifest(step_dir)
             self.sim = ParallelSimulation.restore(
                 new_comm, config, step_dir, stepper=self.stepper
@@ -236,6 +337,7 @@ class ElasticRunner:
             detail = f"restored {step_dir} ({reason})"
             reference = {"count": int(manifest["total_particles"])}
 
+        self._arm_sdc()
         self._sweep(reference, boundary)
         # re-arm replication on the new communicator at the restored
         # boundary, so a follow-up failure rolls back here, not further
@@ -290,12 +392,37 @@ class ElasticRunner:
                             schedule={**schedule, "next_step": i},
                         )
                     self._refresh_buddy(i)
+                    if self.sdc.enabled and self.sdc._reference_fp is None:
+                        self.sdc.set_reference(
+                            self.comm, self.sim.ids, self.sim.mass
+                        )
                     initialized = True
                 if i >= n_steps:
                     return
                 self.comm.fault_point(i)
                 self.sim.step(float(edges[i]), float(edges[i + 1]))
                 i += 1
+                self._inject_state_faults(i)
+                audit_due = self.sdc.due(i - first_step)
+                refresh_due = (
+                    (i - first_step) % self.buddy_every == 0 and i < n_steps
+                )
+                # the fingerprint guards every replication boundary (not
+                # just audit steps): a boundary whose conserved arrays
+                # don't fingerprint-clean must never be frozen, or a
+                # later rollback would "restore" corrupted state
+                if audit_due or (refresh_due and self.sdc.enabled):
+                    found = []
+                    ev = self.sdc.fingerprint_audit(
+                        self.comm, self.sim.ids, self.sim.mass, step=i
+                    )
+                    if ev is not None:
+                        found.append(ev)
+                    if audit_due:
+                        ev = self.sdc.spot_check(self.sim.tree, step=i)
+                        if ev is not None:
+                            found.append(ev)
+                    self.sdc.apply_policy(self.comm, found)
                 if self.checkpoint_every and (
                     (i - first_step) % self.checkpoint_every == 0 or i == n_steps
                 ):
@@ -303,16 +430,32 @@ class ElasticRunner:
                         self.checkpoint_dir,
                         schedule={**schedule, "next_step": i},
                     )
-                if (i - first_step) % self.buddy_every == 0 and i < n_steps:
+                    # retention (config.sdc.keep_last) is applied inside
+                    # sim.checkpoint, before the rot injection above
+                    self._inject_rot(i)
+                if refresh_due:
                     self._refresh_buddy(i)
-            except (PeerFailure, CommTimeout) as exc:
+                if audit_due and i < n_steps:
+                    found = self.sdc.snapshot_audit(self.comm, self.buddy, step=i)
+                    self.sdc.apply_policy(self.comm, found)
+            except (PeerFailure, CommTimeout, SdcViolation) as exc:
+                if (
+                    isinstance(exc, SdcViolation)
+                    and self.sdc.config.policy == "abort"
+                ):
+                    raise
                 # a further failure *during* recovery (another rank died
                 # mid-consensus or mid-restore) starts another round;
                 # max_recoveries bounds the cascade
+                first = exc
                 while True:
                     try:
                         i = self._recover(exc, failed_step=i)
                         initialized = True
+                        if isinstance(first, SdcViolation):
+                            # the rollback restored (and re-verified)
+                            # state from before the corruption
+                            self.sdc.mark_rolled_back(first.events, i)
                         break
                     except (PeerFailure, CommTimeout) as again:
                         exc = again
@@ -331,6 +474,7 @@ class ElasticRunner:
             events=list(self.events),
             steps_taken=int(self.sim.steps_taken),
             timing=self.sim.timing.as_dict(),
+            sdc_events=[ev.summary() for ev in self.sdc.events],
         )
 
 
@@ -352,6 +496,7 @@ class ElasticRankReport:
         events: List[RecoveryEvent],
         steps_taken: int,
         timing,
+        sdc_events: Optional[List[dict]] = None,
     ) -> None:
         self.world_rank = world_rank
         self.final_rank = final_rank
@@ -360,6 +505,9 @@ class ElasticRankReport:
         self.events = events
         self.steps_taken = steps_taken
         self.timing = timing
+        #: :meth:`repro.validate.sdc.SdcEvent.summary` dicts, in
+        #: detection order
+        self.sdc_events = list(sdc_events or [])
 
     def table1_rows(self):
         return dict(self.timing)

@@ -16,7 +16,6 @@ The distributed equivalent lives in :mod:`repro.sim.checkpoint`.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -59,14 +58,9 @@ class SnapshotHeader:
         return 1.0 / self.time - 1.0
 
 
-def array_digest(arr: np.ndarray) -> str:
-    """sha256 over an array's dtype, shape and bytes."""
-    arr = np.ascontiguousarray(arr)
-    h = hashlib.sha256()
-    h.update(str(arr.dtype).encode())
-    h.update(str(arr.shape).encode())
-    h.update(arr.tobytes())
-    return h.hexdigest()
+# Canonical implementation lives in repro.utils.integrity so snapshot,
+# checkpoint and buddy-replica digests are always comparable.
+from repro.utils.integrity import array_digest  # noqa: E402  (re-export)
 
 
 def _json_buffer(obj: Any) -> np.ndarray:

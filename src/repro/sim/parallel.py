@@ -522,6 +522,11 @@ class ParallelSimulation:
                 manifest.update(extra)
             _ckpt.write_manifest(step_dir, manifest)
             _ckpt.update_latest(checkpoint_dir, step_name)
+            keep_last = int(self.config.sdc.keep_last)
+            if keep_last:
+                # retention: the pointer is durable, so older epochs
+                # beyond the window can go
+                _ckpt.prune_checkpoints(checkpoint_dir, keep_last)
         # no rank may leave before the manifest exists: a kill after this
         # barrier always finds a complete set on disk
         comm.barrier()

@@ -141,6 +141,12 @@ class TreeSolver:
             pair_budget=plan_pair_budget,
             use_native=plan_native,
         )
+        #: when True, every plan-path ``forces`` call keeps the inputs
+        #: and monopole output of its sweep in ``last_sweep`` so the SDC
+        #: auditor can re-execute a sampled sub-plan through the
+        #: reference pipeline and compare bitwise (ABFT spot-check)
+        self.retain_last_sweep = False
+        self.last_sweep: Optional[dict] = None
         if split is not None and periodic and split.cutoff_radius > box / 2:
             raise ValueError("cutoff radius must be < box/2 for periodic runs")
         self._ewald_table = None
@@ -222,6 +228,7 @@ class TreeSolver:
             if ledger is not None:
                 t1 = time.perf_counter()
                 ledger.add("PP/tree traversal", t1 - t0)
+            native_before = self._executor.native_runs
             self._executor.execute(
                 plan,
                 kernel,
@@ -231,6 +238,27 @@ class TreeSolver:
                 tree.node_mass,
                 out=acc_sorted,
             )
+            if self.retain_last_sweep:
+                # monopole output *before* quadrupole terms and mask
+                # zeroing: exactly what re-executing the plan reproduces
+                self.last_sweep = {
+                    "plan": plan,
+                    "pos_sorted": tree.pos_sorted,
+                    "mass_sorted": tree.mass_sorted,
+                    "node_com": tree.node_com,
+                    "node_mass": tree.node_mass,
+                    "acc_sorted": acc_sorted.copy(),
+                    "mask_sorted": mask_sorted,
+                    "native_used": self._executor.native_runs > native_before,
+                    "kernel_config": {
+                        "split": self.split,
+                        "eps": self.eps,
+                        "G": self.G,
+                        "use_fast_rsqrt": self.use_fast_rsqrt,
+                        "box": self.box if self.periodic else None,
+                        "ewald_table": self._ewald_table,
+                    },
+                }
             if self.use_quadrupole:
                 self._plan_quadrupole(tree, plan, acc_sorted)
             if ledger is not None:

@@ -55,6 +55,13 @@ class TreePMSolver:
         Gravitational constant.
     use_fast_rsqrt:
         Use the emulated HPC-ACE fast-rsqrt PP path.
+    sdc:
+        Optional :class:`repro.validate.SdcAuditor`.  When enabled,
+        every ``audit_every``-th :meth:`forces` call re-sweeps a sampled
+        subset of the interaction plan through the reference pipeline
+        and compares bitwise; under the ``heal`` policy a miscomputed
+        sweep is redone in full through the reference path before the
+        result is returned.
     """
 
     def __init__(
@@ -64,12 +71,16 @@ class TreePMSolver:
         G: float = 1.0,
         use_fast_rsqrt: bool = False,
         validator=None,
+        sdc=None,
     ) -> None:
         self.config = config if config is not None else TreePMConfig()
         self.box = float(box)
         self.G = float(G)
         #: optional repro.validate.Validator consulted by :meth:`forces`
         self.validator = validator
+        #: optional repro.validate.SdcAuditor running ABFT spot-checks
+        self.sdc = sdc
+        self._sdc_evals = 0
         cfg = self.config
         self.split = get_split(cfg.split, cfg.rcut * box)
         self.pm = PMSolver(
@@ -95,6 +106,12 @@ class TreePMSolver:
             use_plan=cfg.tree.use_plan,
             plan_float32=cfg.tree.plan_float32,
         )
+        if (
+            sdc is not None
+            and sdc.enabled
+            and sdc.config.spot_check_groups > 0
+        ):
+            self.tree.retain_last_sweep = True
 
     @property
     def rcut(self) -> float:
@@ -140,6 +157,22 @@ class TreePMSolver:
             v.handle(check_octree(tree, step=v.step))
         with timing.phase("PP/force calculation"):
             a_short, stats = self.tree.forces(pos, mass, tree=tree)
+        sdc = self.sdc
+        if sdc is not None and sdc.enabled:
+            self._sdc_evals += 1
+            if self._sdc_evals % sdc.config.audit_every == 0:
+                ev = sdc.spot_check(self.tree, step=self._sdc_evals)
+                if ev is not None and sdc.config.policy == "heal":
+                    # spot_check already stopped trusting the native
+                    # path; redo the whole sweep through the reference
+                    # pipeline so the returned forces are clean
+                    with timing.phase("PP/force calculation"):
+                        a_short, stats = self.tree.forces(
+                            pos, mass, tree=tree
+                        )
+                    ev.healed = True
+                    ev.detail += "; healed by reference re-sweep"
+                sdc.apply_policy(None, [ev] if ev is not None else [])
         if v is not None and v.check_enabled("finite_fields"):
             from repro.validate.checks import check_finite, first_violation
 

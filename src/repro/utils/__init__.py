@@ -6,6 +6,11 @@ from repro.utils.periodic import (
     periodic_distance,
 )
 from repro.utils.timer import Timer, TimingLedger
+from repro.utils.integrity import (
+    array_digest,
+    digest_arrays,
+    fingerprint_particles,
+)
 
 __all__ = [
     "minimum_image",
@@ -13,4 +18,7 @@ __all__ = [
     "periodic_distance",
     "Timer",
     "TimingLedger",
+    "array_digest",
+    "digest_arrays",
+    "fingerprint_particles",
 ]

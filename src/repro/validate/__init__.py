@@ -20,7 +20,13 @@ into *runtime guardrails*:
   (``off | warn | abort | dump``, per-check overrides, sampling
   interval) that the simulations consult; ``dump`` writes a diagnostic
   checkpoint through the fault-tolerance machinery before aborting, so
-  every violation is reproducible offline.
+  every violation is reproducible offline;
+* :mod:`repro.validate.sdc` — silent-data-corruption audits
+  (:class:`SdcAuditor`): snapshot digest cross-checks with
+  two-out-of-three attribution and in-place healing, a
+  partition-independent live-state fingerprint, and ABFT force
+  spot-checks against the reference kernel (policy
+  ``off | warn | heal | abort``).
 
 See ``docs/validation.md`` for the invariant catalogue and the
 "violation -> diagnostic dump -> offline repro" workflow.
@@ -46,6 +52,7 @@ from repro.validate.monitor import (
     MomentumDriftMonitor,
 )
 from repro.validate.runtime import POLICIES, Validator
+from repro.validate.sdc import SdcAuditor, SdcEvent, SdcViolation, SdcWarning
 
 __all__ = [
     "InvariantViolation",
@@ -67,4 +74,8 @@ __all__ = [
     "MomentumDriftMonitor",
     "Validator",
     "POLICIES",
+    "SdcAuditor",
+    "SdcEvent",
+    "SdcViolation",
+    "SdcWarning",
 ]

@@ -12,7 +12,10 @@ from repro.mpi.faults import (
     CommTimeout,
     FaultPlan,
     InjectedFault,
+    apply_scheduled_flips,
     corrupt_payload,
+    flip_array_bits,
+    flip_file_bits,
     retry_with_backoff,
 )
 from repro.mpi.runtime import MPIRuntime
@@ -256,3 +259,148 @@ class TestSubCommunicatorAbort:
 
         with pytest.raises(RuntimeError, match="rank 0"):
             MPIRuntime(4).run(fn)
+
+
+class TestSdcFaultPrimitives:
+    """The silent-data-corruption injection surface: in-memory bit
+    flips, SHM transport corruption, on-disk bit-rot — all
+    deterministic, all one-shot."""
+
+    def test_flip_bits_builder_and_describe(self):
+        plan = (
+            FaultPlan(seed=3)
+            .flip_bits(1, "mass", step=2, target="live")
+            .flip_bits(0, "pos", step=1, nbits=3)
+            .corrupt_shm(src=0, dst=1, nth=2, count=5)
+            .rot_checkpoint(2, step=4, nbits=2)
+        )
+        assert not plan.empty
+        text = plan.describe()
+        assert "flip 1 bit(s) of 'mass' (live) on rank 1 at step 2" in text
+        assert "flip 3 bit(s) of 'pos' (self_copy) on rank 0 at step 1" in text
+        assert "corrupt_shm 0->1 messages [2, 7)" in text
+        assert "rot 2 bit(s) of rank 2's checkpoint at step 4" in text
+
+    def test_flip_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().flip_bits(0, "mass", step=0, nbits=0)
+        with pytest.raises(ValueError):
+            FaultPlan().flip_bits(0, "mass", step=0, target="ghost_copy")
+        with pytest.raises(ValueError):
+            FaultPlan().rot_checkpoint(0, step=0, nbits=0)
+
+    def test_flip_and_rot_queries_filter(self):
+        plan = (
+            FaultPlan()
+            .flip_bits(0, "mass", step=1, target="live")
+            .flip_bits(0, "pos", step=1, target="self_copy")
+            .rot_checkpoint(1, step=2)
+        )
+        assert len(plan.flip_events(0, 1)) == 2
+        assert [f.array for f in plan.flip_events(0, 1, target="live")] == [
+            "mass"
+        ]
+        assert plan.flip_events(1, 1) == []
+        assert len(plan.rot_events(1, 2)) == 1
+        assert plan.rot_events(1, 3) == []
+
+    def test_fire_once(self):
+        plan = FaultPlan()
+        key = ("flip", 0, "mass", 1, "live")
+        assert plan.fire_once(key)
+        assert not plan.fire_once(key)
+        assert plan.fire_once(("flip", 1, "mass", 1, "live"))
+
+    def test_flip_array_bits_deterministic_and_in_place(self):
+        a = np.ones(32)
+        b = np.ones(32)
+        bits_a = flip_array_bits(a, nbits=4, seed=11)
+        bits_b = flip_array_bits(b, nbits=4, seed=11)
+        assert bits_a == bits_b and len(bits_a) == 4
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, np.ones(32))
+        # flipping the same bits again restores the original
+        flip_array_bits(a, nbits=4, seed=11)
+        np.testing.assert_array_equal(a, np.ones(32))
+
+    def test_flip_array_bits_edge_cases(self):
+        assert flip_array_bits(np.zeros(0), nbits=2, seed=0) == []
+        with pytest.raises(ValueError):
+            flip_array_bits(np.zeros(4), nbits=0)
+        with pytest.raises(ValueError):
+            flip_array_bits(np.zeros((4, 4)).T, nbits=1)
+        tiny = np.zeros(1, dtype=np.uint8)
+        assert len(flip_array_bits(tiny, nbits=64, seed=1)) == 8
+
+    def test_flip_file_bits_deterministic(self, tmp_path):
+        payload = bytes(range(64))
+        fa, fb = tmp_path / "a.bin", tmp_path / "b.bin"
+        fa.write_bytes(payload)
+        fb.write_bytes(payload)
+        bits_a = flip_file_bits(fa, nbits=3, seed=(9, 1))
+        bits_b = flip_file_bits(fb, nbits=3, seed=(9, 1))
+        assert bits_a == bits_b and len(bits_a) == 3
+        assert fa.read_bytes() == fb.read_bytes() != payload
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        assert flip_file_bits(empty, nbits=1, seed=0) == []
+
+    def test_apply_scheduled_flips_one_shot(self):
+        plan = FaultPlan(seed=2).flip_bits(0, "mass", step=1, target="live")
+        arrays = {"mass": np.ones(16), "pos": np.ones((16, 3))}
+        assert apply_scheduled_flips(plan, 0, 1, arrays, target="live") == [
+            "mass"
+        ]
+        damaged = arrays["mass"].copy()
+        # a rollback replays step 1: the same rule must not strike twice
+        assert apply_scheduled_flips(plan, 0, 1, arrays, target="live") == []
+        np.testing.assert_array_equal(arrays["mass"], damaged)
+        np.testing.assert_array_equal(arrays["pos"], np.ones((16, 3)))
+
+    def test_apply_scheduled_flips_ignores_absent_and_other_targets(self):
+        plan = (
+            FaultPlan()
+            .flip_bits(0, "ghost", step=1, target="live")
+            .flip_bits(0, "mass", step=1, target="self_copy")
+        )
+        arrays = {"mass": np.ones(8)}
+        assert apply_scheduled_flips(plan, 0, 1, arrays, target="live") == []
+        np.testing.assert_array_equal(arrays["mass"], np.ones(8))
+        assert apply_scheduled_flips(None, 0, 1, arrays) == []
+
+
+class TestCorruptPayloadMatrix:
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32, np.int64, np.uint8, np.complex128]
+    )
+    def test_dtypes(self, dtype):
+        arr = np.ones(6, dtype=dtype)
+        bad = corrupt_payload(arr)
+        assert bad.dtype == arr.dtype and bad.shape == arr.shape
+        assert not np.array_equal(bad, arr)
+        np.testing.assert_array_equal(bad[1:], arr[1:])
+
+    def test_multidimensional(self):
+        arr = np.ones((3, 4), dtype=np.float64)
+        bad = corrupt_payload(arr)
+        assert bad.shape == arr.shape
+        assert not np.array_equal(bad, arr)
+
+    def test_zero_size_and_non_array(self):
+        empty = np.zeros(0)
+        assert corrupt_payload(empty) == "<corrupted payload>"
+        assert corrupt_payload({"a": 1}) == "<corrupted payload>"
+
+    def test_keyed_dict_targets_one_entry(self):
+        msg = {"pos": np.ones((4, 3)), "step": 7}
+        bad = corrupt_payload(msg, key="pos")
+        assert bad["step"] == 7
+        assert not np.array_equal(bad["pos"], msg["pos"])
+        # the original payload is left untouched
+        np.testing.assert_array_equal(msg["pos"], np.ones((4, 3)))
+
+    def test_keyed_dict_missing_key_passes_through(self):
+        msg = {"step": 7}
+        assert corrupt_payload(msg, key="pos") is msg
+        arr = np.ones(4)
+        assert corrupt_payload(arr, key="pos") is arr

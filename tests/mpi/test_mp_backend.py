@@ -291,7 +291,7 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-def _wait_gone(pids, timeout=15.0):
+def _wait_gone(pids, timeout=30.0):
     deadline = time.time() + timeout
     while time.time() < deadline:
         if not any(_pid_alive(p) for p in pids):

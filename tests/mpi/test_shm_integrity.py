@@ -1,0 +1,64 @@
+"""SharedMemory transport frame integrity (multiprocess backend).
+
+Every out-of-band SHM frame carries a CRC32 computed at send time; the
+receiver re-checks it before trusting the bytes.  A frame corrupted in
+flight (the ``corrupt_shm`` fault) must be *dropped* — surfacing as a
+recv timeout the recovery machinery understands — never delivered as
+silently wrong data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.faults import CommTimeout, FaultPlan
+from repro.mpi.mp_backend import MultiprocessBackend
+
+pytestmark = [pytest.mark.faults, pytest.mark.timeout(120)]
+
+
+def test_corrupted_frame_dropped_clean_frame_delivered():
+    plan = FaultPlan(seed=5).corrupt_shm(src=0, dst=1, nth=0)
+    backend = MultiprocessBackend(
+        2, fault_plan=plan, recv_timeout=2.0, shm_threshold=256
+    )
+
+    def spmd(comm):
+        big = np.arange(4096, dtype=np.float64)
+        if comm.rank == 0:
+            comm.send(big, 1, tag=7)       # sabotaged frame
+            comm.send(big * 2, 1, tag=8)   # clean frame
+            return ("sender", 0, 0.0)
+        try:
+            comm.recv(0, tag=7, timeout=2.0)
+            outcome = "delivered"
+        except CommTimeout:
+            outcome = "dropped"
+        clean = comm.recv(0, tag=8, timeout=10.0)
+        return (outcome, int(comm.shm_crc_failures), float(clean[1]))
+
+    sender, receiver = backend.run(spmd)
+    outcome, crc_failures, probe = receiver
+    assert outcome == "dropped"
+    assert crc_failures == 1
+    assert probe == 2.0  # the clean frame after the bad one is intact
+
+
+def test_small_messages_bypass_shm_and_survive():
+    # below shm_threshold the payload rides the pipe, which the
+    # corrupt_shm rule cannot touch: delivery must succeed
+    plan = FaultPlan(seed=5).corrupt_shm(src=0, dst=1, nth=0, count=100)
+    backend = MultiprocessBackend(
+        2, fault_plan=plan, recv_timeout=2.0, shm_threshold=1 << 20
+    )
+
+    def spmd(comm):
+        small = np.arange(16, dtype=np.float64)
+        if comm.rank == 0:
+            comm.send(small, 1, tag=3)
+            return None
+        got = comm.recv(0, tag=3, timeout=5.0)
+        return (int(comm.shm_crc_failures), float(got.sum()))
+
+    _, receiver = backend.run(spmd)
+    assert receiver == (0, float(np.arange(16).sum()))

@@ -202,3 +202,95 @@ class TestMain:
         assert main(["run", str(cfg), "--summary", str(summary_path)]) == 0
         summary = json.loads(summary_path.read_text())
         assert summary["steps"] == 1
+
+
+class TestSdcFlags:
+    _CFG = {
+        "kind": "static",
+        "n_particles": 48,
+        "mesh_size": 8,
+        "end": 0.2,
+        "n_steps": 2,
+        "seed": 9,
+    }
+
+    def test_build_config_plumbs_sdc_keys(self):
+        from repro.cli import _DEFAULTS, _build_config
+
+        cfg = _build_config({
+            **_DEFAULTS, **self._CFG,
+            "sdc_policy": "heal", "sdc_audit_every": 3,
+            "sdc_spot_check_groups": 7, "sdc_keep_last": 2,
+        })
+        assert cfg.sdc.policy == "heal"
+        assert cfg.sdc.audit_every == 3
+        assert cfg.sdc.spot_check_groups == 7
+        assert cfg.sdc.keep_last == 2
+
+    def test_invalid_sdc_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            run_from_config(
+                {**self._CFG, "sdc_policy": "retry"}, log=_quiet
+            )
+
+    def test_main_sdc_flags_override_config(self, tmp_path):
+        cfg_path = tmp_path / "run.json"
+        cfg_path.write_text(json.dumps(self._CFG))
+        assert main([
+            "run", str(cfg_path),
+            "--sdc-policy", "warn",
+            "--sdc-audit-every", "2",
+        ]) == 0
+
+
+class TestCkptScrubCommand:
+    def _make_set(self, root, steps=(0, 1, 2)):
+        from repro.sim import checkpoint as _ckpt
+
+        for step in steps:
+            step_dir = root / _ckpt.step_dirname(step)
+            step_dir.mkdir(parents=True)
+            name = _ckpt.rank_filename(0, 1)
+            digest = _ckpt.write_rank_file(
+                step_dir / name,
+                {"pos": np.full((4, 3), float(step))},
+                {"rank": 0},
+            )
+            _ckpt.write_manifest(step_dir, {
+                "version": _ckpt.CHECKPOINT_VERSION,
+                "n_ranks": 1,
+                "steps_taken": step,
+                "schedule": {"next_step": step},
+                "config_hash": "test",
+                "files": [{
+                    "rank": 0, "name": name,
+                    "sha256": digest, "n_particles": 4,
+                }],
+            })
+            _ckpt.update_latest(root, step_dir.name)
+        return root
+
+    def test_scrub_clean_set_exits_zero(self, tmp_path, capsys):
+        self._make_set(tmp_path)
+        assert main(["ckpt", "scrub", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 3
+        assert "all clean" in out
+
+    def test_scrub_rotted_epoch_exits_nonzero(self, tmp_path, capsys):
+        from repro.mpi.faults import flip_file_bits
+        from repro.sim import checkpoint as _ckpt
+
+        self._make_set(tmp_path)
+        flip_file_bits(
+            tmp_path / "step_00001" / _ckpt.rank_filename(0, 1),
+            nbits=1, seed=4,
+        )
+        assert main(["ckpt", "scrub", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "INVALID step_00001" in captured.err
+        assert "1 failed" in captured.out
+
+    def test_scrub_empty_dir_exits_nonzero(self, tmp_path, capsys):
+        assert main(["ckpt", "scrub", str(tmp_path)]) == 1
+        assert "no checkpoints" in capsys.readouterr().err

@@ -9,6 +9,7 @@ from repro.config import (
     MachineConfig,
     PMConfig,
     RelayMeshConfig,
+    SdcConfig,
     SimulationConfig,
     TreeConfig,
     TreePMConfig,
@@ -150,3 +151,44 @@ class TestSimulationConfig:
         bad["treepm"]["pm"]["mesh_size"] = 2
         with pytest.raises(ValueError):
             SimulationConfig.from_dict(bad)
+
+
+class TestSdcConfig:
+    def test_defaults_disabled(self):
+        sdc = SdcConfig()
+        assert sdc.policy == "off" and not sdc.enabled
+        assert sdc.audit_every == 1
+        assert sdc.keep_last == 0
+
+    @pytest.mark.parametrize("policy", ["warn", "heal", "abort"])
+    def test_enabled_policies(self, policy):
+        assert SdcConfig(policy=policy).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SdcConfig(policy="retry")
+        with pytest.raises(ValueError):
+            SdcConfig(audit_every=0)
+        with pytest.raises(ValueError):
+            SdcConfig(spot_check_groups=-1)
+        with pytest.raises(ValueError):
+            SdcConfig(keep_last=-1)
+
+    def test_roundtrip_through_dict(self):
+        import json
+
+        cfg = SimulationConfig(
+            sdc=SdcConfig(policy="heal", audit_every=2, keep_last=3)
+        )
+        back = SimulationConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict()))
+        )
+        assert back.sdc == cfg.sdc
+
+    def test_config_hash_ignores_sdc(self):
+        # audit policy is an operational knob, not physics: two runs
+        # that differ only in SDC settings are the same simulation
+        # (checkpoints must remain mutually restorable)
+        a = SimulationConfig()
+        b = SimulationConfig(sdc=SdcConfig(policy="heal", audit_every=5))
+        assert a.config_hash() == b.config_hash()

@@ -211,7 +211,11 @@ class TestValidationProperties:
         v = check_mesh_mass(
             total * (1.0 + skew), total, stage="mesh/assignment", rel_tol=tol
         )
-        if abs(skew) > tol:
+        # guard band on both sides of the threshold: the check scales
+        # the error by max(|mesh|, |particle|) — the *skewed* total —
+        # so a positive skew fires only above tol/(1-tol), and floats
+        # round at the boundary (tol <= 1e-2 keeps 2% conservative)
+        if abs(skew) > tol * 1.02:
             assert v is not None and v.check == "mass_conservation"
             assert v.stage == "mesh/assignment"
         elif abs(skew) < tol * 0.5:

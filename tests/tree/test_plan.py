@@ -454,3 +454,72 @@ class TestNativeKernel:
             use_plan=False, periodic=True, split=SPLIT, eps=1e-3
         ).forces(pos, mass)
         assert np.array_equal(a, a_leg)
+
+
+class TestSlicePlan:
+    """``slice_plan`` is the ABFT spot-check's sampling primitive: a
+    sub-plan over selected groups must reproduce, bitwise, exactly the
+    target rows the full sweep produced for those groups."""
+
+    def _sweep(self, medium_particles, **kw):
+        from repro.pp.kernel import PPKernel
+
+        pos, mass = medium_particles
+        solver = TreeSolver(periodic=True, split=SPLIT, eps=1e-3, **kw)
+        solver.retain_last_sweep = True
+        solver.forces(pos, mass)
+        sweep = solver.last_sweep
+        kc = sweep["kernel_config"]
+        kernel = PPKernel(
+            split=kc["split"], eps=kc["eps"], G=kc["G"],
+            use_fast_rsqrt=kc["use_fast_rsqrt"], box=kc["box"],
+            ewald_table=kc["ewald_table"],
+        )
+        return solver, sweep, kernel
+
+    @pytest.mark.parametrize(
+        "picker",
+        [
+            lambda n: np.arange(n),                         # every group
+            lambda n: np.array([0]),                        # first only
+            lambda n: np.array([n - 1]),                    # last only
+            lambda n: np.arange(n)[:: max(1, n // 5)],      # strided sample
+        ],
+    )
+    def test_subplan_rows_bitwise_equal(self, medium_particles, picker):
+        from repro.pp.plan import slice_plan
+
+        solver, sweep, kernel = self._sweep(medium_particles)
+        plan = sweep["plan"]
+        groups = picker(plan.n_groups)
+        sub = slice_plan(plan, groups)
+        out = np.zeros_like(sweep["acc_sorted"])
+        PlanExecutor(use_native=False).execute(
+            sub, kernel,
+            sweep["pos_sorted"], sweep["mass_sorted"],
+            sweep["node_com"], sweep["node_mass"],
+            out=out,
+        )
+        rows = multi_arange(plan.group_lo[groups], plan.group_hi[groups])
+        np.testing.assert_array_equal(
+            out[rows], sweep["acc_sorted"][rows]
+        )
+        # rows no sampled group owns were never touched
+        untouched = np.setdiff1d(np.arange(len(out)), rows)
+        assert not out[untouched].any()
+
+    def test_empty_selection(self, medium_particles):
+        from repro.pp.plan import slice_plan
+
+        _, sweep, _ = self._sweep(medium_particles)
+        sub = slice_plan(sweep["plan"], np.empty(0, dtype=np.int64))
+        assert sub.n_groups == 0
+
+    def test_out_of_range_rejected(self, medium_particles):
+        from repro.pp.plan import slice_plan
+
+        _, sweep, _ = self._sweep(medium_particles)
+        with pytest.raises(IndexError):
+            slice_plan(sweep["plan"], np.array([sweep["plan"].n_groups]))
+        with pytest.raises(ValueError):
+            slice_plan(sweep["plan"], np.array([[0]]))

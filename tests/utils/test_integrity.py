@@ -1,0 +1,106 @@
+"""The shared array-integrity helpers every persistence/replication
+layer digests through, and the partition-independent particle
+fingerprint the SDC live-state audit compares against its run-start
+reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.faults import flip_array_bits
+from repro.utils.integrity import (
+    array_digest,
+    digest_arrays,
+    fingerprint_particles,
+)
+
+
+class TestArrayDigest:
+    def test_layout_independent(self):
+        a = np.arange(24, dtype=np.float64).reshape(4, 6)
+        assert array_digest(a) == array_digest(np.ascontiguousarray(a))
+        # a transposed view hashes like its contiguous copy
+        t = a.T
+        assert array_digest(t) == array_digest(np.ascontiguousarray(t))
+        # but not like the differently-shaped original
+        assert array_digest(t) != array_digest(a)
+
+    def test_dtype_and_shape_matter(self):
+        a = np.zeros(8, dtype=np.float64)
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+        assert array_digest(a) != array_digest(a.reshape(2, 4))
+
+    def test_zero_length(self):
+        assert array_digest(np.zeros(0)) == array_digest(np.zeros(0))
+        assert array_digest(np.zeros(0)) != array_digest(
+            np.zeros(0, dtype=np.int64)
+        )
+
+    def test_single_bit_sensitivity(self):
+        a = np.ones(16)
+        before = array_digest(a)
+        flip_array_bits(a, nbits=1, seed=3)
+        assert array_digest(a) != before
+
+    def test_digest_arrays_key_sorted(self):
+        bundle = {"b": np.ones(2), "a": np.zeros(3)}
+        d = digest_arrays(bundle)
+        assert list(d) == ["a", "b"]
+        assert d["a"] == array_digest(bundle["a"])
+
+
+class TestFingerprint:
+    def _system(self, n=64, seed=9):
+        rng = np.random.default_rng(seed)
+        return (
+            np.arange(n, dtype=np.int64),
+            rng.random(n),
+        )
+
+    def test_partition_independent(self):
+        ids, mass = self._system()
+        whole = fingerprint_particles(ids, mass)
+        # any split of the particles over "ranks" sums back (mod 2^64)
+        # to the global fingerprint, in any order
+        for cuts in ([16, 48], [1, 2, 3], [63]):
+            parts = np.split(np.arange(len(ids)), cuts)
+            total = 0
+            for p in reversed(parts):
+                total = (total + fingerprint_particles(ids[p], mass[p])) % (
+                    1 << 64
+                )
+            assert total == whole
+
+    def test_permutation_invariant(self):
+        ids, mass = self._system()
+        perm = np.random.default_rng(1).permutation(len(ids))
+        assert fingerprint_particles(ids[perm], mass[perm]) == (
+            fingerprint_particles(ids, mass)
+        )
+
+    def test_single_bit_flip_detected(self):
+        ids, mass = self._system()
+        ref = fingerprint_particles(ids, mass)
+        for seed in range(8):
+            damaged = mass.copy()
+            flip_array_bits(damaged, nbits=1, seed=seed)
+            assert fingerprint_particles(ids, damaged) != ref
+        damaged_ids = ids.copy()
+        flip_array_bits(damaged_ids, nbits=1, seed=0)
+        assert fingerprint_particles(damaged_ids, mass) != ref
+
+    def test_count_contributes(self):
+        ids, mass = self._system()
+        assert fingerprint_particles(ids, mass) != fingerprint_particles(
+            ids[:-1], mass[:-1]
+        )
+
+    def test_empty(self):
+        assert fingerprint_particles(
+            np.zeros(0, dtype=np.int64), np.zeros(0)
+        ) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint_particles(np.zeros(3, dtype=np.int64), np.zeros(2))
