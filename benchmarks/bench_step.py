@@ -1,0 +1,138 @@
+"""End-to-end step throughput: the native whole-step hot path.
+
+Times full :class:`repro.sim.serial.SerialSimulation` steps — tree
+build, plan traversal, plan sweep, PM mesh assignment/interpolation,
+FFT, and the fused kick-drift-wrap update — with the compiled kernels
+enabled versus the all-python numpy path (``REPRO_NO_NATIVE=1``), and
+records steps/sec for a small and a medium configuration.
+
+The native path must be a pure speedup: positions and momenta after the
+timed steps are asserted bitwise identical between the two runs.
+Timings are min-of-N over multi-step runs (after a warmup run that
+absorbs compile + self-test cost) to suppress machine noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.pp import native as _pp_native
+from repro.sim.serial import SerialSimulation
+
+#: (clustered particles, background particles, PM mesh size)
+CONFIGS = [
+    ("small", 1200, 800, 16),
+    ("medium", 4000, 2000, 32),
+]
+STEPS = 2
+REPEATS = 3
+
+
+@contextmanager
+def _env(**kv):
+    old = {k: os.environ.get(k) for k in kv}
+    os.environ.update(kv)
+    try:
+        yield
+    finally:
+        for k, v in old.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _particles(n_halo: int, n_bg: int):
+    rng = np.random.default_rng(20120416)
+    blob = 0.5 + 0.04 * rng.standard_normal((n_halo, 3))
+    bg = rng.random((n_bg, 3))
+    pos = np.mod(np.vstack([blob, bg]), 1.0)
+    mom = 0.01 * rng.standard_normal(pos.shape)
+    mass = np.full(len(pos), 1.0 / len(pos))
+    return pos, mom, mass
+
+
+def _config(mesh: int) -> SimulationConfig:
+    return SimulationConfig.from_dict(
+        {"treepm": {"pm": {"mesh_size": mesh}}, "pp_subcycles": 2}
+    )
+
+
+def _run_steps(cfg, pos, mom, mass):
+    """One fresh simulation advanced STEPS steps; returns (sim, seconds)."""
+    sim = SerialSimulation(cfg, pos, mom, mass)
+    t0 = time.perf_counter()
+    sim.run(0.0, 0.01 * STEPS, STEPS)
+    return sim, time.perf_counter() - t0
+
+
+def _best_rate(cfg, pos, mom, mass):
+    """Best steps/sec over REPEATS fresh runs; returns (rate, sim)."""
+    best = np.inf
+    sim = None
+    for _ in range(REPEATS):
+        s, dt = _run_steps(cfg, pos, mom, mass)
+        if dt < best:
+            best, sim = dt, s
+    return STEPS / best, sim
+
+
+def test_step_throughput(save_result):
+    native_ok = _pp_native.available()
+    lines = [
+        "end-to-end step throughput: native kernels vs all-python path",
+        f"{STEPS} full PM steps (2 PP subcycles each) per run, best of "
+        f"{REPEATS} runs; native warmup excluded",
+        f"native kernels available: {native_ok}",
+        "",
+        f"{'config':>8s} {'N':>6s} {'mesh':>5s} {'python':>12s} "
+        f"{'native':>12s} {'speedup':>8s} {'bitwise':>8s}",
+    ]
+    speedups = {}
+    for name, n_halo, n_bg, mesh in CONFIGS:
+        pos, mom, mass = _particles(n_halo, n_bg)
+        cfg = _config(mesh)
+        _run_steps(cfg, pos, mom, mass)  # warmup: compile + self-tests
+        rate_nat, sim_nat = _best_rate(cfg, pos, mom, mass)
+        with _env(REPRO_NO_NATIVE="1"):
+            rate_py, sim_py = _best_rate(cfg, pos, mom, mass)
+        bitwise = np.array_equal(sim_nat.pos, sim_py.pos) and np.array_equal(
+            sim_nat.mom, sim_py.mom
+        )
+        speedups[name] = rate_nat / rate_py
+        lines.append(
+            f"{name:>8s} {n_halo + n_bg:6d} {mesh:5d} "
+            f"{rate_py:8.2f} st/s {rate_nat:8.2f} st/s "
+            f"{speedups[name]:7.2f}x {str(bitwise):>8s}"
+        )
+        assert bitwise, f"native/python state mismatch on config {name!r}"
+    lines.append("")
+    lines.append(f"medium configuration speedup: {speedups['medium']:.2f}x")
+    save_result("step_throughput", "\n".join(lines))
+    if native_ok:
+        assert speedups["medium"] >= 3.0
+    else:  # no compiler: both runs take the numpy path
+        assert speedups["medium"] >= 0.8
+
+
+def test_step_ledger_breakdown(save_result):
+    """Record the per-phase timing ledger of a native-path run (the
+    whole-step analogue of the paper's Table 1 breakdown)."""
+    name, n_halo, n_bg, mesh = CONFIGS[1]
+    pos, mom, mass = _particles(n_halo, n_bg)
+    cfg = _config(mesh)
+    _run_steps(cfg, pos, mom, mass)  # warmup
+    sim, dt = _run_steps(cfg, pos, mom, mass)
+    report = sim.timing.report()
+    save_result(
+        "step_throughput_phases",
+        f"native-path per-phase breakdown ({name}, {STEPS} steps, "
+        f"{dt:.3f}s wall)\n" + report,
+    )
+    assert "kick-drift" in report

@@ -18,6 +18,8 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from repro.native import meshops as _native_mesh
+
 __all__ = [
     "assignment_order",
     "assign_mass",
@@ -78,6 +80,74 @@ def _weights_1d(scheme: str, u: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     raise ValueError(f"unknown assignment scheme {scheme!r}")
 
 
+def _scatter_numpy(out, ix, iy, iz, wx, wy, wz, mass) -> None:
+    """Reference deposit loops (also the native kernel's self-test
+    oracle): ``np.add.at`` accumulates strictly sequentially, one
+    stencil offset at a time."""
+    s = ix.shape[1]
+    for a in range(s):
+        for b in range(s):
+            wab = wx[:, a] * wy[:, b]
+            ia = ix[:, a]
+            ib = iy[:, b]
+            for c in range(s):
+                np.add.at(out, (ia, ib, iz[:, c]), mass * wab * wz[:, c])
+
+
+def _gather_numpy(mesh, ix, iy, iz, wx, wy, wz) -> np.ndarray:
+    """Reference interpolation loops (native self-test oracle)."""
+    s = ix.shape[1]
+    out = np.zeros((len(ix),) + mesh.shape[3:])
+    for a in range(s):
+        for b in range(s):
+            wab = wx[:, a] * wy[:, b]
+            ia = ix[:, a]
+            ib = iy[:, b]
+            for c in range(s):
+                w = wab * wz[:, c]
+                vals = mesh[ia, ib, iz[:, c]]
+                if vals.ndim > 1:
+                    out += w[:, None] * vals
+                else:
+                    out += w * vals
+    return out
+
+
+def _scatter(out, ix, iy, iz, wx, wy, wz, mass) -> None:
+    """Deposit through the native kernel when available, else numpy."""
+    if _native_mesh.scatter(out, ix, iy, iz, wx, wy, wz, mass):
+        return
+    _scatter_numpy(out, ix, iy, iz, wx, wy, wz, mass)
+
+
+def _gather(mesh, ix, iy, iz, wx, wy, wz) -> np.ndarray:
+    """Interpolate through the native kernel when available, else numpy."""
+    out = _native_mesh.gather(mesh, ix, iy, iz, wx, wy, wz)
+    if out is not None:
+        return out
+    return _gather_numpy(mesh, ix, iy, iz, wx, wy, wz)
+
+
+def _reimage_local(li, axis_len, n) -> np.ndarray:
+    """Fold stencil indices that fell off the local mesh by a full
+    period back inside.
+
+    A particle sitting exactly at the box edge (or pushed there by the
+    float rounding of ``x / h``, so that ``u == n``) lands its stencil
+    one period off the provisioned ghost layers.  Shifting such an
+    index by ``±n`` targets the same global cell — local cell ``i``
+    means global cell ``(lo - ghost + i) mod n`` — so the fold is
+    exact; anything still outside after one period is a genuine domain
+    violation and raises as before.
+    """
+    low = li < 0
+    high = li >= axis_len
+    if low.any() or high.any():
+        li = np.where(low & (li + n < axis_len), li + n, li)
+        li = np.where(high & (li - n >= 0), li - n, li)
+    return li
+
+
 def assign_mass(
     pos: np.ndarray,
     mass: np.ndarray,
@@ -108,14 +178,7 @@ def assign_mass(
     ix %= n
     iy %= n
     iz %= n
-    s = ix.shape[1]
-    for a in range(s):
-        for b in range(s):
-            wab = wx[:, a] * wy[:, b]
-            ia = ix[:, a]
-            ib = iy[:, b]
-            for c in range(s):
-                np.add.at(out, (ia, ib, iz[:, c]), mass * wab * wz[:, c])
+    _scatter(out, ix, iy, iz, wx, wy, wz, mass)
     return out
 
 
@@ -143,22 +206,7 @@ def interpolate_mesh(
     ix %= n
     iy %= n
     iz %= n
-    s = ix.shape[1]
-    out_shape = (len(pos),) + mesh.shape[3:]
-    out = np.zeros(out_shape)
-    for a in range(s):
-        for b in range(s):
-            wab = wx[:, a] * wy[:, b]
-            ia = ix[:, a]
-            ib = iy[:, b]
-            for c in range(s):
-                w = wab * wz[:, c]
-                vals = mesh[ia, ib, iz[:, c]]
-                if vals.ndim > 1:
-                    out += w[:, None] * vals
-                else:
-                    out += w * vals
-    return out
+    return _gather(mesh, ix, iy, iz, wx, wy, wz)
 
 
 def assign_mass_local(
@@ -187,23 +235,16 @@ def assign_mass_local(
     idx_w = [_weights_1d(scheme, u[:, d]) for d in range(3)]
     locals_ = []
     for d, (idx, _) in enumerate(idx_w):
-        li = idx - origin[d]
+        li = _reimage_local(idx - origin[d], out.shape[d], region.n)
         if li.min() < 0 or li.max() >= out.shape[d]:
             raise ValueError(
                 f"particle assignment stencil leaves the local mesh along "
                 f"dim {d}; increase ghosts or fix the domain"
             )
         locals_.append(li)
-    (ix, wx), (iy, wy), (iz, wz) = idx_w
+    (_, wx), (_, wy), (_, wz) = idx_w
     lx, ly, lz = locals_
-    s = ix.shape[1]
-    for a in range(s):
-        for b in range(s):
-            wab = wx[:, a] * wy[:, b]
-            for c in range(s):
-                np.add.at(
-                    out, (lx[:, a], ly[:, b], lz[:, c]), mass * wab * wz[:, c]
-                )
+    _scatter(out, lx, ly, lz, wx, wy, wz, mass)
     return out
 
 
@@ -231,7 +272,7 @@ def interpolate_local(
     idx_w = [_weights_1d(scheme, u[:, d]) for d in range(3)]
     locals_ = []
     for d, (idx, _) in enumerate(idx_w):
-        li = idx - origin[d]
+        li = _reimage_local(idx - origin[d], mesh.shape[d], region.n)
         if li.min() < 0 or li.max() >= mesh.shape[d]:
             raise ValueError(
                 f"interpolation stencil leaves the local mesh along dim {d}"
@@ -239,18 +280,7 @@ def interpolate_local(
         locals_.append(li)
     (_, wx), (_, wy), (_, wz) = idx_w
     lx, ly, lz = locals_
-    s = wx.shape[1]
-    for a in range(s):
-        for b in range(s):
-            wab = wx[:, a] * wy[:, b]
-            for c in range(s):
-                w = wab * wz[:, c]
-                vals = mesh[lx[:, a], ly[:, b], lz[:, c]]
-                if vals.ndim > 1:
-                    out += w[:, None] * vals
-                else:
-                    out += w * vals
-    return out
+    return _gather(mesh, lx, ly, lz, wx, wy, wz)
 
 
 def window_ft(scheme: str, k: np.ndarray, h: float) -> np.ndarray:

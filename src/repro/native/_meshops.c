@@ -1,0 +1,83 @@
+/* Native PM mesh scatter (mass assignment) and gather (interpolation).
+ *
+ * Python computes the per-axis stencil indices and weights (identical
+ * in both paths), so these kernels replace only the hot accumulation
+ * loops.  Bitwise contract with repro.mesh.assignment:
+ *
+ *   - scatter keeps the reference loop nesting — stencil offsets
+ *     (a, b, c) outer, particles inner — because np.add.at accumulates
+ *     strictly sequentially in index order, one offset at a time;
+ *   - gather runs particle-outer, which leaves each output element's
+ *     accumulation sequence (the (a, b, c) order) unchanged;
+ *   - the per-deposit value is ((mass * (wx * wy)) * wz), matching the
+ *     numpy expression tree exactly, with -ffp-contract=off.
+ *
+ * Indices arrive already folded into range by the caller (periodic mod
+ * for the global mesh, validated local offsets for the ghosted one).
+ */
+
+#include <stdint.h>
+
+void mesh_scatter(
+    int64_t n,            /* particles */
+    int64_t s,            /* stencil size per axis (1 / 2 / 3) */
+    const int64_t *ix,    /* (n, s) first-axis indices, in [0, d0) */
+    const int64_t *iy,    /* (n, s) */
+    const int64_t *iz,    /* (n, s) */
+    const double *wx,     /* (n, s) weights */
+    const double *wy,
+    const double *wz,
+    const double *mass,   /* (n,) */
+    int64_t d1,           /* mesh dims (d0 is implicit) */
+    int64_t d2,
+    double *out)          /* (d0, d1, d2), accumulated into */
+{
+    for (int64_t a = 0; a < s; ++a) {
+        for (int64_t b = 0; b < s; ++b) {
+            for (int64_t c = 0; c < s; ++c) {
+                for (int64_t i = 0; i < n; ++i) {
+                    int64_t cell =
+                        (ix[i * s + a] * d1 + iy[i * s + b]) * d2
+                        + iz[i * s + c];
+                    out[cell] +=
+                        (mass[i] * (wx[i * s + a] * wy[i * s + b]))
+                        * wz[i * s + c];
+                }
+            }
+        }
+    }
+}
+
+void mesh_gather(
+    int64_t n,
+    int64_t s,
+    const int64_t *ix,
+    const int64_t *iy,
+    const int64_t *iz,
+    const double *wx,
+    const double *wy,
+    const double *wz,
+    int64_t d1,
+    int64_t d2,
+    int64_t ncomp,        /* trailing components per mesh cell */
+    const double *mesh,   /* (d0, d1, d2, ncomp) */
+    double *out)          /* (n, ncomp), zero-initialized by caller */
+{
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t a = 0; a < s; ++a) {
+            for (int64_t b = 0; b < s; ++b) {
+                double wab = wx[i * s + a] * wy[i * s + b];
+                for (int64_t c = 0; c < s; ++c) {
+                    double w = wab * wz[i * s + c];
+                    int64_t cell =
+                        (ix[i * s + a] * d1 + iy[i * s + b]) * d2
+                        + iz[i * s + c];
+                    const double *src = mesh + cell * ncomp;
+                    double *dst = out + i * ncomp;
+                    for (int64_t k = 0; k < ncomp; ++k)
+                        dst[k] += w * src[k];
+                }
+            }
+        }
+    }
+}

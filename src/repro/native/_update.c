@@ -1,0 +1,63 @@
+/* Native kick / fused kick-drift-wrap update kernels.
+ *
+ * Bitwise contract with the numpy update arithmetic
+ * (repro.integrate.leapfrog + repro.utils.periodic.wrap_positions):
+ *
+ *   kick:            mom[i] += acc[i] * c
+ *   kick_drift_wrap: mom[i] += acc[i] * kc
+ *                    p       = pos[i] + mom[i] * dc
+ *                    r       = np.mod(p, box)    == fmod + sign fixup
+ *                    if (r >= box) r = 0.0       (fold the rounding case)
+ *
+ * numpy's mod is fmod with the remainder pulled onto the divisor's
+ * sign; for the positive boxes used here that is the single
+ * conditional add below.  Each element performs exactly the
+ * individually rounded IEEE double ops of the numpy expressions
+ * (-ffp-contract=off), so the fused update is a pure speedup.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+void kick(int64_t n3, double *mom, const double *acc, double coeff)
+{
+    for (int64_t i = 0; i < n3; ++i)
+        mom[i] += acc[i] * coeff;
+}
+
+void kick_drift_wrap(
+    int64_t n3,
+    double *pos,
+    double *mom,
+    const double *acc,
+    double kick_coeff,
+    double drift_coeff,
+    double box)
+{
+    for (int64_t i = 0; i < n3; ++i) {
+        mom[i] += acc[i] * kick_coeff;
+        double p = pos[i] + mom[i] * drift_coeff;
+        double r = fmod(p, box);
+        if (r != 0.0 && ((r < 0.0) != (box < 0.0)))
+            r += box;
+        if (r >= box)
+            r = 0.0;
+        pos[i] = r;
+    }
+}
+
+/* Drift-only variant (distributed driver: the kick and drift live in
+ * different ledger phases there). */
+void drift_wrap(
+    int64_t n3, double *pos, const double *mom, double drift_coeff, double box)
+{
+    for (int64_t i = 0; i < n3; ++i) {
+        double p = pos[i] + mom[i] * drift_coeff;
+        double r = fmod(p, box);
+        if (r != 0.0 && ((r < 0.0) != (box < 0.0)))
+            r += box;
+        if (r >= box)
+            r = 0.0;
+        pos[i] = r;
+    }
+}

@@ -1,0 +1,190 @@
+"""Bindings for the native plan-construction traversal kernel.
+
+:func:`traverse_all` mirrors :func:`repro.tree.traversal.traverse_all_numpy`
+— same inputs, same six-tuple CSR plan, bit for bit — and returns
+``None`` when the kernel is unavailable or the stage is disabled.  The
+first successful load self-tests the kernel against the numpy reference
+on periodic/open × cutoff/pure-tree configurations.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.native import build as _build
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_traverse.c")
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_F64P = ctypes.POINTER(ctypes.c_double)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+
+_verified: dict = {}
+
+
+def _ptr(arr, ctype):
+    return arr.ctypes.data_as(ctype)
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    if getattr(lib, "_traverse_declared", False):
+        return
+    lib.plan_traverse.restype = ctypes.c_int64
+    lib.plan_traverse.argtypes = [
+        _I64P, ctypes.c_int64,
+        _F64P, _F64P, _F64P, _I64P, _I64P, _U8P, _I64P,
+        ctypes.c_double, ctypes.c_int, ctypes.c_double,
+        ctypes.c_int, ctypes.c_double,
+        ctypes.c_int64, ctypes.c_int64,
+        _I64P, _I64P, _F64P,
+        _I64P, _I64P, _F64P,
+        _I64P, _I64P,
+    ]
+    lib._traverse_declared = True
+
+
+def get_lib() -> Optional[ctypes.CDLL]:
+    """The verified traversal library, or ``None`` (checked per call)."""
+    if not _build.stage_enabled("traverse"):
+        return None
+    lib = _build.load_library(_SRC)
+    if lib is None:
+        return None
+    _declare(lib)
+    key = id(lib)
+    if key not in _verified:
+        try:
+            _verified[key] = _self_test(lib)
+        except Exception:
+            _verified[key] = False
+    return lib if _verified[key] else None
+
+
+def available() -> bool:
+    """Whether the native traversal kernel can be used right now."""
+    return get_lib() is not None
+
+
+def _traverse_with(
+    lib, tree, groups: np.ndarray, rcut, theta: float, periodic: bool, box: float
+) -> Optional[Tuple]:
+    Gn = len(groups)
+    n_nodes = tree.n_nodes
+    groups = np.ascontiguousarray(groups, dtype=np.int64)
+    node_com = np.ascontiguousarray(tree.node_com, dtype=np.float64)
+    node_center = np.ascontiguousarray(tree.node_center, dtype=np.float64)
+    node_half = np.ascontiguousarray(tree.node_half, dtype=np.float64)
+    node_lo = np.ascontiguousarray(tree.node_lo, dtype=np.int64)
+    node_hi = np.ascontiguousarray(tree.node_hi, dtype=np.int64)
+    is_leaf = np.ascontiguousarray(tree.node_is_leaf.view(np.uint8))
+    children = np.ascontiguousarray(tree.node_children, dtype=np.int64)
+    queue = np.empty(n_nodes + 8, dtype=np.int64)
+    counts = np.zeros(3, dtype=np.int64)
+    n = tree.n_particles
+    part_cap = max(1024, 8 * n)
+    node_cap = max(1024, 8 * n)
+    for _ in range(2):
+        part_ptr = np.empty(Gn + 1, dtype=np.int64)
+        node_ptr = np.empty(Gn + 1, dtype=np.int64)
+        part_idx = np.empty(part_cap, dtype=np.int64)
+        node_idx = np.empty(node_cap, dtype=np.int64)
+        part_shift = np.empty((part_cap, 3)) if periodic else np.empty((0, 3))
+        node_shift = np.empty((node_cap, 3)) if periodic else np.empty((0, 3))
+        rc = lib.plan_traverse(
+            _ptr(groups, _I64P), ctypes.c_int64(Gn),
+            _ptr(node_com, _F64P), _ptr(node_center, _F64P),
+            _ptr(node_half, _F64P), _ptr(node_lo, _I64P), _ptr(node_hi, _I64P),
+            _ptr(is_leaf, _U8P), _ptr(children, _I64P),
+            ctypes.c_double(theta), ctypes.c_int(1 if periodic else 0),
+            ctypes.c_double(box),
+            ctypes.c_int(0 if rcut is None else 1),
+            ctypes.c_double(0.0 if rcut is None else float(rcut)),
+            ctypes.c_int64(part_cap), ctypes.c_int64(node_cap),
+            _ptr(part_ptr, _I64P), _ptr(part_idx, _I64P), _ptr(part_shift, _F64P),
+            _ptr(node_ptr, _I64P), _ptr(node_idx, _I64P), _ptr(node_shift, _F64P),
+            _ptr(queue, _I64P), _ptr(counts, _I64P),
+        )
+        if rc == 0:
+            np_count = int(counts[1])
+            nn_count = int(counts[2])
+            return (
+                part_ptr,
+                part_idx[:np_count].copy(),
+                node_ptr,
+                node_idx[:nn_count].copy(),
+                part_shift[:np_count].copy() if periodic else None,
+                node_shift[:nn_count].copy() if periodic else None,
+                int(counts[0]),
+            )
+        part_cap = max(part_cap, int(counts[1]))
+        node_cap = max(node_cap, int(counts[2]))
+    return None
+
+
+def traverse_all(tree, groups, rcut, theta, periodic, box, stats) -> Optional[Tuple]:
+    """Native drop-in for ``traverse_all_numpy``; ``None`` = fall back."""
+    Gn = len(groups)
+    if Gn == 0:
+        return None  # the numpy path handles the empty plan shape
+    lib = get_lib()
+    if lib is None:
+        return None
+    got = _traverse_with(lib, tree, np.asarray(groups), rcut, theta, periodic, box)
+    if got is None:
+        return None
+    part_ptr, part_idx, node_ptr, node_idx, part_shift, node_shift, visited = got
+    stats.nodes_visited += visited
+    return part_ptr, part_idx, node_ptr, node_idx, part_shift, node_shift
+
+
+# -- self-test ----------------------------------------------------------------
+
+
+def _self_test(lib) -> bool:
+    """Bitwise plan comparison vs the numpy traversal on four configs."""
+    from repro.tree.octree import Octree
+    from repro.tree.traversal import TraversalStats, traverse_all_numpy
+
+    rng = np.random.default_rng(0xBEEF)
+    pos = np.mod(
+        np.vstack(
+            [0.5 + 0.06 * rng.standard_normal((160, 3)), rng.random((96, 3))]
+        ),
+        1.0,
+    )
+    mass = np.full(len(pos), 1.0 / len(pos))
+    tree = Octree(pos, mass, leaf_size=4)
+    groups = np.array(tree.group_nodes(24), dtype=np.int64)
+    groups = groups[np.argsort(tree.node_lo[groups], kind="stable")]
+
+    for periodic in (True, False):
+        for rcut in (None, 3.0 / 16):
+            for theta in (0.4, 0.8):
+                ref_stats = TraversalStats()
+                ref = traverse_all_numpy(
+                    tree, groups, rcut, theta, periodic, 1.0, ref_stats
+                )
+                got = _traverse_with(lib, tree, groups, rcut, theta, periodic, 1.0)
+                if got is None:
+                    return False
+                visited = got[6]
+                if visited != ref_stats.nodes_visited:
+                    return False
+                order = (0, 1, 2, 3, 4, 5)
+                native = (got[0], got[1], got[2], got[3], got[4], got[5])
+                for k in order:
+                    a, b = native[k], ref[k]
+                    if a is None or b is None:
+                        if not (a is None and b is None):
+                            return False
+                        continue
+                    if not np.array_equal(a, b):
+                        return False
+    return True
+
+
+__all__ = ["available", "get_lib", "traverse_all"]

@@ -1,0 +1,172 @@
+"""Bindings for the native kick / kick-drift-wrap update kernels.
+
+The integrators copy the particle state once per step and then update
+in place through these entry points; each returns False when the kernel
+is unavailable (or the stage is disabled) and the caller performs the
+identical numpy arithmetic instead.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.native import build as _build
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_update.c")
+
+_F64P = ctypes.POINTER(ctypes.c_double)
+
+_verified: dict = {}
+
+
+def _ptr(arr):
+    return arr.ctypes.data_as(_F64P)
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    if getattr(lib, "_update_declared", False):
+        return
+    lib.kick.restype = None
+    lib.kick.argtypes = [ctypes.c_int64, _F64P, _F64P, ctypes.c_double]
+    lib.kick_drift_wrap.restype = None
+    lib.kick_drift_wrap.argtypes = [
+        ctypes.c_int64, _F64P, _F64P, _F64P,
+        ctypes.c_double, ctypes.c_double, ctypes.c_double,
+    ]
+    lib.drift_wrap.restype = None
+    lib.drift_wrap.argtypes = [
+        ctypes.c_int64, _F64P, _F64P, ctypes.c_double, ctypes.c_double,
+    ]
+    lib._update_declared = True
+
+
+def get_lib() -> Optional[ctypes.CDLL]:
+    """The verified update library, or ``None`` (checked per call)."""
+    if not _build.stage_enabled("update"):
+        return None
+    lib = _build.load_library(_SRC)
+    if lib is None:
+        return None
+    _declare(lib)
+    key = id(lib)
+    if key not in _verified:
+        try:
+            _verified[key] = _self_test(lib)
+        except Exception:
+            _verified[key] = False
+    return lib if _verified[key] else None
+
+
+def available() -> bool:
+    """Whether the native update kernels can be used right now."""
+    return get_lib() is not None
+
+
+def _ok(*arrays) -> bool:
+    return all(
+        a.dtype == np.float64 and a.flags["C_CONTIGUOUS"] for a in arrays
+    )
+
+
+def kick(mom: np.ndarray, acc: np.ndarray, coeff: float) -> bool:
+    """``mom += acc * coeff`` in place; False = caller falls back."""
+    lib = get_lib()
+    if lib is None or not _ok(mom, acc) or mom.shape != acc.shape:
+        return False
+    lib.kick(ctypes.c_int64(mom.size), _ptr(mom), _ptr(acc),
+             ctypes.c_double(coeff))
+    return True
+
+
+def kick_drift_wrap(
+    pos: np.ndarray,
+    mom: np.ndarray,
+    acc: np.ndarray,
+    kick_coeff: float,
+    drift_coeff: float,
+    box: float,
+) -> bool:
+    """Fused ``mom += acc*kc; pos = wrap(pos + mom*dc)`` in place."""
+    lib = get_lib()
+    if (
+        lib is None
+        or not _ok(pos, mom, acc)
+        or not (pos.shape == mom.shape == acc.shape)
+    ):
+        return False
+    lib.kick_drift_wrap(
+        ctypes.c_int64(pos.size), _ptr(pos), _ptr(mom), _ptr(acc),
+        ctypes.c_double(kick_coeff), ctypes.c_double(drift_coeff),
+        ctypes.c_double(box),
+    )
+    return True
+
+
+def drift_wrap(
+    pos: np.ndarray, mom: np.ndarray, drift_coeff: float, box: float
+) -> bool:
+    """``pos = wrap(pos + mom * drift_coeff)`` in place."""
+    lib = get_lib()
+    if lib is None or not _ok(pos, mom) or pos.shape != mom.shape:
+        return False
+    lib.drift_wrap(
+        ctypes.c_int64(pos.size), _ptr(pos), _ptr(mom),
+        ctypes.c_double(drift_coeff), ctypes.c_double(box),
+    )
+    return True
+
+
+# -- self-test ----------------------------------------------------------------
+
+
+def _self_test(lib) -> bool:
+    """Bitwise comparison against the numpy update expressions."""
+    from repro.utils.periodic import wrap_positions
+
+    rng = np.random.default_rng(0xD1CE)
+    for box in (1.0, 0.7, 62.5):
+        pos = rng.random((257, 3)) * box
+        # exercise the wrap: a band straddling each face, the exact
+        # edge, and tiny negative excursions
+        pos[0] = 0.0
+        pos[1] = np.nextafter(box, 0.0)
+        mom = 0.3 * box * rng.standard_normal((257, 3))
+        acc = rng.standard_normal((257, 3))
+        kc, dc = 0.37, 1.9
+
+        ref_mom = mom + acc * kc
+        ref_pos = wrap_positions(pos + ref_mom * dc, box)
+
+        got_pos = pos.copy()
+        got_mom = mom.copy()
+        lib.kick_drift_wrap(
+            ctypes.c_int64(got_pos.size), _ptr(got_pos), _ptr(got_mom),
+            _ptr(acc), ctypes.c_double(kc), ctypes.c_double(dc),
+            ctypes.c_double(box),
+        )
+        if not (
+            np.array_equal(got_mom, ref_mom) and np.array_equal(got_pos, ref_pos)
+        ):
+            return False
+
+        k_mom = mom.copy()
+        lib.kick(ctypes.c_int64(k_mom.size), _ptr(k_mom), _ptr(acc),
+                 ctypes.c_double(kc))
+        if not np.array_equal(k_mom, ref_mom):
+            return False
+
+        d_pos = pos.copy()
+        lib.drift_wrap(
+            ctypes.c_int64(d_pos.size), _ptr(d_pos), _ptr(mom),
+            ctypes.c_double(dc), ctypes.c_double(box),
+        )
+        if not np.array_equal(d_pos, wrap_positions(pos + mom * dc, box)):
+            return False
+    return True
+
+
+__all__ = ["available", "drift_wrap", "get_lib", "kick", "kick_drift_wrap"]

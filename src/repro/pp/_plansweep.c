@@ -22,12 +22,23 @@
  * `out += acc` onto zeroed rows normalizes any leading -0.0), which is
  * the same argument that licenses the numpy path's compression.
  *
+ * plan_sweep_threads parallelizes over groups with OpenMP (compiled in
+ * only when the loader probes -fopenmp successfully; without it the
+ * pragma is ignored and the loop runs serially).  Groups own disjoint
+ * target rows and each group's arithmetic depends only on its own
+ * interaction list, so the result is bitwise independent of the
+ * schedule and thread count.
+ *
  * Compile with the default x86-64 target and -ffp-contract=off: no FMA
  * contraction, no reassociation, hardware-rounded sqrt/divide.
  */
 
 #include <math.h>
 #include <stdint.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 static double gp3m(double xi)
 {
@@ -61,6 +72,92 @@ static double gp3m(double xi)
     return g;
 }
 
+static void sweep_group(
+    int64_t g,
+    const int64_t *group_lo,
+    const int64_t *group_hi,
+    const int64_t *part_ptr,
+    const int64_t *part_idx,
+    const int64_t *node_ptr,
+    const int64_t *node_idx,
+    const double *pos,
+    const double *mass,
+    const double *node_com,
+    const double *node_mass,
+    const uint8_t *wrap,
+    double box,
+    double eps2,
+    int use_split,
+    double rcut,
+    double rc2,
+    double G,
+    double *scratch,
+    double *out)
+{
+    int64_t p0 = part_ptr[g], p1 = part_ptr[g + 1];
+    int64_t n0 = node_ptr[g], n1 = node_ptr[g + 1];
+    int64_t S = (p1 - p0) + (n1 - n0);
+    if (S == 0)
+        return;
+    /* gather the interaction list once per group (particles first,
+     * then nodes: the legacy list order) */
+    double *sx = scratch;
+    double *sm = scratch + 3 * S;
+    int64_t k = 0;
+    for (int64_t i = p0; i < p1; ++i, ++k) {
+        int64_t j = part_idx[i];
+        sx[3 * k] = pos[3 * j];
+        sx[3 * k + 1] = pos[3 * j + 1];
+        sx[3 * k + 2] = pos[3 * j + 2];
+        sm[k] = mass[j];
+    }
+    for (int64_t i = n0; i < n1; ++i, ++k) {
+        int64_t j = node_idx[i];
+        sx[3 * k] = node_com[3 * j];
+        sx[3 * k + 1] = node_com[3 * j + 1];
+        sx[3 * k + 2] = node_com[3 * j + 2];
+        sm[k] = node_mass[j];
+    }
+    int w = wrap != 0 && wrap[g];
+    for (int64_t t = group_lo[g]; t < group_hi[g]; ++t) {
+        double tx = pos[3 * t];
+        double ty = pos[3 * t + 1];
+        double tz = pos[3 * t + 2];
+        double ax = 0.0, ay = 0.0, az = 0.0;
+        for (int64_t s = 0; s < S; ++s) {
+            double dx = sx[3 * s] - tx;
+            double dy = sx[3 * s + 1] - ty;
+            double dz = sx[3 * s + 2] - tz;
+            if (w) {
+                dx -= rint(dx / box) * box;
+                dy -= rint(dy / box) * box;
+                dz -= rint(dz / box) * box;
+            }
+            /* numpy's einsum reduces the length-3 component axis in
+             * SIMD-pair order: lane x plus remainder z, then lane y */
+            double r2 = (dx * dx + dz * dz) + dy * dy;
+            if (r2 == 0.0)
+                continue; /* self pair: factor is zeroed */
+            if (use_split && r2 > rc2)
+                continue; /* exact cutoff: factor is exactly 0.0 */
+            double r2s = r2 + eps2;
+            double y = 1.0 / sqrt(r2s);
+            double f = (y * y) * y;
+            if (use_split) {
+                double xi = (2.0 * sqrt(r2)) / rcut;
+                f *= gp3m(xi);
+            }
+            double fm = f * sm[s];
+            ax += fm * dx;
+            ay += fm * dy;
+            az += fm * dz;
+        }
+        out[3 * t] += ax * G;
+        out[3 * t + 1] += ay * G;
+        out[3 * t + 2] += az * G;
+    }
+}
+
 void plan_sweep(
     int64_t n_groups,
     const int64_t *group_lo,
@@ -83,68 +180,51 @@ void plan_sweep(
     double *scratch,         /* >= 4 * max list length doubles */
     double *out)             /* (N, 3); rows group_lo..group_hi get += */
 {
+    for (int64_t g = 0; g < n_groups; ++g)
+        sweep_group(g, group_lo, group_hi, part_ptr, part_idx, node_ptr,
+                    node_idx, pos, mass, node_com, node_mass, wrap, box,
+                    eps2, use_split, rcut, rc2, G, scratch, out);
+}
+
+/* Threaded variant: parallel over groups, one scratch board of
+ * `scratch_stride` doubles per thread.  Bitwise identical to plan_sweep
+ * for any nthreads (disjoint output rows, per-group arithmetic). */
+void plan_sweep_threads(
+    int64_t n_groups,
+    const int64_t *group_lo,
+    const int64_t *group_hi,
+    const int64_t *part_ptr,
+    const int64_t *part_idx,
+    const int64_t *node_ptr,
+    const int64_t *node_idx,
+    const double *pos,
+    const double *mass,
+    const double *node_com,
+    const double *node_mass,
+    const uint8_t *wrap,
+    double box,
+    double eps2,
+    int use_split,
+    double rcut,
+    double rc2,
+    double G,
+    double *scratch,         /* >= nthreads * scratch_stride doubles */
+    double *out,
+    int64_t scratch_stride,
+    int nthreads)
+{
+    (void)nthreads;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 8) num_threads(nthreads)
+#endif
     for (int64_t g = 0; g < n_groups; ++g) {
-        int64_t p0 = part_ptr[g], p1 = part_ptr[g + 1];
-        int64_t n0 = node_ptr[g], n1 = node_ptr[g + 1];
-        int64_t S = (p1 - p0) + (n1 - n0);
-        if (S == 0)
-            continue;
-        /* gather the interaction list once per group (particles first,
-         * then nodes: the legacy list order) */
-        double *sx = scratch;
-        double *sm = scratch + 3 * S;
-        int64_t k = 0;
-        for (int64_t i = p0; i < p1; ++i, ++k) {
-            int64_t j = part_idx[i];
-            sx[3 * k] = pos[3 * j];
-            sx[3 * k + 1] = pos[3 * j + 1];
-            sx[3 * k + 2] = pos[3 * j + 2];
-            sm[k] = mass[j];
-        }
-        for (int64_t i = n0; i < n1; ++i, ++k) {
-            int64_t j = node_idx[i];
-            sx[3 * k] = node_com[3 * j];
-            sx[3 * k + 1] = node_com[3 * j + 1];
-            sx[3 * k + 2] = node_com[3 * j + 2];
-            sm[k] = node_mass[j];
-        }
-        int w = wrap != 0 && wrap[g];
-        for (int64_t t = group_lo[g]; t < group_hi[g]; ++t) {
-            double tx = pos[3 * t];
-            double ty = pos[3 * t + 1];
-            double tz = pos[3 * t + 2];
-            double ax = 0.0, ay = 0.0, az = 0.0;
-            for (int64_t s = 0; s < S; ++s) {
-                double dx = sx[3 * s] - tx;
-                double dy = sx[3 * s + 1] - ty;
-                double dz = sx[3 * s + 2] - tz;
-                if (w) {
-                    dx -= rint(dx / box) * box;
-                    dy -= rint(dy / box) * box;
-                    dz -= rint(dz / box) * box;
-                }
-                /* numpy's einsum reduces the length-3 component axis in
-                 * SIMD-pair order: lane x plus remainder z, then lane y */
-                double r2 = (dx * dx + dz * dz) + dy * dy;
-                if (r2 == 0.0)
-                    continue; /* self pair: factor is zeroed */
-                if (use_split && r2 > rc2)
-                    continue; /* exact cutoff: factor is exactly 0.0 */
-                double r2s = r2 + eps2;
-                double y = 1.0 / sqrt(r2s);
-                double f = (y * y) * y;
-                if (use_split) {
-                    double xi = (2.0 * sqrt(r2)) / rcut;
-                    f *= gp3m(xi);
-                }
-                double fm = f * sm[s];
-                ax += fm * dx;
-                ay += fm * dy;
-                az += fm * dz;
-            }
-            out[3 * t] += ax * G;
-            out[3 * t + 1] += ay * G;
-            out[3 * t + 2] += az * G;
-        }
+        int tid = 0;
+#ifdef _OPENMP
+        tid = omp_get_thread_num();
+#endif
+        sweep_group(g, group_lo, group_hi, part_ptr, part_idx, node_ptr,
+                    node_idx, pos, mass, node_com, node_mass, wrap, box,
+                    eps2, use_split, rcut, rc2, G,
+                    scratch + (int64_t)tid * scratch_stride, out);
     }
 }

@@ -1,32 +1,37 @@
-"""Compile-on-demand loader for the native plan-sweep kernel.
+"""Bindings for the native plan-sweep kernel.
 
 The C source (:file:`_plansweep.c`) ships with the package and is built
-into a shared library with the system C compiler the first time it is
-requested, then bound through :mod:`ctypes`.  The build deliberately
-targets the baseline architecture with ``-ffp-contract=off`` so the
-kernel performs exactly the individually rounded IEEE double operations
-of the numpy executor pipeline — no FMA contraction, no reassociation —
-keeping its forces bitwise identical to the pure-numpy path.
+through the shared compile-on-demand loader
+(:mod:`repro.native.build`): compiled once per source/toolchain/flag
+combination into a hash-keyed on-disk cache, bound through
+:mod:`ctypes`.  The build deliberately targets the baseline
+architecture with ``-ffp-contract=off`` so the kernel performs exactly
+the individually rounded IEEE double operations of the numpy executor
+pipeline — no FMA contraction, no reassociation — keeping its forces
+bitwise identical to the pure-numpy path.
+
+When the toolchain supports OpenMP the library is built with
+``-fopenmp`` and exposes ``plan_sweep_threads``, a parallel-over-groups
+variant selected when ``REPRO_NATIVE_THREADS`` requests more than one
+thread.  Plan groups own disjoint output rows, so the threaded sweep is
+bitwise identical to the serial one for any thread count.
 
 The loader degrades gracefully: if no compiler is present (or the build
-fails, or ``REPRO_NO_NATIVE`` is set in the environment) the executor
-silently falls back to the numpy pipeline.  Nothing outside this module
-needs to know whether the native kernel is in use, and no third-party
-build machinery is involved.
+fails, or ``REPRO_NO_NATIVE`` / ``REPRO_NO_NATIVE_PP`` is set — checked
+on every call) the executor silently falls back to the numpy pipeline.
+Nothing outside this module needs to know whether the native kernel is
+in use, and no third-party build machinery is involved.
 """
 
 from __future__ import annotations
 
 import ctypes
 import os
-import subprocess
-import tempfile
 from typing import Optional
 
-_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_plansweep.c")
+from repro.native import build as _build
 
-_lib = None
-_tried = False
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_plansweep.c")
 
 _I64P = ctypes.POINTER(ctypes.c_int64)
 _F64P = ctypes.POINTER(ctypes.c_double)
@@ -56,51 +61,44 @@ _ARGTYPES = [
 ]
 
 
-def _build() -> Optional[ctypes.CDLL]:
-    if os.environ.get("REPRO_NO_NATIVE"):
-        return None
-    if not os.path.exists(_SRC):
-        return None
-    cc = os.environ.get("CC", "cc")
-    workdir = tempfile.mkdtemp(prefix="repro-plansweep-")
-    so = os.path.join(workdir, "plansweep.so")
-    cmd = [
-        cc,
-        "-O2",
-        "-fPIC",
-        "-shared",
-        "-ffp-contract=off",
-        "-o",
-        so,
-        _SRC,
-        "-lm",
-    ]
-    try:
-        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
-        lib = ctypes.CDLL(so)
-    except (OSError, subprocess.SubprocessError):
-        return None
+def _declare(lib: ctypes.CDLL) -> None:
+    if getattr(lib, "_plansweep_declared", False):
+        return
     lib.plan_sweep.restype = None
     lib.plan_sweep.argtypes = _ARGTYPES
-    return lib
+    lib.plan_sweep_threads.restype = None
+    lib.plan_sweep_threads.argtypes = _ARGTYPES + [
+        ctypes.c_int64,  # scratch_stride
+        ctypes.c_int,  # nthreads
+    ]
+    lib._plansweep_declared = True
 
 
 def get_lib() -> Optional[ctypes.CDLL]:
     """The loaded kernel library, or ``None`` when unavailable.
 
-    The first call attempts the build; the outcome (either way) is
-    cached for the life of the process.
+    The stage gate (``REPRO_NO_NATIVE`` / ``REPRO_NO_NATIVE_PP``) is
+    checked on every call; the build itself happens at most once per
+    source/flag combination (see :func:`repro.native.build.load_library`).
     """
-    global _lib, _tried
-    if not _tried:
-        _tried = True
-        _lib = _build()
-    return _lib
+    if not _build.stage_enabled("pp"):
+        return None
+    extra = ("-fopenmp",) if _build.openmp_available() else ()
+    lib = _build.load_library(_SRC, extra_flags=extra)
+    if lib is None:
+        return None
+    _declare(lib)
+    return lib
 
 
 def available() -> bool:
     """Whether the native plan-sweep kernel can be used."""
     return get_lib() is not None
+
+
+def threaded_available() -> bool:
+    """Whether the sweep can actually run multi-threaded (OpenMP built)."""
+    return _build.openmp_available() and available()
 
 
 def _ptr(arr, ctype):
@@ -128,9 +126,16 @@ def sweep(
     G,
     scratch,
     out,
+    nthreads: int = 1,
+    scratch_stride: int = 0,
 ) -> None:
-    """Invoke ``plan_sweep`` (arrays must be C-contiguous and typed)."""
-    lib.plan_sweep(
+    """Invoke ``plan_sweep`` (arrays must be C-contiguous and typed).
+
+    With ``nthreads > 1`` the OpenMP entry point is used; ``scratch``
+    must then hold ``nthreads * scratch_stride`` doubles (one board per
+    thread).  Results are bitwise identical either way.
+    """
+    args = [
         ctypes.c_int64(len(group_lo)),
         _ptr(group_lo, _I64P),
         _ptr(group_hi, _I64P),
@@ -151,7 +156,13 @@ def sweep(
         ctypes.c_double(G),
         _ptr(scratch, _F64P),
         _ptr(out, _F64P),
-    )
+    ]
+    if nthreads > 1:
+        lib.plan_sweep_threads(
+            *args, ctypes.c_int64(scratch_stride), ctypes.c_int(nthreads)
+        )
+    else:
+        lib.plan_sweep(*args)
 
 
-__all__ = ["available", "get_lib", "sweep"]
+__all__ = ["available", "get_lib", "sweep", "threaded_available"]

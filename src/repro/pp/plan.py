@@ -32,6 +32,7 @@ from typing import Optional
 import numpy as np
 
 from repro.forces.cutoff import S2ForceSplit
+from repro.native.build import native_threads as _native_threads
 from repro.pp import native as _native
 from repro.pp.rsqrt import fast_rsqrt
 from repro.utils.periodic import minimum_image
@@ -414,7 +415,11 @@ class PlanExecutor:
         else:
             rcut = rc2 = 0.0
         smax = int(plan.list_lengths.max()) if G else 0
-        scratch = self._buf("native_scratch", (4 * max(smax, 1),), np.float64)
+        stride = 4 * max(smax, 1)
+        # one scratch board per OpenMP thread; groups own disjoint output
+        # rows so any thread count gives bitwise-identical forces
+        nthreads = max(1, min(_native_threads(), G)) if G else 1
+        scratch = self._buf("native_scratch", (nthreads * stride,), np.float64)
         eps2 = float(np.float64(kernel.eps) * np.float64(kernel.eps))
         _native.sweep(
             lib,
@@ -437,6 +442,8 @@ class PlanExecutor:
             float(kernel.G),
             scratch,
             out,
+            nthreads=nthreads,
+            scratch_stride=stride,
         )
 
     def _refine(

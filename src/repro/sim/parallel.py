@@ -32,6 +32,7 @@ from repro.forces.cutoff import get_split
 from repro.integrate.stepper import StaticStepper
 from repro.meshcomm.parallel_pm import ParallelPM
 from repro.mpi.backend import create_backend
+from repro.native import update as _native_update
 from repro.pp.kernel import InteractionCounter
 from repro.sim import checkpoint as _ckpt
 from repro.sim.checkpoint import CheckpointError
@@ -356,6 +357,20 @@ class ParallelSimulation:
         self._pp_acc = self._pp_force()
         self._pm_acc = self._pm_force()
 
+    def _kick(self, acc: np.ndarray, coeff: float) -> None:
+        """``self.mom += acc * coeff`` through the native update kernel
+        when available (bitwise-identical numpy arithmetic otherwise)."""
+        if not _native_update.kick(self.mom, acc, coeff):
+            self.mom += acc * coeff
+
+    def _drift(self, coeff: float) -> None:
+        """``self.pos = wrap_positions(self.pos + self.mom * coeff)``."""
+        pos = np.array(self.pos, dtype=np.float64)
+        if _native_update.drift_wrap(pos, self.mom, coeff, 1.0):
+            self.pos = pos
+        else:
+            self.pos = wrap_positions(self.pos + self.mom * coeff)
+
     def step(self, t1: float, t2: float) -> None:
         """One full step: 1 PM cycle + ``pp_subcycles`` PP/DD cycles."""
         self.validator.begin_step(self.steps_taken)
@@ -365,7 +380,7 @@ class ParallelSimulation:
         tm = 0.5 * (t1 + t2)
         n_sub = self.config.pp_subcycles
 
-        self.mom += self._pm_acc * st.kick_coeff(t1, tm)
+        self._kick(self._pm_acc, st.kick_coeff(t1, tm))
 
         edges = np.linspace(t1, t2, n_sub + 1)
         for s in range(n_sub):
@@ -377,16 +392,14 @@ class ParallelSimulation:
                 self._domain_update()
                 if self._pp_acc is None:
                     self._pp_acc = self._pp_force()
-            self.mom += self._pp_acc * st.kick_coeff(s1, sm)
+            self._kick(self._pp_acc, st.kick_coeff(s1, sm))
             with self.timing.phase("Domain Decomposition/position update"):
-                self.pos = wrap_positions(
-                    self.pos + self.mom * st.drift_coeff(s1, s2)
-                )
+                self._drift(st.drift_coeff(s1, s2))
             self._pp_acc = self._pp_force()
-            self.mom += self._pp_acc * st.kick_coeff(sm, s2)
+            self._kick(self._pp_acc, st.kick_coeff(sm, s2))
 
         self._pm_acc = self._pm_force()
-        self.mom += self._pm_acc * st.kick_coeff(tm, t2)
+        self._kick(self._pm_acc, st.kick_coeff(tm, t2))
         self.steps_taken += 1
         if self._mom_monitor is not None and self.validator.check_enabled(
             "momentum_drift"

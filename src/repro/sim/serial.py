@@ -67,6 +67,7 @@ class SerialSimulation:
             pp_force=self._pp_force,
             stepper=self.stepper,
             n_sub=config.pp_subcycles,
+            ledger=self.timing,
         )
         self.steps_taken = 0
         self._last_time = 0.0

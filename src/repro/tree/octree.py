@@ -11,13 +11,104 @@ every step ("tree construction" in Table I) rather than updating it.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.native import treebuild as _native_tree
 from repro.tree.morton import MORTON_BITS, morton_keys
 
-__all__ = ["Octree"]
+__all__ = ["Octree", "build_nodes_numpy"]
+
+_OCTANT_OFFSETS = np.array(
+    [
+        [1.0 if c & 4 else -1.0, 1.0 if c & 2 else -1.0, 1.0 if c & 1 else -1.0]
+        for c in range(8)
+    ]
+)
+
+
+def build_nodes_numpy(
+    keys_sorted: np.ndarray,
+    n: int,
+    origin: np.ndarray,
+    size: float,
+    leaf_size: int,
+    max_depth: int,
+) -> Tuple[np.ndarray, ...]:
+    """Reference node build over sorted Morton keys.
+
+    Level-synchronous vectorized build: every level splits ALL its
+    oversized nodes at once with a single searchsorted over the Morton
+    keys — no per-node Python recursion ("tree construction" is a
+    Table I row; this keeps it fast even in pure Python).  The native
+    kernel (:mod:`repro.native.treebuild`) reproduces the node arrays
+    bit for bit; this function is its fallback and self-test reference.
+
+    Returns ``(center, half, lo, hi, depth, is_leaf, children)``.
+    """
+    centers = [origin + 0.5 * size]
+    halves = [size / 2.0]
+    los = [0]
+    his = [n]
+    depths = [0]
+    children: List[np.ndarray] = [np.full(8, -1, dtype=np.int64)]
+    is_leaf = [True]  # flipped when a node gets split
+
+    frontier = np.array([0], dtype=np.int64)  # node ids at this level
+    depth = 0
+    while frontier.size and depth < max_depth:
+        lo_arr = np.array([los[i] for i in frontier], dtype=np.int64)
+        hi_arr = np.array([his[i] for i in frontier], dtype=np.int64)
+        split = (hi_arr - lo_arr) > leaf_size
+        if not split.any():
+            break
+        parents = frontier[split]
+        plo = lo_arr[split]
+
+        # child boundaries for every splitting parent in one call:
+        # particles sorted by key means sorted by child-level prefix
+        shift = np.uint64(3 * (max_depth - depth - 1))
+        pref = keys_sorted >> shift
+        parent_pref = pref[plo].astype(np.uint64) >> np.uint64(3)
+        targets = (
+            parent_pref[:, None] * np.uint64(8)
+            + np.arange(9, dtype=np.uint64)[None, :]
+        )
+        bounds = np.searchsorted(pref, targets)
+
+        next_frontier: List[int] = []
+        for row, parent in enumerate(parents):
+            pc = centers[parent]
+            ph = halves[parent]
+            is_leaf[parent] = False
+            kids = children[parent]
+            for c in range(8):
+                clo, chi = int(bounds[row, c]), int(bounds[row, c + 1])
+                if chi == clo:
+                    continue
+                idx = len(centers)
+                centers.append(pc + _OCTANT_OFFSETS[c] * ph / 2.0)
+                halves.append(ph / 2.0)
+                los.append(clo)
+                his.append(chi)
+                depths.append(depth + 1)
+                children.append(np.full(8, -1, dtype=np.int64))
+                is_leaf.append(True)
+                kids[c] = idx
+                next_frontier.append(idx)
+        frontier = np.array(next_frontier, dtype=np.int64)
+        depth += 1
+
+    return (
+        np.array(centers),
+        np.array(halves),
+        np.array(los, dtype=np.int64),
+        np.array(his, dtype=np.int64),
+        np.array(depths, dtype=np.int64),
+        np.array(is_leaf, dtype=bool),
+        np.array(children, dtype=np.int64),
+    )
 
 
 class Octree:
@@ -72,9 +163,15 @@ class Octree:
         self.leaf_size = int(leaf_size)
         self.has_quadrupole = bool(compute_quadrupole)
 
-        keys = morton_keys(pos, self.origin, self.size)
-        self.perm = np.argsort(keys, kind="stable")
-        self._keys = keys[self.perm]
+        sorted_keys = _native_tree.morton_build(
+            pos, self.origin, self.size, MORTON_BITS
+        )
+        if sorted_keys is not None:
+            self._keys, self.perm = sorted_keys
+        else:
+            keys = morton_keys(pos, self.origin, self.size)
+            self.perm = np.argsort(keys, kind="stable")
+            self._keys = keys[self.perm]
         self.pos_sorted = pos[self.perm]
         self.mass_sorted = mass[self.perm]
 
@@ -83,80 +180,34 @@ class Octree:
 
     # -- construction ---------------------------------------------------------
     #
-    # Level-synchronous vectorized build: every level splits ALL its
-    # oversized nodes at once with a single searchsorted over the
-    # Morton keys — no per-node Python recursion ("tree construction"
-    # is a Table I row; this keeps it fast even in pure Python).
+    # The node build runs in the native kernel when available (bitwise
+    # self-tested against build_nodes_numpy) and falls back to the
+    # level-synchronous vectorized numpy builder otherwise.
 
-    _OCTANT_OFFSETS = np.array(
-        [
-            [1.0 if c & 4 else -1.0, 1.0 if c & 2 else -1.0, 1.0 if c & 1 else -1.0]
-            for c in range(8)
-        ]
-    )
+    _OCTANT_OFFSETS = _OCTANT_OFFSETS
 
     def _build(self) -> None:
         n = len(self.pos_sorted)
-        centers = [self.origin + 0.5 * self.size]
-        halves = [self.size / 2.0]
-        los = [0]
-        his = [n]
-        depths = [0]
-        children: List[np.ndarray] = [np.full(8, -1, dtype=np.int64)]
-        is_leaf = [True]  # flipped when a node gets split
-
-        frontier = np.array([0], dtype=np.int64)  # node ids at this level
-        depth = 0
-        while frontier.size and depth < self.MAX_DEPTH:
-            lo_arr = np.array([los[i] for i in frontier], dtype=np.int64)
-            hi_arr = np.array([his[i] for i in frontier], dtype=np.int64)
-            split = (hi_arr - lo_arr) > self.leaf_size
-            if not split.any():
-                break
-            parents = frontier[split]
-            plo = lo_arr[split]
-
-            # child boundaries for every splitting parent in one call:
-            # particles sorted by key means sorted by child-level prefix
-            shift = np.uint64(3 * (self.MAX_DEPTH - depth - 1))
-            pref = self._keys >> shift
-            parent_pref = pref[plo].astype(np.uint64) >> np.uint64(3)
-            targets = (
-                parent_pref[:, None] * np.uint64(8)
-                + np.arange(9, dtype=np.uint64)[None, :]
+        nodes = _native_tree.build_nodes(
+            self._keys,
+            self.leaf_size,
+            self.MAX_DEPTH,
+            self.origin + 0.5 * self.size,
+            self.size / 2.0,
+        )
+        if nodes is None:
+            nodes = build_nodes_numpy(
+                self._keys, n, self.origin, self.size, self.leaf_size, self.MAX_DEPTH
             )
-            bounds = np.searchsorted(pref, targets)
-
-            next_frontier: List[int] = []
-            for row, parent in enumerate(parents):
-                pc = centers[parent]
-                ph = halves[parent]
-                is_leaf[parent] = False
-                kids = children[parent]
-                for c in range(8):
-                    clo, chi = int(bounds[row, c]), int(bounds[row, c + 1])
-                    if chi == clo:
-                        continue
-                    idx = len(centers)
-                    centers.append(pc + self._OCTANT_OFFSETS[c] * ph / 2.0)
-                    halves.append(ph / 2.0)
-                    los.append(clo)
-                    his.append(chi)
-                    depths.append(depth + 1)
-                    children.append(np.full(8, -1, dtype=np.int64))
-                    is_leaf.append(True)
-                    kids[c] = idx
-                    next_frontier.append(idx)
-            frontier = np.array(next_frontier, dtype=np.int64)
-            depth += 1
-
-        self.node_center = np.array(centers)
-        self.node_half = np.array(halves)
-        self.node_lo = np.array(los, dtype=np.int64)
-        self.node_hi = np.array(his, dtype=np.int64)
-        self.node_depth = np.array(depths, dtype=np.int64)
-        self.node_is_leaf = np.array(is_leaf, dtype=bool)
-        self.node_children = np.array(children, dtype=np.int64)
+        (
+            self.node_center,
+            self.node_half,
+            self.node_lo,
+            self.node_hi,
+            self.node_depth,
+            self.node_is_leaf,
+            self.node_children,
+        ) = nodes
 
     def _compute_moments(self) -> None:
         m = self.mass_sorted
@@ -237,6 +288,15 @@ class Octree:
         """
         if group_size < 1:
             raise ValueError("group_size must be >= 1")
+        native = _native_tree.group_nodes(
+            self.node_lo,
+            self.node_hi,
+            self.node_children,
+            self.node_is_leaf,
+            group_size,
+        )
+        if native is not None:
+            return native
         out: List[int] = []
         stack = [0]
         while stack:

@@ -19,12 +19,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.native import traverse as _native_traverse
 from repro.pp.kernel import InteractionCounter, PPKernel
 from repro.pp.plan import InteractionPlan, PlanExecutor, multi_arange
 from repro.tree.octree import Octree
 from repro.utils.periodic import minimum_image
 
-__all__ = ["TraversalStats", "TreeSolver", "tree_forces"]
+__all__ = ["TraversalStats", "TreeSolver", "traverse_all_numpy", "tree_forces"]
 
 _multi_arange = multi_arange
 
@@ -327,114 +328,20 @@ class TreeSolver:
         return plan
 
     def _traverse_all(self, tree, groups, rcut, stats):
-        """One batched breadth-first sweep over ``(group, node)`` pairs
-        for every group at once.
+        """Plan-construction traversal over all groups at once.
 
-        Each pair's cull / accept / dump-leaf / open decision is the
-        same elementwise arithmetic as :meth:`_traverse`, and the final
-        stable regrouping by group index restores each group's exact
-        BFS emission order, so the resulting plan is bit-identical to
-        running the per-group traversal in a Python loop — at a small
-        fraction of the interpreter overhead.
+        Runs in the native kernel when available (bitwise self-tested
+        against :func:`traverse_all_numpy`), else in the vectorized
+        numpy sweep.  Both return identical plans bit for bit.
         """
-        Gn = len(groups)
-        want_shift = self.periodic
-        empty_idx = np.empty(0, dtype=np.int64)
-        empty_shift = np.empty((0, 3)) if want_shift else None
-        if Gn == 0:
-            zp = np.zeros(1, dtype=np.int64)
-            return zp, empty_idx, zp.copy(), empty_idx.copy(), empty_shift, empty_shift
-
-        sqrt3 = np.sqrt(3.0)
-        gcenters = tree.node_center[groups]
-        gradii = tree.node_half[groups] * sqrt3
-        gidx = np.arange(Gn, dtype=np.int64)
-        nodes = np.zeros(Gn, dtype=np.int64)  # every group starts at the root
-
-        acc_g, acc_n, acc_s = [], [], []
-        leaf_g, leaf_lo, leaf_hi, leaf_s = [], [], [], []
-        while nodes.size:
-            stats.nodes_visited += nodes.size
-            dx = tree.node_com[nodes] - gcenters[gidx]
-            shift = None
-            if self.periodic:
-                if want_shift:
-                    shift = np.round(dx / self.box)
-                    shift *= self.box
-                    dx -= shift
-                else:
-                    minimum_image(dx, self.box, out=dx)
-            dist = np.sqrt(np.einsum("ij,ij->i", dx, dx))
-            half = tree.node_half[nodes]
-            gr = gradii[gidx]
-            keep = np.ones(nodes.size, dtype=bool)
-            if rcut is not None:
-                keep = dist - gr - half * sqrt3 <= rcut
-            gap = dist - gr
-            accept = keep & (gap > 0) & (2.0 * half < self.theta * gap)
-            rest = keep & ~accept
-            is_leaf = rest & tree.node_is_leaf[nodes]
-            to_open = rest & ~tree.node_is_leaf[nodes]
-
-            if accept.any():
-                acc_g.append(gidx[accept])
-                acc_n.append(nodes[accept])
-                if want_shift:
-                    acc_s.append(shift[accept])
-            if is_leaf.any():
-                nl = nodes[is_leaf]
-                leaf_g.append(gidx[is_leaf])
-                leaf_lo.append(tree.node_lo[nl])
-                leaf_hi.append(tree.node_hi[nl])
-                if want_shift:
-                    leaf_s.append(shift[is_leaf])
-            if to_open.any():
-                kids = tree.node_children[nodes[to_open]]
-                gk = np.repeat(gidx[to_open], kids.shape[1])
-                kk = kids.ravel()
-                sel = kk >= 0
-                nodes = kk[sel]
-                gidx = gk[sel]
-            else:
-                nodes = empty_idx
-                gidx = empty_idx
-
-        if acc_n:
-            ag = np.concatenate(acc_g)
-            an = np.concatenate(acc_n)
-            ncounts = np.bincount(ag, minlength=Gn)
-            order = np.argsort(ag, kind="stable")
-            node_idx = an[order]
-            node_shift = np.concatenate(acc_s)[order] if want_shift else None
-        else:
-            node_idx = empty_idx
-            ncounts = np.zeros(Gn, dtype=np.int64)
-            node_shift = empty_shift
-        if leaf_lo:
-            lg = np.concatenate(leaf_g)
-            llo = np.concatenate(leaf_lo)
-            lhi = np.concatenate(leaf_hi)
-            # integer leaf lengths are exact as float weights (< 2**53)
-            pcounts = np.bincount(lg, weights=lhi - llo, minlength=Gn)
-            pcounts = pcounts.astype(np.int64)
-            order = np.argsort(lg, kind="stable")
-            llo = llo[order]
-            lhi = lhi[order]
-            part_idx = _multi_arange(llo, lhi)
-            if want_shift:
-                # a dumped leaf's particles all use the leaf's image
-                ls = np.concatenate(leaf_s)[order]
-                part_shift = np.repeat(ls, lhi - llo, axis=0)
-            else:
-                part_shift = None
-        else:
-            part_idx = empty_idx
-            pcounts = np.zeros(Gn, dtype=np.int64)
-            part_shift = empty_shift
-
-        part_ptr = np.concatenate([[0], np.cumsum(pcounts)]).astype(np.int64)
-        node_ptr = np.concatenate([[0], np.cumsum(ncounts)]).astype(np.int64)
-        return part_ptr, part_idx, node_ptr, node_idx, part_shift, node_shift
+        native = _native_traverse.traverse_all(
+            tree, groups, rcut, self.theta, self.periodic, self.box, stats
+        )
+        if native is not None:
+            return native
+        return traverse_all_numpy(
+            tree, groups, rcut, self.theta, self.periodic, self.box, stats
+        )
 
     def _certify_no_wrap(self, tree: Octree, plan: InteractionPlan) -> np.ndarray:
         """Per-group proof that every pair displacement fits in box/2.
@@ -639,6 +546,119 @@ class TreeSolver:
         if self.split is not None:
             acc = acc * self.split.short_range_factor(np.sqrt(r2))[..., None]
         return self.G * np.sum(acc, axis=1)
+
+
+def traverse_all_numpy(tree, groups, rcut, theta, periodic, box, stats):
+    """One batched breadth-first sweep over ``(group, node)`` pairs
+    for every group at once.
+
+    Each pair's cull / accept / dump-leaf / open decision is the
+    same elementwise arithmetic as :meth:`TreeSolver._traverse`, and
+    the final stable regrouping by group index restores each group's
+    exact BFS emission order, so the resulting plan is bit-identical
+    to running the per-group traversal in a Python loop — at a small
+    fraction of the interpreter overhead.  The native kernel
+    (:mod:`repro.native.traverse`) emits the same plan group by group;
+    this function is its fallback and self-test reference.
+    """
+    Gn = len(groups)
+    want_shift = periodic
+    empty_idx = np.empty(0, dtype=np.int64)
+    empty_shift = np.empty((0, 3)) if want_shift else None
+    if Gn == 0:
+        zp = np.zeros(1, dtype=np.int64)
+        return zp, empty_idx, zp.copy(), empty_idx.copy(), empty_shift, empty_shift
+
+    sqrt3 = np.sqrt(3.0)
+    gcenters = tree.node_center[groups]
+    gradii = tree.node_half[groups] * sqrt3
+    gidx = np.arange(Gn, dtype=np.int64)
+    nodes = np.zeros(Gn, dtype=np.int64)  # every group starts at the root
+
+    acc_g, acc_n, acc_s = [], [], []
+    leaf_g, leaf_lo, leaf_hi, leaf_s = [], [], [], []
+    while nodes.size:
+        stats.nodes_visited += nodes.size
+        dx = tree.node_com[nodes] - gcenters[gidx]
+        shift = None
+        if periodic:
+            if want_shift:
+                shift = np.round(dx / box)
+                shift *= box
+                dx -= shift
+            else:
+                minimum_image(dx, box, out=dx)
+        dist = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+        half = tree.node_half[nodes]
+        gr = gradii[gidx]
+        keep = np.ones(nodes.size, dtype=bool)
+        if rcut is not None:
+            keep = dist - gr - half * sqrt3 <= rcut
+        gap = dist - gr
+        accept = keep & (gap > 0) & (2.0 * half < theta * gap)
+        rest = keep & ~accept
+        is_leaf = rest & tree.node_is_leaf[nodes]
+        to_open = rest & ~tree.node_is_leaf[nodes]
+
+        if accept.any():
+            acc_g.append(gidx[accept])
+            acc_n.append(nodes[accept])
+            if want_shift:
+                acc_s.append(shift[accept])
+        if is_leaf.any():
+            nl = nodes[is_leaf]
+            leaf_g.append(gidx[is_leaf])
+            leaf_lo.append(tree.node_lo[nl])
+            leaf_hi.append(tree.node_hi[nl])
+            if want_shift:
+                leaf_s.append(shift[is_leaf])
+        if to_open.any():
+            kids = tree.node_children[nodes[to_open]]
+            gk = np.repeat(gidx[to_open], kids.shape[1])
+            kk = kids.ravel()
+            sel = kk >= 0
+            nodes = kk[sel]
+            gidx = gk[sel]
+        else:
+            nodes = empty_idx
+            gidx = empty_idx
+
+    if acc_n:
+        ag = np.concatenate(acc_g)
+        an = np.concatenate(acc_n)
+        ncounts = np.bincount(ag, minlength=Gn)
+        order = np.argsort(ag, kind="stable")
+        node_idx = an[order]
+        node_shift = np.concatenate(acc_s)[order] if want_shift else None
+    else:
+        node_idx = empty_idx
+        ncounts = np.zeros(Gn, dtype=np.int64)
+        node_shift = empty_shift
+    if leaf_lo:
+        lg = np.concatenate(leaf_g)
+        llo = np.concatenate(leaf_lo)
+        lhi = np.concatenate(leaf_hi)
+        # integer leaf lengths are exact as float weights (< 2**53)
+        pcounts = np.bincount(lg, weights=lhi - llo, minlength=Gn)
+        pcounts = pcounts.astype(np.int64)
+        order = np.argsort(lg, kind="stable")
+        llo = llo[order]
+        lhi = lhi[order]
+        part_idx = _multi_arange(llo, lhi)
+        if want_shift:
+            # a dumped leaf's particles all use the leaf's image
+            ls = np.concatenate(leaf_s)[order]
+            part_shift = np.repeat(ls, lhi - llo, axis=0)
+        else:
+            part_shift = None
+    else:
+        part_idx = empty_idx
+        pcounts = np.zeros(Gn, dtype=np.int64)
+        part_shift = empty_shift
+
+    part_ptr = np.concatenate([[0], np.cumsum(pcounts)]).astype(np.int64)
+    node_ptr = np.concatenate([[0], np.cumsum(ncounts)]).astype(np.int64)
+    return part_ptr, part_idx, node_ptr, node_idx, part_shift, node_shift
 
 
 def tree_forces(

@@ -1,0 +1,119 @@
+"""Cross-stage native/python parity and timing-ledger accounting.
+
+The tentpole guarantee of the native hot path: every per-stage kernel is
+individually optional, and *any* combination of opt-outs produces
+bitwise-identical trajectories — positions, momenta, and energy — to the
+all-python path.  The timing ledger must meanwhile account for the full
+step under the same phase keys on both paths (nothing lumped into an
+"other" bucket).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.integrate.leapfrog import UPDATE_PHASE
+from repro.sim.serial import SerialSimulation
+
+STAGES = ["TREE", "TRAVERSE", "MESH", "UPDATE", "PP"]
+
+
+@pytest.fixture(scope="module")
+def initial_state():
+    rng = np.random.default_rng(20120831)
+    pos = np.mod(
+        np.vstack(
+            [0.5 + 0.06 * rng.standard_normal((160, 3)), rng.random((80, 3))]
+        ),
+        1.0,
+    )
+    mom = 0.02 * rng.standard_normal(pos.shape)
+    mass = np.full(len(pos), 1.0 / len(pos))
+    return pos, mom, mass
+
+
+def _config(mesh: int = 8) -> SimulationConfig:
+    return SimulationConfig.from_dict(
+        {"treepm": {"pm": {"mesh_size": mesh}}, "pp_subcycles": 2}
+    )
+
+
+def _run(initial_state, n_steps: int = 2):
+    pos, mom, mass = initial_state
+    sim = SerialSimulation(_config(), pos, mom, mass)
+    sim.run(0.0, 0.02, n_steps)
+    return sim
+
+
+def test_all_opt_out_combinations_bitwise(initial_state, monkeypatch):
+    """2^5 combinations of per-stage opt-outs, one short run each, all
+    bitwise identical to the all-python trajectory."""
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    ref = _run(initial_state)
+    ref_energy = ref.total_energy()
+    monkeypatch.delenv("REPRO_NO_NATIVE")
+
+    for combo in itertools.product([False, True], repeat=len(STAGES)):
+        for stage, off in zip(STAGES, combo):
+            var = f"REPRO_NO_NATIVE_{stage}"
+            if off:
+                monkeypatch.setenv(var, "1")
+            else:
+                monkeypatch.delenv(var, raising=False)
+        sim = _run(initial_state)
+        label = ",".join(s for s, off in zip(STAGES, combo) if off) or "none"
+        assert np.array_equal(sim.pos, ref.pos), f"pos mismatch (off: {label})"
+        assert np.array_equal(sim.mom, ref.mom), f"mom mismatch (off: {label})"
+        assert sim.total_energy() == ref_energy, f"energy mismatch (off: {label})"
+
+
+@pytest.mark.parametrize("no_native", [False, True])
+def test_ledger_accounts_for_wall_time(initial_state, monkeypatch, no_native):
+    """The per-step ledger must sum to the measured wall time within
+    tolerance on both paths — native kernels report under the same
+    phase keys as the python pipeline, nothing disappears."""
+    if no_native:
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    pos, mom, mass = initial_state
+    sim = SerialSimulation(_config(mesh=16), pos, mom, mass)
+    sim.step(0.0, 0.01)  # warmup: compiles, self-tests, scratch allocs
+    warm = sim.timing.total()
+    t0 = time.perf_counter()
+    sim.run(0.01, 0.05, 4)
+    wall = time.perf_counter() - t0
+    recorded = sim.timing.total() - warm
+    assert recorded <= wall * 1.05
+    assert recorded >= wall * 0.5, (
+        f"ledger covers only {recorded / wall:.0%} of the step wall time"
+    )
+    keys = sim.timing.as_dict()
+    for phase in [
+        "PM/density assignment",
+        "PM/FFT",
+        "PM/acceleration on mesh",
+        "PM/force interpolation",
+        "PP/tree construction",
+        "PP/tree traversal",
+        "PP/force calculation",
+        UPDATE_PHASE,
+    ]:
+        assert phase in keys, f"missing ledger phase {phase!r}"
+        assert keys[phase] > 0.0
+    assert not any("other" in k.lower() for k in keys)
+
+
+def test_update_phase_present_on_both_paths(initial_state, monkeypatch):
+    """The fused kick-drift arithmetic reports under Update/kick-drift
+    whether or not the native kernel runs."""
+    for env in (None, "1"):
+        if env:
+            monkeypatch.setenv("REPRO_NO_NATIVE_UPDATE", env)
+        else:
+            monkeypatch.delenv("REPRO_NO_NATIVE_UPDATE", raising=False)
+        sim = _run(initial_state, n_steps=1)
+        assert sim.timing.get(UPDATE_PHASE) > 0.0
