@@ -1,0 +1,96 @@
+"""Overhead of the gray-failure health layer (docs/fault_tolerance.md §9).
+
+The health tick runs every step on every rank: one small allgather of
+``(rank, work, wall)`` triples, a median, and O(ranks) scalar updates.
+It is only worth leaving on in production if it is nearly free — the
+budget is < 2% wall-clock on the medium configuration with the full
+``evict`` policy armed (detection, scoring, adaptive deadline; a
+healthy fleet never reaches the drain).
+
+This harness times a fault-free elastic run with the health layer off
+and with ``policy="evict"`` fully armed, and writes the measured ratio
+to ``benchmarks/results/health_overhead.txt``.  CI runs it report-only
+(shared-runner timings are too noisy to gate on); the budget assert
+documents the acceptance threshold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config import (
+    DomainConfig,
+    HealthConfig,
+    PMConfig,
+    SimulationConfig,
+    TreePMConfig,
+)
+from repro.sim.elastic import run_elastic_simulation
+
+N = 8000
+N_RANKS = 2
+N_STEPS = 6
+T_END = 0.06
+REPEATS = 3
+OVERHEAD_BUDGET = 0.02
+
+
+def _config(policy: str) -> SimulationConfig:
+    return SimulationConfig(
+        domain=DomainConfig(
+            divisions=(N_RANKS, 1, 1), sample_rate=0.3, cost_balance=False
+        ),
+        treepm=TreePMConfig(pm=PMConfig(mesh_size=16)),
+        health=HealthConfig(policy=policy),
+    )
+
+
+def _system(seed: int = 29):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.random((N, 3)),
+        rng.normal(scale=0.01, size=(N, 3)),
+        np.full(N, 1.0 / N),
+    )
+
+
+def _run_once(policy: str) -> float:
+    pos, mom, mass = _system()
+    t0 = time.perf_counter()
+    p, m, w, runners, runtime = run_elastic_simulation(
+        _config(policy), pos, mom, mass, 0.0, T_END, N_STEPS,
+        buddy_every=1, backend="thread",
+    )
+    elapsed = time.perf_counter() - t0
+    assert len(p) == N
+    assert runtime.dead_ranks == []
+    if policy == "evict":
+        # a healthy fleet must stay whole: no verdicts, no drains
+        for r in runners:
+            kinds = {ev["kind"] for ev in r.health_events()}
+            assert not kinds & {"straggler_confirmed", "drain", "evict"}
+    return elapsed
+
+
+def _best_of(policy: str) -> float:
+    return min(_run_once(policy) for _ in range(REPEATS))
+
+
+class TestHealthOverhead:
+    def test_health_tick_overhead_within_budget(self, save_result):
+        base = _best_of("off")
+        armed = _best_of("evict")
+        overhead = armed / base - 1.0
+        lines = [
+            f"elastic smoke sim: {N} particles, {N_RANKS} ranks, "
+            f"{N_STEPS} steps, best of {REPEATS}",
+            "health layer: per-step work/wait allgather, straggler "
+            "scoring, adaptive deadline, eviction armed",
+            f"health off  : {base * 1e3:8.1f} ms",
+            f"health evict: {armed * 1e3:8.1f} ms",
+            f"overhead    : {overhead:+8.1%}  (budget {OVERHEAD_BUDGET:.0%})",
+        ]
+        save_result("health_overhead", "\n".join(lines))
+        assert overhead < OVERHEAD_BUDGET

@@ -121,6 +121,79 @@ def test_step_throughput(save_result):
         assert speedups["medium"] >= 0.8
 
 
+def test_certify_throughput(save_result):
+    """Before/after number for the no-wrap certification stage alone.
+
+    Builds one periodic interaction plan at the medium scale and times
+    the numpy reference sweep against the native kernel; verdicts must
+    stay bitwise identical.
+    """
+    from repro.native import certify as _native_certify
+    from repro.pp.plan import InteractionPlan
+    from repro.tree.octree import Octree
+    from repro.tree.traversal import (
+        TraversalStats,
+        certify_no_wrap_numpy,
+        traverse_all_numpy,
+    )
+
+    _, n_halo, n_bg, _ = CONFIGS[1]
+    pos, _, mass = _particles(n_halo, n_bg)
+    tree = Octree(pos, mass, leaf_size=8)
+    groups = np.array(tree.group_nodes(32), dtype=np.int64)
+    groups = groups[np.argsort(tree.node_lo[groups], kind="stable")]
+    stats = TraversalStats()
+    (part_ptr, part_idx, node_ptr, node_idx,
+     part_shift, node_shift) = traverse_all_numpy(
+        tree, groups, 3.0 / 16, 0.5, True, 1.0, stats
+    )
+    plan = InteractionPlan(
+        group_nodes=groups,
+        group_lo=tree.node_lo[groups],
+        group_hi=tree.node_hi[groups],
+        part_ptr=part_ptr,
+        part_idx=part_idx,
+        node_ptr=node_ptr,
+        node_idx=node_idx,
+        part_shift=part_shift,
+        node_shift=node_shift,
+    )
+
+    def _best(fn):
+        best = np.inf
+        out = None
+        for _ in range(5):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+        return out, best
+
+    ref, t_py = _best(lambda: certify_no_wrap_numpy(tree, plan, 1.0))
+    native_ok = _native_certify.available()  # warmup: compile + self-test
+    if native_ok:
+        got, t_nat = _best(lambda: _native_certify.certify(tree, plan, 1.0))
+        assert np.array_equal(got, ref), "native/python certification mismatch"
+    else:
+        got, t_nat = ref, t_py
+    save_result(
+        "certify_no_wrap",
+        "\n".join(
+            [
+                "no-wrap certification: numpy sweep vs native kernel",
+                f"{plan.n_groups} groups, {len(part_idx)} list particles, "
+                f"{len(node_idx)} list nodes; best of 5",
+                f"native kernel available: {native_ok}",
+                "",
+                f"numpy  {1e3 * t_py:10.3f} ms",
+                f"native {1e3 * t_nat:10.3f} ms",
+                f"speedup {t_py / t_nat:8.2f}x",
+            ]
+        ),
+    )
+    if native_ok:
+        assert t_nat <= t_py * 1.5  # report-only beyond this sanity floor
+
+
 def test_step_ledger_breakdown(save_result):
     """Record the per-phase timing ledger of a native-path run (the
     whole-step analogue of the paper's Table 1 breakdown)."""

@@ -38,14 +38,20 @@ Config schema (JSON object; every key optional unless noted):
   "sdc_policy": "off",                // off | warn | heal | abort
   "sdc_audit_every": 1,               // SDC audit interval (steps)
   "sdc_spot_check_groups": 4,         // ABFT groups re-swept per audit
-  "sdc_keep_last": 0                  // checkpoint retention (0 = keep all)
+  "sdc_keep_last": 0,                 // checkpoint retention (0 = keep all)
+  "health_policy": "off",             // off | monitor | evict | degrade
+  "straggler_factor": 3.0,            // straggler = work > factor * median
+  "straggler_patience": 3             // consecutive slow steps to confirm
 }
 ```
 
 The ``--validate``/``--validate-every``/``--energy-tol`` flags override
 the corresponding config keys (see ``docs/validation.md``),
 ``--sdc-policy``/``--sdc-audit-every`` override the silent-data-
-corruption audit keys (see ``docs/fault_tolerance.md``), and
+corruption audit keys (see ``docs/fault_tolerance.md``),
+``--health-policy``/``--straggler-factor``/``--straggler-patience``
+override the gray-failure health keys (see ``docs/fault_tolerance.md``
+section 9), and
 ``--backend``/``--ranks`` override the communicator selection (see
 ``docs/parallelism.md``).  Parallel backends run the same schedule via
 :func:`repro.sim.parallel.run_parallel_simulation`; snapshots and
@@ -66,6 +72,7 @@ import numpy as np
 
 from repro.config import (
     DomainConfig,
+    HealthConfig,
     PMConfig,
     SdcConfig,
     SimulationConfig,
@@ -108,6 +115,9 @@ _DEFAULTS: Dict[str, Any] = {
     "sdc_audit_every": 1,
     "sdc_spot_check_groups": 4,
     "sdc_keep_last": 0,
+    "health_policy": "off",
+    "straggler_factor": 3.0,
+    "straggler_patience": 3,
 }
 
 _BACKEND_CHOICES = ("serial", "thread", "multiprocess", "mpi4py")
@@ -160,6 +170,11 @@ def _build_config(cfg: Dict[str, Any]) -> SimulationConfig:
             audit_every=cfg["sdc_audit_every"],
             spot_check_groups=cfg["sdc_spot_check_groups"],
             keep_last=cfg["sdc_keep_last"],
+        ),
+        health=HealthConfig(
+            policy=cfg["health_policy"],
+            straggler_factor=cfg["straggler_factor"],
+            straggler_patience=cfg["straggler_patience"],
         ),
     )
 
@@ -558,6 +573,23 @@ def main(argv=None) -> int:
         "--sdc-audit-every", type=int, default=None, metavar="N",
         help="run the SDC audits every N steps (default 1)",
     )
+    run_p.add_argument(
+        "--health-policy", choices=("off", "monitor", "evict", "degrade"),
+        default=None,
+        help="gray-failure tolerance: monitor stragglers, proactively "
+        "evict them (cooperative drain + elastic shrink), or degrade "
+        "gracefully without shrinking (see docs/fault_tolerance.md)",
+    )
+    run_p.add_argument(
+        "--straggler-factor", type=float, default=None, metavar="F",
+        help="a rank is suspect when its per-step work time exceeds F "
+        "times the fleet median (default 3.0)",
+    )
+    run_p.add_argument(
+        "--straggler-patience", type=int, default=None, metavar="K",
+        help="consecutive slow steps before a suspect is confirmed "
+        "(default 3)",
+    )
     info_p = sub.add_parser("info", help="print version and paper reference")
     ckpt_p = sub.add_parser(
         "ckpt",
@@ -615,6 +647,12 @@ def main(argv=None) -> int:
         config["sdc_policy"] = args.sdc_policy
     if args.sdc_audit_every is not None:
         config["sdc_audit_every"] = args.sdc_audit_every
+    if args.health_policy is not None:
+        config["health_policy"] = args.health_policy
+    if args.straggler_factor is not None:
+        config["straggler_factor"] = args.straggler_factor
+    if args.straggler_patience is not None:
+        config["straggler_patience"] = args.straggler_patience
     summary = run_from_config(
         config,
         checkpoint_every=args.checkpoint_every,

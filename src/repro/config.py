@@ -352,6 +352,80 @@ class SdcConfig:
 
 
 @dataclass(frozen=True)
+class HealthConfig:
+    """Policy of the gray-failure health layer (``repro.mpi.health``).
+
+    Attributes
+    ----------
+    policy:
+        What happens when a rank is confirmed a straggler: ``"off"``
+        (health monitoring never runs), ``"monitor"`` (score and log
+        ``HealthEvent``\\ s, take no action), ``"evict"`` (cooperative
+        drain — flush the buddy replica, then voluntary shrink through
+        the elastic re-decomposition path) or ``"degrade"`` (keep the
+        straggler but shed load: stretch audit/checkpoint cadence
+        within the declared bounds and widen collective deadlines).
+    straggler_factor:
+        A rank is suspect when its step time exceeds the robust fleet
+        median by this factor.
+    straggler_patience:
+        Consecutive over-threshold steps before a suspect becomes a
+        confirmed straggler (debounces one-off hiccups such as a GC
+        pause or page-cache miss).
+    min_samples:
+        Step-time samples required before verdicts are issued (the
+        first steps include warm-up noise such as JIT/native compile).
+    audit_stretch_max:
+        Upper bound on the degradation engine's audit/checkpoint
+        cadence multiplier — the declared bound that keeps "stretch
+        the audit cadence" from becoming "silently disable audits".
+    deadline_quantile:
+        Quantile of the observed step-time distribution that seeds the
+        adaptive collective deadline.
+    deadline_factor:
+        Multiplier applied to the quantile to get the deadline.
+    deadline_floor / deadline_ceil:
+        Clamp bounds (seconds) of the adaptive deadline.
+    """
+
+    policy: str = "off"
+    straggler_factor: float = 3.0
+    straggler_patience: int = 3
+    min_samples: int = 3
+    audit_stretch_max: int = 4
+    deadline_quantile: float = 0.9
+    deadline_factor: float = 10.0
+    deadline_floor: float = 1.0
+    deadline_ceil: float = 120.0
+
+    _POLICIES = ("off", "monitor", "evict", "degrade")
+
+    def __post_init__(self) -> None:
+        if self.policy not in self._POLICIES:
+            raise ValueError(
+                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
+            )
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.straggler_patience < 1:
+            raise ValueError("straggler_patience must be >= 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.audit_stretch_max < 1:
+            raise ValueError("audit_stretch_max must be >= 1")
+        if not 0.0 < self.deadline_quantile <= 1.0:
+            raise ValueError("deadline_quantile must be in (0, 1]")
+        _check_positive("deadline_factor", self.deadline_factor)
+        _check_positive("deadline_floor", self.deadline_floor)
+        if self.deadline_ceil < self.deadline_floor:
+            raise ValueError("deadline_ceil must be >= deadline_floor")
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off"
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Analytic machine model for performance projection.
 
@@ -428,6 +502,9 @@ class SimulationConfig:
     #: ``validation``, diagnostics only — never part of the physics
     #: fingerprint.
     sdc: SdcConfig = field(default_factory=SdcConfig)
+    #: Gray-failure health layer (``repro.mpi.health``); operational
+    #: policy only — never part of the physics fingerprint.
+    health: HealthConfig = field(default_factory=HealthConfig)
     #: Number of PP + domain-decomposition sub-cycles per PM step
     #: (the paper: "one simulation step was composed by a cycle of the
     #: PM and two cycles of the PP and the domain decomposition").
@@ -468,6 +545,7 @@ class SimulationConfig:
         d = self.to_dict()
         d.pop("validation", None)
         d.pop("sdc", None)
+        d.pop("health", None)
         if not include_layout:
             d.pop("domain", None)
             d.pop("relay", None)
@@ -497,12 +575,16 @@ class SimulationConfig:
         sdc = d.pop("sdc", {})
         if isinstance(sdc, dict):
             sdc = SdcConfig(**sdc)
+        health = d.pop("health", {})
+        if isinstance(health, dict):
+            health = HealthConfig(**health)
         return SimulationConfig(
             treepm=treepm,
             domain=domain,
             relay=relay,
             validation=validation,
             sdc=sdc,
+            health=health,
             **d,
         )
 
@@ -516,5 +598,6 @@ __all__ = [
     "MachineConfig",
     "ValidationConfig",
     "SdcConfig",
+    "HealthConfig",
     "SimulationConfig",
 ]

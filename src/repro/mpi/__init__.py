@@ -42,7 +42,15 @@ from repro.mpi.faults import (
     MessageDropped,
     PeerFailure,
     RankDeath,
+    backoff_delays,
     retry_with_backoff,
+)
+from repro.mpi.health import (
+    AdaptiveDeadline,
+    DegradationPolicy,
+    HealthEvent,
+    HealthMonitor,
+    StragglerEvicted,
 )
 from repro.mpi.network import TorusNetwork, TrafficLog, PhaseTraffic
 from repro.mpi.recovery import (
@@ -70,7 +78,13 @@ __all__ = [
     "MessageDropped",
     "PeerFailure",
     "RankDeath",
+    "backoff_delays",
     "retry_with_backoff",
+    "AdaptiveDeadline",
+    "DegradationPolicy",
+    "HealthEvent",
+    "HealthMonitor",
+    "StragglerEvicted",
     "BuddyStore",
     "RecoveryError",
     "RecoveryEvent",

@@ -86,6 +86,10 @@ class BackendCapabilities:
     heartbeat_liveness: bool = False
     #: elastic shrink-and-continue recovery (survivor consensus)
     elastic: bool = False
+    #: gray-failure tolerance: per-rank work/wait attribution
+    #: (``Comm.wait_seconds``) plus slow-rank / collective-delay /
+    #: disk-full fault injection for the health layer
+    gray_failure: bool = False
 
 
 # ---------------------------------------------------------------------------

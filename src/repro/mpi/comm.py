@@ -345,6 +345,28 @@ class Comm(CollectiveComm):
         self._current_op: Optional[str] = None
         #: stragglers from another epoch this rank discarded on receive
         self.stale_rejected = 0
+        #: cumulative seconds this rank spent blocked in communication
+        #: (collectives, barriers, receive waits); straggler detection
+        #: subtracts it from wall time to get *work* time — in
+        #: lock-step collectives every rank's wall time equals the
+        #: straggler's, and only the work/wait split tells them apart
+        self._wait_seconds = 0.0
+        self._wait_depth = 0
+        self._wait_t0 = 0.0
+
+    @property
+    def wait_seconds(self) -> float:
+        return self._wait_seconds
+
+    def _wait_enter(self) -> None:
+        self._wait_depth += 1
+        if self._wait_depth == 1:
+            self._wait_t0 = time.perf_counter()
+
+    def _wait_exit(self) -> None:
+        self._wait_depth -= 1
+        if self._wait_depth == 0:
+            self._wait_seconds += time.perf_counter() - self._wait_t0
 
     # -- identity -------------------------------------------------------------
 
@@ -381,6 +403,21 @@ class Comm(CollectiveComm):
         fire outside the transport."""
         return self._state.control.fault_plan
 
+    @property
+    def recv_timeout(self):
+        """The job-wide default receive deadline (seconds, or None)."""
+        return self._state.control.recv_timeout
+
+    def set_recv_timeout(self, seconds) -> None:
+        """Retune the job-wide default receive deadline at runtime —
+        the hook the health layer uses to derive collective deadlines
+        from *observed* step times instead of a fixed constant.  The
+        control block is shared, so every rank of the job sees the new
+        deadline (callers set it collectively with an identical value)."""
+        self._state.control.recv_timeout = (
+            None if seconds is None else float(seconds)
+        )
+
     # -- fault injection --------------------------------------------------------
 
     def fault_point(self, step: int) -> None:
@@ -395,10 +432,25 @@ class Comm(CollectiveComm):
         ctl = self._state.control
         ctl.record_step(self.world_rank, step)
         plan = ctl.fault_plan
-        if plan is not None and plan.should_kill(self.world_rank, step):
+        if plan is None:
+            return
+        if plan.should_kill(self.world_rank, step):
             raise InjectedFault(
                 f"rank {self.world_rank} killed by fault plan at step {step}"
             )
+        self._injected_sleep(plan.slow_delay(self.world_rank, step))
+
+    def _injected_sleep(self, delay: float) -> None:
+        """Pay an injected gray-failure delay, staying abortable: the
+        rank is *slow*, not wedged — a job abort still frees it."""
+        if delay <= 0.0:
+            return
+        ctl = self._state.control
+        deadline = time.monotonic() + delay
+        while time.monotonic() < deadline:
+            if ctl.abort_event.is_set():
+                raise CommAborted(self._abort_reason("peer rank failed"))
+            time.sleep(min(_POLL_SECONDS, delay))
 
     def _check_peer_failure(self) -> None:
         """Elastic mode: surface deaths this communicator does not
@@ -427,6 +479,7 @@ class Comm(CollectiveComm):
         ctl = self._state.control
         prev = self._current_op
         self._current_op = name
+        self._wait_enter()
         try:
             plan = ctl.fault_plan
             if plan is not None:
@@ -444,8 +497,15 @@ class Comm(CollectiveComm):
                     raise CommAborted(
                         self._abort_reason(f"{name} stalled by fault plan")
                     )
+                self._injected_sleep(
+                    plan.collective_delay(
+                        self.world_rank, name,
+                        ctl.step_of(self.world_rank) or 0,
+                    )
+                )
             yield
         finally:
+            self._wait_exit()
             self._current_op = prev
 
     # -- point to point ---------------------------------------------------------
@@ -527,6 +587,9 @@ class Comm(CollectiveComm):
             attempt,
             retries=_RELIABLE_SEND_RETRIES,
             base_delay=_RETRY_BASE_DELAY,
+            # per-rank, per-step seed: simultaneous drops on N ranks
+            # back off on diverging (but reproducible) schedules
+            seed=(me_w, max(0, ctl.step_of(me_w) or 0)),
             exceptions=(MessageDropped,),
             on_retry=on_retry,
         )
@@ -558,6 +621,7 @@ class Comm(CollectiveComm):
         src_w = st.world_ranks[source]
         op = self._current_op or "recv"
         registered = ctl.block(me_w, op, f"from rank {src_w}, tag {tag}")
+        self._wait_enter()
         try:
             while True:
                 # drain the queue before looking at failure signals: a
@@ -597,6 +661,7 @@ class Comm(CollectiveComm):
                     )
                 return payload
         finally:
+            self._wait_exit()
             if registered:
                 ctl.unblock(me_w)
 
@@ -646,6 +711,7 @@ class Comm(CollectiveComm):
         ctl = self._state.control
         me_w = self.world_rank
         registered = ctl.block(me_w, self._current_op or "barrier", "")
+        self._wait_enter()
         try:
             self._state.barrier.wait()
         except threading.BrokenBarrierError:
@@ -656,6 +722,7 @@ class Comm(CollectiveComm):
                 self._abort_reason("barrier broken by failing rank")
             ) from None
         finally:
+            self._wait_exit()
             if registered:
                 ctl.unblock(me_w)
 

@@ -26,10 +26,11 @@ arrival order, which is scheduler-dependent).
 
 from __future__ import annotations
 
+import errno
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -40,6 +41,7 @@ __all__ = [
     "CommTimeout",
     "MessageDropped",
     "PeerFailure",
+    "backoff_delays",
     "retry_with_backoff",
     "flip_array_bits",
     "flip_file_bits",
@@ -205,6 +207,53 @@ class _RotFault:
     nbits: int = 1
 
 
+@dataclass(frozen=True)
+class _SlowFault:
+    """A gray failure: the rank is alive but runs at ``1/factor`` speed."""
+
+    rank: int
+    factor: float
+    start_step: int
+    #: steps affected; 0 = until the run ends
+    duration: int
+    #: nominal healthy step seconds the factor stretches
+    base: float
+
+    def active(self, step: int) -> bool:
+        if step < self.start_step:
+            return False
+        return self.duration <= 0 or step < self.start_step + self.duration
+
+
+@dataclass(frozen=True)
+class _DegradeFault:
+    """A degraded collective: every matching call pays ``seconds``."""
+
+    op: str  # collective name, "*" = any
+    seconds: float
+    rank: Optional[int]  # None = every rank
+    start_step: int
+    duration: int  # steps affected; 0 = until the run ends
+
+    def active(self, rank: int, op: str, step: int) -> bool:
+        if self.rank is not None and self.rank != rank:
+            return False
+        if self.op not in ("*", op):
+            return False
+        if step < self.start_step:
+            return False
+        return self.duration <= 0 or step < self.start_step + self.duration
+
+
+@dataclass(frozen=True)
+class _DiskFullFault:
+    """The filesystem fills up after ``after_bytes`` further writes."""
+
+    path: str  # substring filter on the target path ("" = any)
+    after_bytes: int
+    rank: Optional[int]  # None = every rank
+
+
 class FaultPlan:
     """A declarative, reproducible schedule of injected failures.
 
@@ -228,6 +277,12 @@ class FaultPlan:
         self._stalls: List[_StallFault] = []
         self._flips: List[_FlipFault] = []
         self._rots: List[_RotFault] = []
+        self._slows: List[_SlowFault] = []
+        self._degrades: List[_DegradeFault] = []
+        self._disk_fulls: List[_DiskFullFault] = []
+        #: cumulative bytes written against each disk_full rule, keyed
+        #: ``(rule index, rank)``
+        self._disk_written: Dict[Tuple[int, int], int] = {}
         # one-shot bookkeeping for state faults: a rollback replays the
         # step indices the faults are keyed on, and a cosmic ray does
         # not strike twice just because the application re-executed
@@ -387,6 +442,76 @@ class FaultPlan:
         self._rots.append(_RotFault(int(rank), int(step), int(nbits)))
         return self
 
+    def slow_rank(
+        self,
+        rank: int,
+        factor: float,
+        duration: int = 0,
+        start_step: int = 0,
+        base: float = 0.05,
+    ) -> "FaultPlan":
+        """Make ``rank`` a *straggler*: alive, beating, answering — but
+        running at roughly ``1/factor`` speed for ``duration`` steps
+        starting at ``start_step`` (``duration=0`` = until the run
+        ends).  The canonical gray failure: a thermally-throttled CPU, a
+        neighbour saturating the memory bus, a swapping node.
+
+        Implemented as a deterministic per-step delay of
+        ``(factor - 1) * base`` seconds at the rank's ``fault_point``
+        (``base`` is the nominal healthy step time the factor
+        stretches).  Each ``(rule, step)`` fires exactly once — a
+        rollback replaying the step does not pay the delay twice.
+        """
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if base <= 0.0:
+            raise ValueError("base must be > 0")
+        self._slows.append(
+            _SlowFault(int(rank), float(factor), int(start_step), int(duration), float(base))
+        )
+        return self
+
+    def degrade_collective(
+        self,
+        op: str,
+        delay: float,
+        rank: Optional[int] = None,
+        start_step: int = 0,
+        duration: int = 0,
+    ) -> "FaultPlan":
+        """Degrade collective ``op`` (``"*"`` = any): every matching
+        call on ``rank`` (None = all ranks) pays ``delay`` extra seconds
+        while active — a congested link or oversubscribed switch, not a
+        wedge.  One-shot per ``(rule, rank, op, step)``, so a replayed
+        step pays the toll once."""
+        if delay < 0.0:
+            raise ValueError("delay must be >= 0")
+        self._degrades.append(
+            _DegradeFault(
+                str(op), float(delay),
+                None if rank is None else int(rank),
+                int(start_step), int(duration),
+            )
+        )
+        return self
+
+    def disk_full(
+        self, path: str = "", after_bytes: int = 0, rank: Optional[int] = None
+    ) -> "FaultPlan":
+        """Fill the disk under the checkpoint writer: after
+        ``after_bytes`` further bytes are written to paths containing
+        ``path`` (``""`` = any path) on ``rank`` (None = all ranks), the
+        next write raises ``OSError(ENOSPC)`` — exactly once per rule
+        and rank, like a transient full filesystem later cleared by
+        retention pruning.  Consulted by the checkpoint write path via
+        :meth:`check_disk`."""
+        if after_bytes < 0:
+            raise ValueError("after_bytes must be >= 0")
+        self._disk_fulls.append(
+            _DiskFullFault(str(path), int(after_bytes), None if rank is None else int(rank))
+        )
+        return self
+
     def stall_collective(self, op: str, rank: int, nth: int = 0) -> "FaultPlan":
         """Hang ``rank`` inside its ``nth``-th call of collective ``op``
         (``"bcast"``, ``"reduce"``, ``"gather"``, ...) until the job
@@ -431,6 +556,51 @@ class FaultPlan:
         """Checkpoint bit-rot rules hitting ``rank``'s epoch at ``step``."""
         return [r for r in self._rots if r.rank == rank and r.step == step]
 
+    def slow_delay(self, rank: int, step: int) -> float:
+        """Total injected straggler delay for ``rank`` at ``step``
+        (0.0 when no ``slow_rank`` rule is active).  One-shot per
+        ``(rule, step)``: a rollback replaying the step pays nothing."""
+        total = 0.0
+        for idx, ev in enumerate(self._slows):
+            if ev.rank != rank or not ev.active(step):
+                continue
+            if self.fire_once(("slow", idx, rank, step)):
+                total += (ev.factor - 1.0) * ev.base
+        return total
+
+    def collective_delay(self, rank: int, op: str, step: int) -> float:
+        """Total injected degradation delay for ``rank``'s collective
+        ``op`` at ``step`` (0.0 when no rule is active).  One-shot per
+        ``(rule, rank, op, step)``."""
+        total = 0.0
+        for idx, ev in enumerate(self._degrades):
+            if not ev.active(rank, op, step):
+                continue
+            if self.fire_once(("degrade", idx, rank, op, step)):
+                total += ev.seconds
+        return total
+
+    def check_disk(self, rank: int, path, nbytes: int) -> None:
+        """Account ``nbytes`` about to be written to ``path`` on
+        ``rank`` against every matching ``disk_full`` rule; raise
+        ``OSError(ENOSPC)`` the first time a rule's byte budget is
+        exhausted (once per rule and rank — the failure is transient,
+        like a filesystem later cleared by pruning)."""
+        for idx, ev in enumerate(self._disk_fulls):
+            if ev.rank is not None and ev.rank != rank:
+                continue
+            if ev.path and ev.path not in str(path):
+                continue
+            written = self._disk_written.get((idx, rank), 0) + int(nbytes)
+            self._disk_written[(idx, rank)] = written
+            if written > ev.after_bytes and self.fire_once(("disk_full", idx, rank)):
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected disk_full: {written} bytes written against a "
+                    f"budget of {ev.after_bytes}",
+                    str(path),
+                )
+
     def fire_once(self, key) -> bool:
         """True exactly once per ``key`` — the guard that keeps a
         state fault (flip / rot) from re-striking when a rollback
@@ -446,6 +616,7 @@ class FaultPlan:
         return not (
             self._kills or self._messages or self._stalls
             or self._flips or self._rots
+            or self._slows or self._degrades or self._disk_fulls
         )
 
     def describe(self) -> str:
@@ -475,6 +646,25 @@ class FaultPlan:
             lines.append(
                 f"  rot {r.nbits} bit(s) of rank {r.rank}'s checkpoint "
                 f"at step {r.step}"
+            )
+        for sl in self._slows:
+            until = "end" if sl.duration <= 0 else sl.start_step + sl.duration
+            lines.append(
+                f"  slow rank {sl.rank} x{sl.factor:g} over steps "
+                f"[{sl.start_step}, {until})"
+            )
+        for d in self._degrades:
+            who = "any rank" if d.rank is None else f"rank {d.rank}"
+            until = "end" if d.duration <= 0 else d.start_step + d.duration
+            lines.append(
+                f"  degrade {d.op} on {who} by {d.seconds}s over steps "
+                f"[{d.start_step}, {until})"
+            )
+        for df in self._disk_fulls:
+            who = "any rank" if df.rank is None else f"rank {df.rank}"
+            where = f" under {df.path!r}" if df.path else ""
+            lines.append(
+                f"  disk full on {who} after {df.after_bytes} bytes{where}"
             )
         return "\n".join(lines)
 
@@ -584,23 +774,76 @@ def apply_scheduled_flips(
     return flipped
 
 
+def backoff_delays(
+    retries: int,
+    base_delay: float = 0.01,
+    factor: float = 2.0,
+    max_delay: float = 1.0,
+    jitter: bool = True,
+    seed=None,
+) -> List[float]:
+    """The sleep schedule :func:`retry_with_backoff` would use.
+
+    With ``jitter`` (the default) delays follow *decorrelated jitter*:
+    each delay is drawn uniformly from ``[base_delay, prev * factor]``
+    and capped at ``max_delay``, so N ranks that hit the same transient
+    at the same instant spread out instead of re-colliding in lock-step
+    retry storms.  The draw sequence is a pure function of ``seed`` —
+    pass a per-rank value (e.g. the world rank) so schedules are
+    reproducible *and* diverge across ranks.  Without jitter the
+    schedule is the classic capped exponential
+    ``min(max_delay, base_delay * factor**attempt)``.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if base_delay < 0:
+        raise ValueError("base_delay must be >= 0")
+    if max_delay < base_delay:
+        raise ValueError("max_delay must be >= base_delay")
+    if not jitter:
+        return [
+            min(max_delay, base_delay * factor**attempt)
+            for attempt in range(retries)
+        ]
+    rng = np.random.default_rng(0xB0FF if seed is None else seed)
+    delays: List[float] = []
+    prev = base_delay
+    for _ in range(retries):
+        prev = min(
+            max_delay,
+            float(rng.uniform(base_delay, max(base_delay, prev) * factor)),
+        )
+        delays.append(prev)
+    return delays
+
+
 def retry_with_backoff(
     fn: Callable[[], Any],
     retries: int = 3,
     base_delay: float = 0.01,
     factor: float = 2.0,
+    max_delay: float = 1.0,
+    jitter: bool = True,
+    seed=None,
     exceptions: Tuple[Type[BaseException], ...] = (CommTimeout,),
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
 ) -> Any:
-    """Call ``fn`` and retry transient failures with exponential backoff.
+    """Call ``fn`` and retry transient failures with capped, jittered
+    exponential backoff.
 
     Retries up to ``retries`` times (so at most ``retries + 1`` calls),
-    sleeping ``base_delay * factor**attempt`` between attempts, and only
-    on the given ``exceptions`` (default: receive timeouts, the shape an
-    injected transient fault takes).  The final failure propagates.
+    and only on the given ``exceptions`` (default: receive timeouts, the
+    shape an injected transient fault takes).  The final failure
+    propagates.  Sleeps follow :func:`backoff_delays`: decorrelated
+    jitter capped at ``max_delay``, deterministic per ``seed`` — callers
+    pass a per-rank seed so simultaneous failures on N ranks fan out
+    instead of resynchronizing into a retry storm, while each rank's
+    schedule stays reproducible run after run.
     """
-    if retries < 0:
-        raise ValueError("retries must be >= 0")
+    delays = backoff_delays(
+        retries, base_delay=base_delay, factor=factor,
+        max_delay=max_delay, jitter=jitter, seed=seed,
+    )
     attempt = 0
     while True:
         try:
@@ -610,5 +853,5 @@ def retry_with_backoff(
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            time.sleep(base_delay * factor**attempt)
+            time.sleep(delays[attempt])
             attempt += 1

@@ -229,6 +229,26 @@ def shm_dumps(
     return buf.getvalue()
 
 
+def has_shm_frames(obj: Any, threshold: int) -> bool:
+    """True when serializing ``obj`` would externalize at least one
+    array into a SharedMemory frame (same eligibility rules as
+    :meth:`_ShmPickler.persistent_id`).  ``corrupt_shm`` fault rules
+    count *frames*, not messages, so array-free control traffic must
+    not advance their sequence window."""
+    if isinstance(obj, np.ndarray):
+        return bool(
+            obj.size
+            and obj.nbytes >= threshold
+            and not obj.dtype.hasobject
+            and obj.dtype.names is None
+        )
+    if isinstance(obj, dict):
+        return any(has_shm_frames(v, threshold) for v in obj.values())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return any(has_shm_frames(v, threshold) for v in obj)
+    return False
+
+
 def shm_loads(blob: bytes) -> Any:
     return _ShmUnpickler(io.BytesIO(blob)).load()
 
@@ -437,6 +457,12 @@ class MPComm(CollectiveComm):
         self._split_seq = 0
         self._barrier_seq = 0
         self._current_op: Optional[str] = None
+        #: cumulative seconds blocked in communication (collectives and
+        #: receive waits; the barrier rides on ``recv``) — straggler
+        #: detection subtracts it from wall time to get work time
+        self._wait_seconds = 0.0
+        self._wait_depth = 0
+        self._wait_t0 = 0.0
         mailbox.register_epoch(comm_key, epoch)
         #: stragglers discarded since this communicator was created
         self._stale_offset = mailbox.stale_drops
@@ -474,6 +500,17 @@ class MPComm(CollectiveComm):
         state-corruption rules that fire outside the transport."""
         return self._ctl.fault_plan
 
+    @property
+    def recv_timeout(self):
+        """This rank's default receive deadline (seconds, or None)."""
+        return self._ctl.recv_timeout
+
+    def set_recv_timeout(self, seconds) -> None:
+        """Retune the default receive deadline at runtime (health-layer
+        hook; per-process control, so callers set it collectively with
+        an identical value on every rank)."""
+        self._ctl.recv_timeout = None if seconds is None else float(seconds)
+
     def _loads_checked(self, blob: bytes) -> Tuple[bool, Any]:
         """Rehydrate a matched message; a CRC32 failure discards it as
         transport corruption (``(False, None)``) instead of delivering
@@ -503,14 +540,26 @@ class MPComm(CollectiveComm):
         if plan is None:
             return
         k = plan.kill_action(self.world_rank, step)
-        if k is None:
+        if k is not None:
+            if k.real is not False:
+                os.kill(os.getpid(), signal.SIGKILL)
+                time.sleep(60)  # pragma: no cover - SIGKILL is immediate
+            raise InjectedFault(
+                f"rank {self.world_rank} killed by fault plan at step {step}"
+            )
+        self._injected_sleep(plan.slow_delay(self.world_rank, step))
+
+    def _injected_sleep(self, delay: float) -> None:
+        """Pay an injected gray-failure delay, staying abortable.  The
+        heartbeat thread keeps beating throughout — a slow rank is
+        *alive*, which is exactly what distinguishes it from a wedge."""
+        if delay <= 0.0:
             return
-        if k.real is not False:
-            os.kill(os.getpid(), signal.SIGKILL)
-            time.sleep(60)  # pragma: no cover - SIGKILL is immediate
-        raise InjectedFault(
-            f"rank {self.world_rank} killed by fault plan at step {step}"
-        )
+        deadline = time.monotonic() + delay
+        while time.monotonic() < deadline:
+            if self._job.abort_event.is_set():
+                raise CommAborted(self._job.abort_reason("peer rank failed"))
+            time.sleep(min(_POLL_SECONDS, delay))
 
     def _check_peer_failure(self) -> None:
         if not self._job.elastic:
@@ -531,11 +580,26 @@ class MPComm(CollectiveComm):
             raise CommAborted(self._job.abort_reason("peer rank failed"))
         self._check_peer_failure()
 
+    @property
+    def wait_seconds(self) -> float:
+        return self._wait_seconds
+
+    def _wait_enter(self) -> None:
+        self._wait_depth += 1
+        if self._wait_depth == 1:
+            self._wait_t0 = time.perf_counter()
+
+    def _wait_exit(self) -> None:
+        self._wait_depth -= 1
+        if self._wait_depth == 0:
+            self._wait_seconds += time.perf_counter() - self._wait_t0
+
     @contextmanager
     def _collective(self, name: str):
         ctl = self._ctl
         prev = self._current_op
         self._current_op = name
+        self._wait_enter()
         try:
             plan = ctl.fault_plan
             if plan is not None:
@@ -546,8 +610,12 @@ class MPComm(CollectiveComm):
                     raise CommAborted(
                         self._job.abort_reason(f"{name} stalled by fault plan")
                     )
+                self._injected_sleep(
+                    plan.collective_delay(self.world_rank, name, ctl.step or 0)
+                )
             yield
         finally:
+            self._wait_exit()
             self._current_op = prev
 
     # -- point to point -----------------------------------------------------------
@@ -577,6 +645,13 @@ class MPComm(CollectiveComm):
             drop = False
             delay = 0.0
             for ev in plan.message_events(src_w, dst_w):
+                if ev.kind == "corrupt_shm" and not has_shm_frames(
+                    payload, self._job.shm_threshold
+                ):
+                    # the rule targets SHM *frames*: a message carrying
+                    # none (small control traffic) is outside its
+                    # sequence window and must not consume a slot
+                    continue
                 seq = ctl.next_event_seq(("message", id(ev)))
                 if not ev.hits(seq, plan.seed, src_w, dst_w):
                     continue
@@ -637,6 +712,9 @@ class MPComm(CollectiveComm):
             attempt,
             retries=_RELIABLE_SEND_RETRIES,
             base_delay=_RETRY_BASE_DELAY,
+            # per-rank, per-step seed: simultaneous drops on N ranks
+            # back off on diverging (but reproducible) schedules
+            seed=(me_w, max(0, ctl.step or 0)),
             exceptions=(MessageDropped,),
             on_retry=on_retry,
         )
@@ -654,35 +732,39 @@ class MPComm(CollectiveComm):
         want = (self._comm_key, self._epoch, src_w, tag)
         mb = self._mailbox
         op = self._current_op or "recv"
-        while True:
-            # drain what already arrived before looking at failure
-            # signals: a delivered message must win over a concurrent
-            # peer-death flag (thread-backend parity)
-            matched, blob = mb.try_take(want)
-            if matched:
-                ok, obj = self._loads_checked(blob)
-                if ok:
-                    return obj
-            self._poll_failure_signals()
-            if deadline is not None and time.monotonic() > deadline:
-                elapsed = time.monotonic() - t0
-                raise CommTimeout(
-                    f"rank {me_w}: {op} from rank {src_w} (tag {tag}) "
-                    f"timed out after {timeout:.3g}s",
-                    rank=me_w,
-                    source=src_w,
-                    tag=tag if isinstance(tag, int) else None,
-                    step=ctl.step,
-                    elapsed=elapsed,
-                    op=op,
-                )
-            msg = mb.wait_next(_POLL_SECONDS)
-            if msg is not None:
-                matched, blob = mb._classify(msg, want)
+        self._wait_enter()
+        try:
+            while True:
+                # drain what already arrived before looking at failure
+                # signals: a delivered message must win over a concurrent
+                # peer-death flag (thread-backend parity)
+                matched, blob = mb.try_take(want)
                 if matched:
                     ok, obj = self._loads_checked(blob)
                     if ok:
                         return obj
+                self._poll_failure_signals()
+                if deadline is not None and time.monotonic() > deadline:
+                    elapsed = time.monotonic() - t0
+                    raise CommTimeout(
+                        f"rank {me_w}: {op} from rank {src_w} (tag {tag}) "
+                        f"timed out after {timeout:.3g}s",
+                        rank=me_w,
+                        source=src_w,
+                        tag=tag if isinstance(tag, int) else None,
+                        step=ctl.step,
+                        elapsed=elapsed,
+                        op=op,
+                    )
+                msg = mb.wait_next(_POLL_SECONDS)
+                if msg is not None:
+                    matched, blob = mb._classify(msg, want)
+                    if matched:
+                        ok, obj = self._loads_checked(blob)
+                        if ok:
+                            return obj
+        finally:
+            self._wait_exit()
 
     def _recv_reliable(self, source: int, tag: Any = 0) -> Any:
         ctl = self._ctl
@@ -954,6 +1036,10 @@ class MultiprocessBackend(CommBackend):
         Liveness cadence and thresholds (see
         :class:`repro.mpi.supervisor.Supervisor`); a worker silent for
         ``heartbeat_timeout`` seconds is killed and treated as dead.
+    adaptive_liveness:
+        Derive escalation thresholds from observed inter-beat gaps
+        instead of the fixed constants (see
+        :meth:`repro.mpi.supervisor.Supervisor.effective_timeouts`).
     start_method:
         ``"fork"`` (default; SPMD closures allowed) or ``"spawn"``
         (requires picklable ``fn``); overridable with the
@@ -976,6 +1062,7 @@ class MultiprocessBackend(CommBackend):
             network_model=False,
             heartbeat_liveness=True,
             elastic=True,
+            gray_failure=True,
         )
 
     def __init__(
@@ -993,6 +1080,7 @@ class MultiprocessBackend(CommBackend):
         heartbeat_interval: float = 0.1,
         suspect_timeout: float = 5.0,
         heartbeat_timeout: Optional[float] = 60.0,
+        adaptive_liveness: bool = False,
         start_method: Optional[str] = None,
     ) -> None:
         if n_ranks < 1:
@@ -1016,6 +1104,7 @@ class MultiprocessBackend(CommBackend):
         self.heartbeat_interval = float(heartbeat_interval)
         self.suspect_timeout = float(suspect_timeout)
         self.heartbeat_timeout = heartbeat_timeout
+        self.adaptive_liveness = bool(adaptive_liveness)
         self.start_method = (
             start_method
             or os.environ.get("REPRO_MP_START_METHOD")
@@ -1063,6 +1152,7 @@ class MultiprocessBackend(CommBackend):
             elastic=self.elastic,
             suspect_timeout=self.suspect_timeout,
             heartbeat_timeout=self.heartbeat_timeout,
+            adaptive_liveness=self.adaptive_liveness,
         )
         self._supervisor = sup
         sup.start()

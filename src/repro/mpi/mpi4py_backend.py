@@ -196,6 +196,7 @@ class MPI4PyBackend(CommBackend):
             network_model=False,
             heartbeat_liveness=False,
             elastic=False,
+            gray_failure=False,
         )
 
     def __init__(self, n_ranks: Optional[int] = None, **kwargs: Any) -> None:

@@ -95,6 +95,10 @@ class RecoveryEvent:
     #: wall-clock seconds from failure detection to a validated state
     duration: float
     detail: str = ""
+    #: what initiated the shrink: ``"failure"`` (crash / timeout /
+    #: corruption — the classic path) or ``"eviction"`` (a planned,
+    #: cooperative drain of a confirmed straggler by the health layer)
+    trigger: str = "failure"
 
 
 @dataclass

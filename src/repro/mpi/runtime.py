@@ -84,6 +84,7 @@ class MPIRuntime(CommBackend):
             network_model=True,
             heartbeat_liveness=False,
             elastic=True,
+            gray_failure=True,
         )
 
     def __init__(

@@ -169,7 +169,31 @@ class Supervisor:
         ``heartbeat_timeout`` it is SIGKILLed and declared dead.
         ``heartbeat_timeout=None`` disables the kill (exitcode
         detection still runs).
+    adaptive_liveness:
+        Derive the escalation thresholds from each rank's *observed*
+        inter-beat gaps instead of the fixed constants: once enough
+        gaps are sampled, the suspect threshold becomes
+        ``adaptive_factor`` times the 90th-percentile gap (clamped to
+        ``[adaptive_floor, adaptive_ceil]``) and the kill threshold
+        keeps the configured suspect/kill ratio.  Slow fleets (a
+        loaded machine stretching every gap) are then not mass-killed
+        by a constant tuned for a fast one, and fast fleets detect a
+        genuine wedge sooner.  The configured constants remain the
+        prior until the sample window fills.
+
+    Heartbeat ages are measured on the *supervisor's* clock: a beat
+    counts from the moment the supervisor observes the board value
+    change, not from the timestamp the worker wrote.  A worker whose
+    clock is skewed (board values in the past or future) is therefore
+    judged only by whether it keeps beating — clock skew can neither
+    hide a wedge nor get a healthy rank killed.
     """
+
+    #: inter-beat gap samples retained per rank (adaptive thresholds)
+    GAP_WINDOW = 64
+    #: gap samples required before adaptive thresholds replace the
+    #: configured constants
+    GAP_MIN_SAMPLES = 8
 
     def __init__(
         self,
@@ -178,6 +202,10 @@ class Supervisor:
         elastic: bool,
         suspect_timeout: float = 5.0,
         heartbeat_timeout: Optional[float] = 60.0,
+        adaptive_liveness: bool = False,
+        adaptive_factor: float = 8.0,
+        adaptive_floor: float = 0.5,
+        adaptive_ceil: float = 300.0,
     ) -> None:
         self.job = job
         self.processes = processes
@@ -186,6 +214,16 @@ class Supervisor:
         self.heartbeat_timeout = (
             None if heartbeat_timeout is None else float(heartbeat_timeout)
         )
+        self.adaptive_liveness = bool(adaptive_liveness)
+        self.adaptive_factor = float(adaptive_factor)
+        self.adaptive_floor = float(adaptive_floor)
+        self.adaptive_ceil = float(adaptive_ceil)
+        if self.adaptive_ceil < self.adaptive_floor:
+            raise ValueError("adaptive_ceil must be >= adaptive_floor")
+        #: per rank: (last board value seen, supervisor time it changed)
+        self._beat_seen: Dict[int, Tuple[float, float]] = {}
+        #: per rank: observed inter-beat gaps, oldest first (bounded)
+        self._beat_gaps: Dict[int, List[float]] = {}
         n = job.n_ranks
         self.status = [RankStatus(r) for r in range(n)]
         self.results: Dict[int, Tuple[str, Any]] = {}
@@ -326,19 +364,66 @@ class Supervisor:
             else:
                 self._rank_died(rank, f"process exited with code {ec}")
 
+    def _beat_age(self, rank: int, now: float) -> Optional[float]:
+        """Seconds since the supervisor last *observed* rank's board
+        value change, or ``None`` if the rank has not started beating.
+
+        The board value itself is worker-written ``time.time()`` and is
+        treated as opaque: only a *change* proves liveness, and the age
+        runs on the supervisor's clock, so worker clock skew (past or
+        future timestamps) cannot hide a wedge or kill a healthy rank.
+        """
+        beat = float(self.job.hb_board[rank])
+        if beat <= 0.0:
+            return None
+        prev = self._beat_seen.get(rank)
+        if prev is None or beat != prev[0]:
+            if prev is not None:
+                gaps = self._beat_gaps.setdefault(rank, [])
+                gaps.append(now - prev[1])
+                if len(gaps) > self.GAP_WINDOW:
+                    del gaps[0]
+            self._beat_seen[rank] = (beat, now)
+            return 0.0
+        return now - prev[1]
+
+    def effective_timeouts(self, rank: int) -> Tuple[float, Optional[float]]:
+        """(suspect, kill) thresholds in effect for ``rank``.
+
+        Fixed constants unless ``adaptive_liveness`` is on and the gap
+        window has filled; then the suspect threshold tracks the
+        observed 90th-percentile inter-beat gap scaled by
+        ``adaptive_factor`` (clamped to the declared floor/ceil bounds)
+        and the kill threshold keeps the configured suspect:kill ratio.
+        """
+        suspect = self.suspect_timeout
+        kill = self.heartbeat_timeout
+        if not self.adaptive_liveness:
+            return suspect, kill
+        gaps = self._beat_gaps.get(rank)
+        if not gaps or len(gaps) < self.GAP_MIN_SAMPLES:
+            return suspect, kill
+        q90 = sorted(gaps)[int(0.9 * (len(gaps) - 1))]
+        ratio = None if kill is None else kill / suspect
+        suspect = min(
+            self.adaptive_ceil, max(self.adaptive_floor, self.adaptive_factor * q90)
+        )
+        kill = None if ratio is None else suspect * ratio
+        return suspect, kill
+
     def _check_heartbeats(self) -> None:
         now = time.time()
         for rank, proc in enumerate(self.processes):
             st = self.status[rank]
             if st.done or st.dead or not st.alive:
                 continue
-            beat = self.job.hb_board[rank]
-            if beat <= 0.0:
+            age = self._beat_age(rank, now)
+            if age is None:
                 continue  # not started beating yet
-            age = now - beat
+            suspect_limit, kill_limit = self.effective_timeouts(rank)
             st.last_beat_age = age
-            st.suspect = age > self.suspect_timeout
-            if self.heartbeat_timeout is not None and age > self.heartbeat_timeout:
+            st.suspect = age > suspect_limit
+            if kill_limit is not None and age > kill_limit:
                 try:
                     proc.kill()
                 except Exception:
@@ -346,7 +431,7 @@ class Supervisor:
                 self._rank_died(
                     rank,
                     f"no heartbeat for {age:.1f}s "
-                    f"(limit {self.heartbeat_timeout:.1f}s); killed",
+                    f"(limit {kill_limit:.1f}s); killed",
                 )
 
     def _rank_died(self, rank: int, reason: str) -> None:
@@ -412,10 +497,11 @@ class Supervisor:
         with self._lock:
             rows = []
             for rank, st in enumerate(self.status):
-                beat = self.job.hb_board[rank]
-                if st.alive and beat > 0.0:
-                    st.last_beat_age = now - beat
-                    st.suspect = st.last_beat_age > self.suspect_timeout
+                if st.alive:
+                    age = self._beat_age(rank, now)
+                    if age is not None:
+                        st.last_beat_age = age
+                        st.suspect = age > self.effective_timeouts(rank)[0]
                 rows.append(st.as_dict())
             return rows
 

@@ -1,0 +1,160 @@
+"""Bindings for the native no-wrap certification kernel.
+
+:func:`certify` mirrors :func:`repro.tree.traversal.certify_no_wrap_numpy`
+— same inputs, same per-group boolean verdicts, bit for bit — and
+returns ``None`` when the kernel is unavailable or the stage is
+disabled.  The first successful load self-tests the kernel against the
+numpy reference on periodic plans built from clustered and uniform
+particle sets.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.native import build as _build
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_certify.c")
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_F64P = ctypes.POINTER(ctypes.c_double)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+
+_verified: dict = {}
+
+
+def _ptr(arr, ctype):
+    return arr.ctypes.data_as(ctype)
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    if getattr(lib, "_certify_declared", False):
+        return
+    lib.certify_no_wrap.restype = None
+    lib.certify_no_wrap.argtypes = [
+        ctypes.c_int64,
+        _I64P, _I64P,
+        _I64P, _I64P,
+        _I64P, _I64P,
+        _F64P, _F64P,
+        ctypes.c_double,
+        _U8P,
+    ]
+    lib._certify_declared = True
+
+
+def get_lib() -> Optional[ctypes.CDLL]:
+    """The verified certification library, or ``None`` (checked per call)."""
+    if not _build.stage_enabled("certify"):
+        return None
+    lib = _build.load_library(_SRC)
+    if lib is None:
+        return None
+    _declare(lib)
+    key = id(lib)
+    if key not in _verified:
+        try:
+            _verified[key] = _self_test(lib)
+        except Exception:
+            _verified[key] = False
+    return lib if _verified[key] else None
+
+
+def available() -> bool:
+    """Whether the native certification kernel can be used right now."""
+    return get_lib() is not None
+
+
+def _certify_with(lib, tree, plan, box: float) -> np.ndarray:
+    G = plan.n_groups
+    group_lo = np.ascontiguousarray(plan.group_lo, dtype=np.int64)
+    group_hi = np.ascontiguousarray(plan.group_hi, dtype=np.int64)
+    part_ptr = np.ascontiguousarray(plan.part_ptr, dtype=np.int64)
+    part_idx = np.ascontiguousarray(plan.part_idx, dtype=np.int64)
+    node_ptr = np.ascontiguousarray(plan.node_ptr, dtype=np.int64)
+    node_idx = np.ascontiguousarray(plan.node_idx, dtype=np.int64)
+    pos_sorted = np.ascontiguousarray(tree.pos_sorted, dtype=np.float64)
+    node_com = np.ascontiguousarray(tree.node_com, dtype=np.float64)
+    out = np.zeros(G, dtype=np.uint8)
+    lib.certify_no_wrap(
+        ctypes.c_int64(G),
+        _ptr(group_lo, _I64P), _ptr(group_hi, _I64P),
+        _ptr(part_ptr, _I64P), _ptr(part_idx, _I64P),
+        _ptr(node_ptr, _I64P), _ptr(node_idx, _I64P),
+        _ptr(pos_sorted, _F64P), _ptr(node_com, _F64P),
+        ctypes.c_double(box),
+        _ptr(out, _U8P),
+    )
+    return out.view(np.bool_)
+
+
+def certify(tree, plan, box: float) -> Optional[np.ndarray]:
+    """Native drop-in for ``certify_no_wrap_numpy``; ``None`` = fall back."""
+    if plan.n_groups == 0:
+        return None
+    lib = get_lib()
+    if lib is None:
+        return None
+    return _certify_with(lib, tree, plan, box)
+
+
+# -- self-test ----------------------------------------------------------------
+
+
+def _self_test(lib) -> bool:
+    """Bitwise verdict comparison vs the numpy reference on periodic plans.
+
+    Plans are constructed through :func:`traverse_all_numpy` directly
+    (never through the solver, whose certification step would recurse
+    back into :func:`get_lib` mid-verification).
+    """
+    from repro.pp.plan import InteractionPlan
+    from repro.tree.octree import Octree
+    from repro.tree.traversal import (
+        TraversalStats,
+        certify_no_wrap_numpy,
+        traverse_all_numpy,
+    )
+
+    rng = np.random.default_rng(0xCE47)
+    pos = np.mod(
+        np.vstack(
+            [0.5 + 0.05 * rng.standard_normal((140, 3)), rng.random((100, 3))]
+        ),
+        1.0,
+    )
+    mass = np.full(len(pos), 1.0 / len(pos))
+    tree = Octree(pos, mass, leaf_size=4)
+    groups = np.array(tree.group_nodes(24), dtype=np.int64)
+    groups = groups[np.argsort(tree.node_lo[groups], kind="stable")]
+
+    for rcut in (None, 3.0 / 16):
+        for theta in (0.4, 0.8):
+            stats = TraversalStats()
+            (part_ptr, part_idx, node_ptr, node_idx,
+             part_shift, node_shift) = traverse_all_numpy(
+                tree, groups, rcut, theta, True, 1.0, stats
+            )
+            plan = InteractionPlan(
+                group_nodes=groups,
+                group_lo=tree.node_lo[groups],
+                group_hi=tree.node_hi[groups],
+                part_ptr=part_ptr,
+                part_idx=part_idx,
+                node_ptr=node_ptr,
+                node_idx=node_idx,
+                part_shift=part_shift,
+                node_shift=node_shift,
+            )
+            ref = certify_no_wrap_numpy(tree, plan, 1.0)
+            got = _certify_with(lib, tree, plan, 1.0)
+            if got.shape != ref.shape or not np.array_equal(got, ref):
+                return False
+    return True
+
+
+__all__ = ["available", "certify", "get_lib"]

@@ -37,12 +37,14 @@ Layout::
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import io as _io
 import json
+import os
 import shutil
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +53,9 @@ from repro.utils.integrity import array_digest
 
 __all__ = [
     "CheckpointError",
+    "CheckpointSpaceError",
+    "checkpoint_size",
+    "check_free_space",
     "MANIFEST_NAME",
     "LATEST_NAME",
     "CHECKPOINT_VERSION",
@@ -81,6 +86,52 @@ class CheckpointError(RuntimeError):
     """A checkpoint set is missing, torn, corrupt, or incompatible."""
 
 
+class CheckpointSpaceError(CheckpointError):
+    """The disk cannot hold a checkpoint (preflight shortfall or an
+    ``ENOSPC`` during the write).  The write path guarantees the
+    partial temp file is removed and the ``LATEST`` pointer still names
+    the last *complete* set, so callers may skip the epoch and keep
+    running."""
+
+
+def checkpoint_size(step_dir) -> int:
+    """Total on-disk bytes of one checkpoint epoch (best effort)."""
+    total = 0
+    try:
+        for p in Path(step_dir).iterdir():
+            if p.is_file():
+                total += p.stat().st_size
+    except OSError:
+        pass
+    return total
+
+
+def check_free_space(ckpt_dir, required_bytes: int, margin: float = 1.25) -> None:
+    """Preflight: raise :class:`CheckpointSpaceError` when the
+    filesystem holding ``ckpt_dir`` has less than
+    ``required_bytes * margin`` free.
+
+    ``required_bytes`` is normally the measured size of the *previous*
+    checkpoint epoch — the best predictor of the next one.  Best
+    effort: platforms without ``statvfs`` (or a not-yet-created
+    directory) skip the check and let the write path handle ``ENOSPC``.
+    """
+    if required_bytes <= 0:
+        return
+    try:
+        st = os.statvfs(str(ckpt_dir))
+    except (AttributeError, OSError):
+        return
+    free = st.f_bavail * st.f_frsize
+    need = int(required_bytes * margin)
+    if free < need:
+        raise CheckpointSpaceError(
+            f"insufficient disk space under '{ckpt_dir}': {free} bytes free, "
+            f"next checkpoint needs ~{need} (last epoch was "
+            f"{required_bytes} bytes)"
+        )
+
+
 def rank_filename(rank: int, size: int) -> str:
     return f"rank_{rank:05d}_of_{size:05d}.npz"
 
@@ -93,11 +144,23 @@ def step_dirname(next_step: int) -> str:
 # -- per-rank files ------------------------------------------------------------
 
 
-def write_rank_file(path, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> str:
+def write_rank_file(
+    path,
+    arrays: Dict[str, np.ndarray],
+    meta: Dict[str, Any],
+    disk_guard: Optional[Callable[[Any, int], None]] = None,
+) -> str:
     """Atomically write one rank's state; returns the file's sha256.
 
     The digest is computed over the complete serialized file, so the
     manifest entry detects any later corruption of any byte.
+
+    ``disk_guard(path, nbytes)`` is called with the serialized size
+    just before the bytes touch disk — the injection point for
+    ``FaultPlan.disk_full`` schedules.  A guard-raised or real
+    ``ENOSPC`` surfaces as :class:`CheckpointSpaceError`; either way
+    :func:`repro.sim.io.atomic_write` has already removed the partial
+    temp file, so the directory never holds a torn rank file.
     """
     checksums = {name: array_digest(a) for name, a in arrays.items()}
     buf = _io.BytesIO()
@@ -110,7 +173,16 @@ def write_rank_file(path, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -
     )
     raw = buf.getvalue()
     digest = hashlib.sha256(raw).hexdigest()
-    atomic_write(path, lambda fh: fh.write(raw))
+    try:
+        if disk_guard is not None:
+            disk_guard(path, len(raw))
+        atomic_write(path, lambda fh: fh.write(raw))
+    except OSError as exc:
+        if exc.errno == errno.ENOSPC:
+            raise CheckpointSpaceError(
+                f"disk full writing '{path}': {exc}"
+            ) from exc
+        raise
     return digest
 
 

@@ -43,10 +43,16 @@ from repro.mpi.faults import (
     apply_scheduled_flips,
     flip_file_bits,
 )
+from repro.mpi.health import (
+    DegradationPolicy,
+    HealthEvent,
+    HealthMonitor,
+    StragglerEvicted,
+)
 from repro.mpi.recovery import BuddyStore, RecoveryError, RecoveryEvent, shrink_after_failure
 from repro.mpi.backend import create_backend
 from repro.sim import checkpoint as _ckpt
-from repro.sim.checkpoint import CheckpointError
+from repro.sim.checkpoint import CheckpointError, CheckpointSpaceError
 from repro.sim.parallel import ParallelSimulation
 from repro.validate import check_recovery_totals
 from repro.validate.sdc import SdcAuditor, SdcEvent, SdcViolation
@@ -150,6 +156,16 @@ class ElasticRunner:
         self.sdc = SdcAuditor(config=config.sdc, world_rank=comm.world_rank)
         self._crc_seen = 0
         self._arm_sdc()
+        #: gray-failure layer: straggler verdicts + adaptive deadlines
+        #: (``config.health``); verdicts are collective by construction
+        self.monitor = HealthMonitor(config.health, world_rank=comm.world_rank)
+        #: explicit degraded-mode engine (the "tolerate" response)
+        self.degrade = DegradationPolicy(config.health, world_rank=comm.world_rank)
+        #: (world_rank, boundary) of a straggler this rank expects to
+        #: vanish after a cooperative drain; labels the next recovery
+        #: as an eviction rather than a crash
+        self._pending_eviction: Optional[tuple] = None
+        self._applied_deadline: Optional[float] = None
 
     # -- pieces ------------------------------------------------------------------
 
@@ -159,6 +175,125 @@ class ElasticRunner:
 
     def _refresh_buddy(self, boundary: int) -> None:
         self.buddy.refresh(self.comm, self._particle_arrays(), boundary)
+
+    def _health_tick(
+        self, step: int, work_seconds: float, wall_seconds: float, n_steps: int
+    ) -> None:
+        """Collective health round after each completed step: allgather
+        this step's *work* time (wall minus time blocked in
+        communication), run the (deterministic, identical on every
+        rank) straggler verdict, apply adaptive deadlines, and act on a
+        confirmed straggler per ``config.health.policy``.
+
+        In ``evict`` mode the confirmed straggler participates in one
+        last cooperative drain — a buddy refresh at the just-completed
+        boundary — then raises :class:`StragglerEvicted`; survivors
+        label the resulting shrink an eviction.  The drain means the
+        shrink replays zero steps.
+        """
+        policy = self.monitor.config.policy
+        rows = self.comm.allgather(
+            (self.comm.world_rank, float(work_seconds), float(wall_seconds))
+        )
+        verdict = self.monitor.observe(
+            step,
+            [(r, work) for r, work, _ in rows],
+            deadline_seconds=max(wall for _, _, wall in rows),
+        )
+        self._apply_deadline(step)
+        if verdict is None:
+            return
+        if policy == "evict" and self.comm.size > 1 and step < n_steps:
+            self.monitor.events.append(
+                HealthEvent(
+                    step=step,
+                    rank=verdict,
+                    kind="drain",
+                    detail="flushing buddy replica before cooperative eviction",
+                )
+            )
+            self._refresh_buddy(step)
+            if self.comm.world_rank == verdict:
+                self.monitor.events.append(
+                    HealthEvent(
+                        step=step,
+                        rank=verdict,
+                        kind="evict",
+                        detail="voluntary exit after cooperative drain",
+                    )
+                )
+                raise StragglerEvicted(
+                    f"rank {verdict} evicted as a confirmed straggler "
+                    f"at step {step} (cooperative drain complete)"
+                )
+            self._pending_eviction = (verdict, step)
+        elif policy == "degrade":
+            self.degrade.escalate(
+                step,
+                verdict,
+                f"tolerating confirmed straggler rank {verdict} "
+                f"(eviction disabled)",
+            )
+        # "monitor": verdicts and scores are logged, no action taken
+
+    def _apply_deadline(self, step: int) -> None:
+        """Adopt the adaptive collective deadline once it departs
+        materially (>25%) from the one in effect — observed step-time
+        distribution instead of the fixed ``recv_timeout`` constant."""
+        if not self.monitor.config.enabled:
+            return
+        deadline = self.monitor.deadline.deadline()
+        if deadline is None or not hasattr(self.comm, "set_recv_timeout"):
+            return
+        current = self._applied_deadline
+        if current is not None and abs(deadline - current) <= 0.25 * current:
+            return
+        self.comm.set_recv_timeout(deadline)
+        self._applied_deadline = deadline
+        self.monitor.events.append(
+            HealthEvent(
+                step=step,
+                rank=self.comm.world_rank,
+                kind="deadline_widen",
+                detail=(
+                    f"collective deadline {deadline:.2f}s from observed "
+                    f"step-time distribution"
+                ),
+                data={"deadline": deadline},
+            )
+        )
+
+    def _checkpoint_step(
+        self, step: int, schedule: dict, inject_rot: bool = True
+    ) -> None:
+        """Durable checkpoint at ``step``, tolerant of a full disk: on
+        a collective :class:`CheckpointSpaceError` the epoch is skipped
+        (the ``LATEST`` pointer stays on the last complete set), a
+        ``checkpoint_skipped`` :class:`HealthEvent` is recorded, and
+        the run continues degraded instead of crashing."""
+        try:
+            self.sim.checkpoint(
+                self.checkpoint_dir,
+                schedule={**schedule, "next_step": step},
+            )
+        except CheckpointSpaceError as exc:
+            self.monitor.events.append(
+                HealthEvent(
+                    step=step,
+                    rank=self.comm.world_rank,
+                    kind="checkpoint_skipped",
+                    detail=str(exc),
+                )
+            )
+            if self.monitor.config.enabled:
+                self.degrade.escalate(
+                    step, self.comm.world_rank, f"disk pressure: {exc}"
+                )
+            return
+        # retention (config.sdc.keep_last) is applied inside
+        # sim.checkpoint, before the rot injection here
+        if inject_rot:
+            self._inject_rot(step)
 
     def _arm_sdc(self) -> None:
         """(Re-)enable sweep retention on the current solver when ABFT
@@ -263,6 +398,14 @@ class ElasticRunner:
         new_comm, dead, epoch = shrink_after_failure(
             self.comm, timeout=self.consensus_timeout
         )
+        # a cooperative drain preceded this shrink: the straggler's exit
+        # was planned, its block is current in the buddy store, and the
+        # recovery is an eviction rather than a crash response
+        trigger = "failure"
+        pending = self._pending_eviction
+        if pending is not None and pending[0] in dead:
+            trigger = "eviction"
+            self._pending_eviction = None
         self.comm = new_comm
         self._crc_seen = getattr(self.comm, "shm_crc_failures", 0)
         config = (
@@ -353,8 +496,25 @@ class ElasticRunner:
                 failed_step=failed_step,
                 duration=time.perf_counter() - t0,
                 detail=detail,
+                trigger=trigger,
             )
         )
+        if trigger == "eviction":
+            self.monitor.events.append(
+                HealthEvent(
+                    step=boundary,
+                    rank=pending[0],
+                    kind="evict_shrink",
+                    detail=(
+                        f"cooperative shrink to {new_comm.size} rank(s) "
+                        f"at epoch {epoch}; zero steps replayed"
+                        if boundary == failed_step
+                        else f"cooperative shrink to {new_comm.size} rank(s) "
+                        f"at epoch {epoch}"
+                    ),
+                    data={"epoch": float(epoch)},
+                )
+            )
         return boundary
 
     # -- the loop ----------------------------------------------------------------
@@ -387,10 +547,7 @@ class ElasticRunner:
             try:
                 if not initialized:
                     if self.checkpoint_dir is not None:
-                        self.sim.checkpoint(
-                            self.checkpoint_dir,
-                            schedule={**schedule, "next_step": i},
-                        )
+                        self._checkpoint_step(i, schedule, inject_rot=False)
                     self._refresh_buddy(i)
                     if self.sdc.enabled and self.sdc._reference_fp is None:
                         self.sdc.set_reference(
@@ -399,11 +556,26 @@ class ElasticRunner:
                     initialized = True
                 if i >= n_steps:
                     return
+                t_step = time.perf_counter()
+                wait0 = getattr(self.comm, "wait_seconds", 0.0)
                 self.comm.fault_point(i)
                 self.sim.step(float(edges[i]), float(edges[i + 1]))
+                wall_seconds = time.perf_counter() - t_step
+                # in lock-step collectives every rank's wall time equals
+                # the straggler's; only work = wall - blocked-in-comm
+                # identifies *which* rank is slow
+                wait_seconds = getattr(self.comm, "wait_seconds", 0.0) - wait0
+                work_seconds = max(wall_seconds - wait_seconds, 1e-9)
                 i += 1
                 self._inject_state_faults(i)
-                audit_due = self.sdc.due(i - first_step)
+                if self.monitor.config.enabled:
+                    self._health_tick(i, work_seconds, wall_seconds, n_steps)
+                # degraded mode stretches the audit/checkpoint cadence
+                # within the declared audit_stretch_max bound
+                stretch = self.degrade.audit_stretch
+                audit_due = self.sdc.due(i - first_step) and (
+                    (i - first_step) % stretch == 0
+                )
                 refresh_due = (
                     (i - first_step) % self.buddy_every == 0 and i < n_steps
                 )
@@ -424,18 +596,16 @@ class ElasticRunner:
                             found.append(ev)
                     self.sdc.apply_policy(self.comm, found)
                 if self.checkpoint_every and (
-                    (i - first_step) % self.checkpoint_every == 0 or i == n_steps
+                    (i - first_step) % (self.checkpoint_every * stretch) == 0
+                    or i == n_steps
                 ):
-                    self.sim.checkpoint(
-                        self.checkpoint_dir,
-                        schedule={**schedule, "next_step": i},
-                    )
-                    # retention (config.sdc.keep_last) is applied inside
-                    # sim.checkpoint, before the rot injection above
-                    self._inject_rot(i)
+                    self._checkpoint_step(i, schedule)
                 if refresh_due:
                     self._refresh_buddy(i)
-                if audit_due and i < n_steps:
+                if audit_due and i < n_steps and not self.degrade.skip_derived:
+                    # the snapshot audit is the non-essential derived
+                    # output the degraded mode sheds; the fingerprint
+                    # audit above stays on
                     found = self.sdc.snapshot_audit(self.comm, self.buddy, step=i)
                     self.sdc.apply_policy(self.comm, found)
             except (PeerFailure, CommTimeout, SdcViolation) as exc:
@@ -475,7 +645,15 @@ class ElasticRunner:
             steps_taken=int(self.sim.steps_taken),
             timing=self.sim.timing.as_dict(),
             sdc_events=[ev.summary() for ev in self.sdc.events],
+            health_events=self.health_events(),
+            degraded_level=self.degrade.level,
         )
+
+    def health_events(self) -> List[dict]:
+        """The merged health log, in step order: monitor verdicts and
+        degradation transitions as :meth:`HealthEvent.as_dict` rows."""
+        merged = self.monitor.events + self.degrade.events
+        return [ev.as_dict() for ev in sorted(merged, key=lambda e: e.step)]
 
 
 class ElasticRankReport:
@@ -497,6 +675,8 @@ class ElasticRankReport:
         steps_taken: int,
         timing,
         sdc_events: Optional[List[dict]] = None,
+        health_events: Optional[List[dict]] = None,
+        degraded_level: int = 0,
     ) -> None:
         self.world_rank = world_rank
         self.final_rank = final_rank
@@ -508,6 +688,11 @@ class ElasticRankReport:
         #: :meth:`repro.validate.sdc.SdcEvent.summary` dicts, in
         #: detection order
         self.sdc_events = list(sdc_events or [])
+        #: :meth:`repro.mpi.health.HealthEvent.as_dict` rows, in step
+        #: order (straggler verdicts, drains, degradation transitions)
+        self.health_events = list(health_events or [])
+        #: final degradation level (0 = never degraded)
+        self.degraded_level = int(degraded_level)
 
     def table1_rows(self):
         return dict(self.timing)

@@ -18,6 +18,7 @@ are exactly Table I's.
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -35,7 +36,7 @@ from repro.mpi.backend import create_backend
 from repro.native import update as _native_update
 from repro.pp.kernel import InteractionCounter
 from repro.sim import checkpoint as _ckpt
-from repro.sim.checkpoint import CheckpointError
+from repro.sim.checkpoint import CheckpointError, CheckpointSpaceError
 from repro.sim.ghosts import exchange_ghosts
 from repro.tree.traversal import TreeSolver
 from repro.utils.periodic import wrap_positions
@@ -470,6 +471,15 @@ class ParallelSimulation:
         checkpoint can never be mistaken for a complete one.  ``extra``
         entries are merged into the manifest (diagnostic dumps record
         the triggering violation there).  Returns the step directory.
+
+        Disk exhaustion is handled collectively: rank 0 preflights the
+        free space against the previous epoch's measured size, each
+        rank's ``ENOSPC`` (real or injected via
+        ``FaultPlan.disk_full``) is caught locally, and the gathered
+        verdict is broadcast — on any shortfall every rank raises
+        :class:`repro.sim.checkpoint.CheckpointSpaceError` together,
+        the partial step directory is removed, and the ``LATEST``
+        pointer still names the last complete set.
         """
         comm = self.comm
         next_step = (
@@ -479,8 +489,22 @@ class ParallelSimulation:
         step_name = _ckpt.step_dirname(next_step)
         checkpoint_dir = Path(checkpoint_dir)
         step_dir = checkpoint_dir / step_name
+        preflight = None
         if comm.rank == 0:
             step_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                prev = _ckpt.latest_checkpoint(checkpoint_dir)
+                _ckpt.check_free_space(
+                    checkpoint_dir, _ckpt.checkpoint_size(prev)
+                )
+            except CheckpointSpaceError as exc:
+                preflight = str(exc)
+            except CheckpointError:
+                pass  # first epoch: no size estimate, write and see
+        preflight = comm.bcast(preflight, root=0)
+        if preflight is not None:
+            comm.barrier()
+            raise CheckpointSpaceError(preflight)
         comm.barrier()
 
         history = self.decomposer._history._history
@@ -513,12 +537,43 @@ class ParallelSimulation:
             "has_pm_acc": self._pm_acc is not None,
         }
         name = _ckpt.rank_filename(comm.rank, comm.size)
-        digest = _ckpt.write_rank_file(step_dir / name, arrays, meta)
+        plan = getattr(comm, "fault_plan", None)
+        disk_guard = None
+        if plan is not None and not plan.empty:
+            wr = getattr(comm, "world_rank", comm.rank)
+            disk_guard = lambda p, n: plan.check_disk(wr, p, n)
+        write_error = None
+        digest = ""
+        try:
+            digest = _ckpt.write_rank_file(
+                step_dir / name, arrays, meta, disk_guard=disk_guard
+            )
+        except CheckpointSpaceError as exc:
+            # stay in the collective: the verdict is agreed below
+            write_error = str(exc)
         entries = comm.gather(
             {"rank": comm.rank, "name": name, "sha256": digest,
-             "n_particles": len(self.pos)},
+             "n_particles": len(self.pos), "error": write_error},
             root=0,
         )
+        verdict = None
+        if comm.rank == 0:
+            failed = [e for e in entries if e.get("error")]
+            if failed:
+                verdict = (
+                    f"checkpoint {step_name} abandoned: "
+                    + "; ".join(
+                        f"rank {e['rank']}: {e['error']}" for e in failed
+                    )
+                )
+        verdict = comm.bcast(verdict, root=0)
+        if verdict is not None:
+            if comm.rank == 0:
+                # remove the partial epoch; LATEST was never flipped,
+                # so restore still finds the last complete set
+                shutil.rmtree(step_dir, ignore_errors=True)
+            comm.barrier()
+            raise CheckpointSpaceError(verdict)
         if comm.rank == 0:
             manifest = {
                 "version": _ckpt.CHECKPOINT_VERSION,

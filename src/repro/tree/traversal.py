@@ -19,13 +19,20 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.native import certify as _native_certify
 from repro.native import traverse as _native_traverse
 from repro.pp.kernel import InteractionCounter, PPKernel
 from repro.pp.plan import InteractionPlan, PlanExecutor, multi_arange
 from repro.tree.octree import Octree
 from repro.utils.periodic import minimum_image
 
-__all__ = ["TraversalStats", "TreeSolver", "traverse_all_numpy", "tree_forces"]
+__all__ = [
+    "TraversalStats",
+    "TreeSolver",
+    "certify_no_wrap_numpy",
+    "traverse_all_numpy",
+    "tree_forces",
+]
 
 _multi_arange = multi_arange
 
@@ -346,39 +353,14 @@ class TreeSolver:
     def _certify_no_wrap(self, tree: Octree, plan: InteractionPlan) -> np.ndarray:
         """Per-group proof that every pair displacement fits in box/2.
 
-        Compares each group's exact target bounding box against the
-        bounding box of its (unshifted) list entries; when the extreme
-        displacement stays within ``box/2`` minus a safety margin, the
-        per-pair ``np.round`` returns exactly zero and can be skipped
-        without changing a single bit.
+        Runs in the native kernel when available (bitwise self-tested
+        against :func:`certify_no_wrap_numpy`), else in the vectorized
+        numpy sweep.  Both return identical verdicts bit for bit.
         """
-        G = plan.n_groups
-        tcnt = plan.target_counts
-        tpos = tree.pos_sorted[multi_arange(plan.group_lo, plan.group_hi)]
-        tptr = np.concatenate([[0], np.cumsum(tcnt)])
-        tmin = np.minimum.reduceat(tpos, tptr[:-1], axis=0)
-        tmax = np.maximum.reduceat(tpos, tptr[:-1], axis=0)
-
-        smin = np.full((G, 3), np.inf)
-        smax = np.full((G, 3), -np.inf)
-        for vals, ptr in (
-            (tree.pos_sorted[plan.part_idx], plan.part_ptr),
-            (tree.node_com[plan.node_idx], plan.node_ptr),
-        ):
-            if not len(vals):
-                continue
-            counts = np.diff(ptr)
-            nz = np.flatnonzero(counts > 0)
-            if not len(nz):
-                continue
-            starts = ptr[:-1][nz]
-            smin[nz] = np.minimum(smin[nz], np.minimum.reduceat(vals, starts, axis=0))
-            smax[nz] = np.maximum(smax[nz], np.maximum.reduceat(vals, starts, axis=0))
-        # margin absorbs the few-ulp rounding of the bound arithmetic
-        half_box_safe = 0.5 * self.box - 1e-9 * self.box
-        ok = (smax - tmin <= half_box_safe) & (tmax - smin <= half_box_safe)
-        empty = (np.diff(plan.part_ptr) + np.diff(plan.node_ptr)) == 0
-        return np.all(ok, axis=1) | empty
+        native = _native_certify.certify(tree, plan, self.box)
+        if native is not None:
+            return native
+        return certify_no_wrap_numpy(tree, plan, self.box)
 
     def _plan_quadrupole(
         self, tree: Octree, plan: InteractionPlan, acc_sorted: np.ndarray
@@ -659,6 +641,44 @@ def traverse_all_numpy(tree, groups, rcut, theta, periodic, box, stats):
     part_ptr = np.concatenate([[0], np.cumsum(pcounts)]).astype(np.int64)
     node_ptr = np.concatenate([[0], np.cumsum(ncounts)]).astype(np.int64)
     return part_ptr, part_idx, node_ptr, node_idx, part_shift, node_shift
+
+
+def certify_no_wrap_numpy(tree, plan, box: float) -> np.ndarray:
+    """Numpy reference for the per-group no-wrap certification.
+
+    Compares each group's exact target bounding box against the
+    bounding box of its (unshifted) list entries; when the extreme
+    displacement stays within ``box/2`` minus a safety margin, the
+    per-pair ``np.round`` returns exactly zero and can be skipped
+    without changing a single bit.
+    """
+    G = plan.n_groups
+    tcnt = plan.target_counts
+    tpos = tree.pos_sorted[multi_arange(plan.group_lo, plan.group_hi)]
+    tptr = np.concatenate([[0], np.cumsum(tcnt)])
+    tmin = np.minimum.reduceat(tpos, tptr[:-1], axis=0)
+    tmax = np.maximum.reduceat(tpos, tptr[:-1], axis=0)
+
+    smin = np.full((G, 3), np.inf)
+    smax = np.full((G, 3), -np.inf)
+    for vals, ptr in (
+        (tree.pos_sorted[plan.part_idx], plan.part_ptr),
+        (tree.node_com[plan.node_idx], plan.node_ptr),
+    ):
+        if not len(vals):
+            continue
+        counts = np.diff(ptr)
+        nz = np.flatnonzero(counts > 0)
+        if not len(nz):
+            continue
+        starts = ptr[:-1][nz]
+        smin[nz] = np.minimum(smin[nz], np.minimum.reduceat(vals, starts, axis=0))
+        smax[nz] = np.maximum(smax[nz], np.maximum.reduceat(vals, starts, axis=0))
+    # margin absorbs the few-ulp rounding of the bound arithmetic
+    half_box_safe = 0.5 * box - 1e-9 * box
+    ok = (smax - tmin <= half_box_safe) & (tmax - smin <= half_box_safe)
+    empty = (np.diff(plan.part_ptr) + np.diff(plan.node_ptr)) == 0
+    return np.all(ok, axis=1) | empty
 
 
 def tree_forces(

@@ -1,0 +1,231 @@
+"""Supervisor heartbeat escalation thresholds, driven deterministically.
+
+A fake job (board + flags, no real processes) and a fake clock let the
+tests place each beat at an exact age: the boundary conditions — a beat
+landing exactly on the timeout, a suspect recovering, a worker with a
+skewed clock — are otherwise untestable races.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.mpi.supervisor as sup_mod
+from repro.mpi.supervisor import Supervisor
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def time(self):
+        return self.now
+
+    def sleep(self, dt):  # pragma: no cover - loop never runs in tests
+        self.now += dt
+
+
+class FakeJob:
+    def __init__(self, n_ranks):
+        self.n_ranks = n_ranks
+        self.hb_board = [0.0] * n_ranks
+        self.dead_flags = [0] * n_ranks
+        self.reason_buf = bytearray(512)
+        self.abort_event = threading.Event()
+
+
+class FakeProc:
+    def __init__(self):
+        self.exitcode = None
+        self.killed = False
+
+    def kill(self):
+        self.killed = True
+
+
+def _supervisor(n=2, clock=None, **kw):
+    clock = clock or FakeClock()
+    job = FakeJob(n)
+    procs = [FakeProc() for _ in range(n)]
+    sup = Supervisor(job, procs, elastic=True, **kw)
+    return sup, job, procs, clock
+
+
+@pytest.fixture
+def fake_time(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(sup_mod, "time", clock)
+    return clock
+
+
+class TestEscalationThresholds:
+    def test_beat_exactly_at_timeout_is_not_suspect(self, fake_time):
+        """The threshold comparison is strictly ``>``: a rank whose
+        beat age equals the limit is still healthy."""
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=10.0
+        )
+        job.hb_board[0] = job.hb_board[1] = 123.0  # any value: change counts
+        sup._check_heartbeats()  # observes the first change (age 0)
+        fake_time.now += 5.0  # age == suspect_timeout exactly
+        sup._check_heartbeats()
+        assert not sup.status[0].suspect
+        fake_time.now += 5.0  # age == heartbeat_timeout exactly
+        sup._check_heartbeats()
+        assert sup.status[0].suspect  # past suspect, at (not past) kill
+        assert not procs[0].killed
+        assert sup.dead == {}
+
+    def test_kill_strictly_past_timeout(self, fake_time):
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=10.0
+        )
+        job.hb_board[0] = job.hb_board[1] = 123.0
+        sup._check_heartbeats()
+        fake_time.now += 10.001
+        sup._check_heartbeats()
+        assert procs[0].killed and procs[1].killed
+        assert 0 in sup.dead and "no heartbeat" in sup.dead[0]
+        assert job.dead_flags == [1, 1]
+
+    def test_suspect_recovers_when_beats_resume(self, fake_time):
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=60.0
+        )
+        job.hb_board[0] = job.hb_board[1] = 50.0
+        sup._check_heartbeats()
+        fake_time.now += 7.0
+        sup._check_heartbeats()
+        assert sup.status[0].suspect
+        job.hb_board[0] = 51.0  # the wedge clears; beating resumes
+        sup._check_heartbeats()
+        assert not sup.status[0].suspect
+        assert not procs[0].killed
+        assert sup.status[1].suspect  # the quiet one stays suspect
+
+    def test_never_beaten_rank_is_left_alone(self, fake_time):
+        """Startup grace: a rank that has not written its first beat is
+        neither suspect nor killable (process liveness covers it)."""
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=0.1, heartbeat_timeout=0.2
+        )
+        fake_time.now += 100.0
+        sup._check_heartbeats()
+        assert not procs[0].killed
+        assert sup.dead == {}
+
+    def test_kill_disabled_with_none_timeout(self, fake_time):
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=1.0, heartbeat_timeout=None
+        )
+        job.hb_board[0] = job.hb_board[1] = 1.0
+        sup._check_heartbeats()
+        fake_time.now += 1e6
+        sup._check_heartbeats()
+        assert sup.status[0].suspect
+        assert not procs[0].killed and sup.dead == {}
+
+
+class TestClockSkewTolerance:
+    def test_board_values_in_the_past_do_not_kill(self, fake_time):
+        """A worker whose clock is days behind still proves liveness:
+        the age runs on the supervisor's clock from the moment each
+        *change* is observed, the value itself is opaque."""
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=10.0
+        )
+        skewed = fake_time.now - 86400.0  # "yesterday" by the worker clock
+        for i in range(10):
+            job.hb_board[0] = skewed + 0.001 * i
+            job.hb_board[1] = fake_time.now  # honest peer
+            sup._check_heartbeats()
+            assert not sup.status[0].suspect
+            fake_time.now += 1.0
+        assert not procs[0].killed and sup.dead == {}
+
+    def test_future_timestamps_cannot_hide_a_wedge(self, fake_time):
+        """A wedged worker that managed to write a far-future timestamp
+        is still killed: an unchanging value is an unchanging value."""
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=10.0
+        )
+        job.hb_board[0] = fake_time.now + 86400.0  # "tomorrow", then wedge
+        job.hb_board[1] = fake_time.now
+        sup._check_heartbeats()
+        fake_time.now += 11.0
+        sup._check_heartbeats()
+        assert procs[0].killed and 0 in sup.dead
+
+
+class TestAdaptiveLiveness:
+    def test_constants_hold_until_window_fills(self, fake_time):
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=50.0,
+            adaptive_liveness=True,
+        )
+        assert sup.effective_timeouts(0) == (5.0, 50.0)
+        job.hb_board[0] = 1.0
+        sup._check_heartbeats()
+        for i in range(Supervisor.GAP_MIN_SAMPLES - 1):
+            fake_time.now += 2.0
+            job.hb_board[0] = 2.0 + i
+            sup._check_heartbeats()
+        assert sup.effective_timeouts(0) == (5.0, 50.0)  # one gap short
+
+    def test_slow_fleet_raises_thresholds(self, fake_time):
+        """Observed 2 s inter-beat gaps with an 0.5 s configured suspect
+        timeout: the adaptive thresholds must stretch so the loaded-but-
+        healthy rank is not flagged (or killed) by the stale constant."""
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=0.5, heartbeat_timeout=5.0,
+            adaptive_liveness=True, adaptive_factor=8.0,
+            adaptive_floor=0.5, adaptive_ceil=300.0,
+        )
+        job.hb_board[0] = job.hb_board[1] = 1.0
+        sup._check_heartbeats()
+        for i in range(Supervisor.GAP_MIN_SAMPLES + 2):
+            fake_time.now += 2.0
+            job.hb_board[0] = 2.0 + i
+            job.hb_board[1] = 2.0 + i
+            sup._check_heartbeats()
+            assert not procs[0].killed  # a 2s gap never reaches 8*q90
+        suspect, kill = sup.effective_timeouts(0)
+        assert suspect == pytest.approx(16.0)  # 8 x the observed 2s gap
+        assert kill == pytest.approx(160.0)  # keeps the 1:10 ratio
+        fake_time.now += 1.0  # stale by the old 0.5s constant...
+        sup._check_heartbeats()
+        assert not sup.status[0].suspect  # ...but healthy adaptively
+
+    def test_thresholds_clamped_to_declared_bounds(self, fake_time):
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=50.0,
+            adaptive_liveness=True, adaptive_factor=8.0,
+            adaptive_floor=1.0, adaptive_ceil=20.0,
+        )
+        job.hb_board[0] = job.hb_board[1] = 1.0
+        sup._check_heartbeats()
+        for i in range(Supervisor.GAP_MIN_SAMPLES + 4):
+            fake_time.now += 10.0  # 10s gaps: raw 8*q90 = 80s > ceil
+            job.hb_board[0] = 2.0 + i
+            job.hb_board[1] = 2.0 + i
+            sup._check_heartbeats()
+        suspect, _ = sup.effective_timeouts(0)
+        assert suspect == 20.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            _supervisor(adaptive_liveness=True,
+                        adaptive_floor=10.0, adaptive_ceil=1.0)
+
+    def test_liveness_report_uses_effective_thresholds(self, fake_time):
+        sup, job, procs, _ = _supervisor(
+            suspect_timeout=5.0, heartbeat_timeout=60.0
+        )
+        job.hb_board[0] = job.hb_board[1] = 1.0
+        sup._check_heartbeats()
+        fake_time.now += 6.0
+        rows = sup.liveness_report()
+        assert all(r["suspect"] for r in rows)
+        assert all(r["last_beat_age"] == pytest.approx(6.0) for r in rows)

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.mpi.faults import CommTimeout, FaultPlan
-from repro.mpi.mp_backend import MultiprocessBackend
+from repro.mpi.mp_backend import MultiprocessBackend, has_shm_frames
 
 pytestmark = [pytest.mark.faults, pytest.mark.timeout(120)]
 
@@ -62,3 +62,47 @@ def test_small_messages_bypass_shm_and_survive():
 
     _, receiver = backend.run(spmd)
     assert receiver == (0, float(np.arange(16).sum()))
+
+
+def test_control_traffic_does_not_consume_frame_window():
+    # corrupt_shm counts SHM *frames*, not messages: array-free control
+    # messages sent first must not use up the nth=0 slot, so the first
+    # frame-carrying message is still the one sabotaged
+    plan = FaultPlan(seed=5).corrupt_shm(src=0, dst=1, nth=0, count=1)
+    backend = MultiprocessBackend(
+        2, fault_plan=plan, recv_timeout=2.0, shm_threshold=256
+    )
+
+    def spmd(comm):
+        big = np.arange(4096, dtype=np.float64)
+        if comm.rank == 0:
+            comm.send("prelude", 1, tag=1)
+            comm.send((None, {"step": 3}), 1, tag=2)
+            comm.send(big, 1, tag=7)
+            return None
+        assert comm.recv(0, tag=1, timeout=5.0) == "prelude"
+        assert comm.recv(0, tag=2, timeout=5.0) == (None, {"step": 3})
+        try:
+            comm.recv(0, tag=7, timeout=2.0)
+            outcome = "delivered"
+        except CommTimeout:
+            outcome = "dropped"
+        return (outcome, int(comm.shm_crc_failures))
+
+    _, receiver = backend.run(spmd)
+    assert receiver == ("dropped", 1)
+
+
+def test_has_shm_frames_predicate():
+    big = np.arange(64, dtype=np.float64)  # 512 bytes
+    assert has_shm_frames(big, 256)
+    assert has_shm_frames((big, "meta"), 256)
+    assert has_shm_frames({"pos": big}, 256)
+    assert has_shm_frames([{"pos": (big,)}], 256)
+    assert not has_shm_frames(big, 1024)            # below threshold
+    assert not has_shm_frames(None, 1)
+    assert not has_shm_frames(("a", 3, {"k": 1.0}), 1)
+    assert not has_shm_frames(np.empty(0), 1)       # empty stays inline
+    assert not has_shm_frames(
+        np.array([{"o": 1}], dtype=object), 1       # object dtype inline
+    )

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.mesh.assignment import assign_mass, interpolate_mesh
-from repro.native import meshops, traverse, treebuild, update
+from repro.native import certify, meshops, traverse, treebuild, update
 from repro.tree.morton import MORTON_BITS, morton_keys
 from repro.tree.octree import Octree, build_nodes_numpy
 from repro.tree.traversal import TraversalStats, TreeSolver, traverse_all_numpy
@@ -168,6 +168,73 @@ def test_update_rejects_bad_arrays():
     mom = np.zeros((4, 3), dtype=np.float32)  # wrong dtype
     assert not update.kick(mom, np.zeros((4, 3), dtype=np.float32), 0.5)
     assert not update.kick(np.zeros((4, 3)), np.zeros((3, 3)), 0.5)  # shape
+
+
+# -- no-wrap certification ----------------------------------------------------
+
+
+def _periodic_plan(pos, mass, rcut=3.0 / 16):
+    from repro.pp.plan import InteractionPlan
+
+    tree = Octree(pos, mass, leaf_size=4)
+    groups = np.array(tree.group_nodes(24), dtype=np.int64)
+    groups = groups[np.argsort(tree.node_lo[groups], kind="stable")]
+    stats = TraversalStats()
+    (part_ptr, part_idx, node_ptr, node_idx,
+     part_shift, node_shift) = traverse_all_numpy(
+        tree, groups, rcut, 0.5, True, 1.0, stats
+    )
+    plan = InteractionPlan(
+        group_nodes=groups,
+        group_lo=tree.node_lo[groups],
+        group_hi=tree.node_hi[groups],
+        part_ptr=part_ptr,
+        part_idx=part_idx,
+        node_ptr=node_ptr,
+        node_idx=node_idx,
+        part_shift=part_shift,
+        node_shift=node_shift,
+    )
+    return tree, plan
+
+
+def test_certify_matches_numpy(particles):
+    from repro.tree.traversal import certify_no_wrap_numpy
+
+    if not certify.available():
+        pytest.skip("native certify kernel unavailable")
+    pos, mass = particles
+    for rcut in (None, 3.0 / 16):
+        tree, plan = _periodic_plan(pos, mass, rcut)
+        ref = certify_no_wrap_numpy(tree, plan, 1.0)
+        got = certify.certify(tree, plan, 1.0)
+        assert got is not None
+        assert got.dtype == np.bool_
+        assert np.array_equal(got, ref)
+
+
+def test_certified_plans_identical_under_opt_out(particles, monkeypatch):
+    if not certify.available():
+        pytest.skip("native certify kernel unavailable")
+    pos, mass = particles
+    solver = TreeSolver(
+        theta=0.5, leaf_size=4, group_size=24, periodic=True, box=1.0
+    )
+    plan_native = solver.build_plan(Octree(pos, mass, leaf_size=4))
+    monkeypatch.setenv("REPRO_NO_NATIVE_CERTIFY", "1")
+    plan_numpy = solver.build_plan(Octree(pos, mass, leaf_size=4))
+    assert np.array_equal(plan_native.no_wrap, plan_numpy.no_wrap)
+
+
+def test_certify_failed_self_test_falls_back(particles, monkeypatch):
+    if not certify.available():
+        pytest.skip("native certify kernel unavailable")
+    monkeypatch.setattr(certify, "_verified", {})
+    monkeypatch.setattr(certify, "_self_test", lambda lib: False)
+    assert certify.get_lib() is None
+    pos, mass = particles
+    tree, plan = _periodic_plan(pos, mass)
+    assert certify.certify(tree, plan, 1.0) is None
 
 
 # -- self-test gating ---------------------------------------------------------

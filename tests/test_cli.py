@@ -242,6 +242,35 @@ class TestSdcFlags:
             "--sdc-audit-every", "2",
         ]) == 0
 
+    def test_build_config_plumbs_health_keys(self):
+        from repro.cli import _DEFAULTS, _build_config
+
+        cfg = _build_config({
+            **_DEFAULTS, **self._CFG,
+            "health_policy": "degrade",
+            "straggler_factor": 4.5,
+            "straggler_patience": 5,
+        })
+        assert cfg.health.policy == "degrade"
+        assert cfg.health.straggler_factor == 4.5
+        assert cfg.health.straggler_patience == 5
+
+    def test_invalid_health_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            run_from_config(
+                {**self._CFG, "health_policy": "panic"}, log=_quiet
+            )
+
+    def test_main_health_flags_override_config(self, tmp_path):
+        cfg_path = tmp_path / "run.json"
+        cfg_path.write_text(json.dumps(self._CFG))
+        assert main([
+            "run", str(cfg_path),
+            "--health-policy", "monitor",
+            "--straggler-factor", "4.0",
+            "--straggler-patience", "2",
+        ]) == 0
+
 
 class TestCkptScrubCommand:
     def _make_set(self, root, steps=(0, 1, 2)):
